@@ -1,0 +1,61 @@
+//! E2/E3/E6 timing companions: the byte-size results are produced by the
+//! `experiments` binary; these benches measure the *serialization cost* of
+//! the three annotation schemes (plain, naive, PNF-suppressed) and of the
+//! standalone PNF normalizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_bench::bench_portal;
+use dtr_model::pnf::to_pnf;
+use dtr_portal::nesting::nested_tagged;
+use dtr_xml::writer::{instance_to_xml, WriteOptions};
+use std::hint::black_box;
+
+fn serialization_schemes(c: &mut Criterion) {
+    let tagged = bench_portal();
+    let mut g = c.benchmark_group("xml_serialization");
+    g.sample_size(20);
+    g.bench_function("plain", |b| {
+        b.iter(|| black_box(instance_to_xml(tagged.target(), WriteOptions::plain()).len()))
+    });
+    g.bench_function("mapping_annotations_naive", |b| {
+        b.iter(|| black_box(instance_to_xml(tagged.target(), WriteOptions::mapping_only()).len()))
+    });
+    g.bench_function("mapping_annotations_pnf", |b| {
+        b.iter(|| {
+            black_box(instance_to_xml(tagged.target(), WriteOptions::mapping_only_pnf()).len())
+        })
+    });
+    g.finish();
+}
+
+fn pnf_normalization(c: &mut Criterion) {
+    let tagged = bench_portal();
+    let mut g = c.benchmark_group("pnf");
+    g.sample_size(10);
+    g.bench_function("to_pnf_portal", |b| {
+        b.iter(|| black_box(to_pnf(tagged.target()).len()))
+    });
+    g.finish();
+}
+
+fn nesting_depths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_nesting_serialization");
+    g.sample_size(10);
+    for (depth, width) in [(1usize, 512usize), (2, 23), (3, 8)] {
+        let tagged = nested_tagged(depth, width);
+        g.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                black_box(instance_to_xml(tagged.target(), WriteOptions::mapping_only_pnf()).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    serialization_schemes,
+    pnf_normalization,
+    nesting_depths
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Exchange-engine benchmarks: materializing the annotated portal from the
+//! five sources (the generation step of every Section 8 experiment), plus
+//! the evaluator ablation DESIGN.md calls out — incremental predicate
+//! pushdown vs naive evaluate-at-the-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_portal::scenario::{build, ScenarioConfig};
+use dtr_query::eval::{Catalog, EvalOptions, Evaluator, Source};
+use dtr_query::functions::FunctionRegistry;
+use dtr_query::parser::parse_query;
+use std::hint::black_box;
+
+fn exchange_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange");
+    g.sample_size(10);
+    for n in [25usize, 50, 100] {
+        g.bench_with_input(BenchmarkId::new("listings_per_source", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    build(ScenarioConfig {
+                        listings_per_source: n,
+                        ..Default::default()
+                    })
+                },
+                |scenario| black_box(scenario.exchange().unwrap().target().len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn pushdown_ablation(c: &mut Criterion) {
+    // A three-way join over the Windermere source: homes x agents x opens.
+    let scenario = build(ScenarioConfig {
+        listings_per_source: 150,
+        ..Default::default()
+    });
+    let mut wm = scenario.sources[2].clone();
+    wm.annotate_elements(&scenario.setting.source_schemas()[2])
+        .unwrap();
+    let catalog = Catalog::new(vec![Source {
+        schema: &scenario.setting.source_schemas()[2],
+        instance: &wm,
+    }]);
+    let funcs = FunctionRegistry::with_builtins();
+    let q = parse_query(
+        "select h.hid, a.phone, o.date
+         from WM.homes h, WM.agents a, WM.opens o
+         where h.agentId = a.agentId and o.hid = h.hid",
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("pushdown_ablation");
+    g.sample_size(10);
+    g.bench_function("incremental_pushdown", |b| {
+        b.iter(|| {
+            black_box(
+                Evaluator::new(&catalog, &funcs)
+                    .with_options(EvalOptions { pushdown: true })
+                    .run(&q)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("naive_cross_product", |b| {
+        b.iter(|| {
+            black_box(
+                Evaluator::new(&catalog, &funcs)
+                    .with_options(EvalOptions { pushdown: false })
+                    .run(&q)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, exchange_scaling, pushdown_ablation);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Metastore benchmarks (Section 7): encoding schemas and mappings into the
+//! storage relations, materializing the queryable view, and translating
+//! MXQL queries (the compile-time cost of the Section 7.3 pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_bench::small_portal;
+use dtr_core::runner::MetaRunner;
+use dtr_core::translate::translate;
+use dtr_metastore::store::MetaStore;
+use dtr_metastore::view::{meta_instance, meta_schema};
+use dtr_model::schema::Schema;
+use dtr_query::parser::parse_query;
+use std::hint::black_box;
+
+fn encoding(c: &mut Criterion) {
+    let tagged = small_portal();
+    let setting = tagged.setting();
+    let mut g = c.benchmark_group("metastore");
+    g.bench_function("encode_schemas_and_mappings", |b| {
+        b.iter(|| {
+            let mut store = MetaStore::new();
+            for s in setting.source_schemas() {
+                store.add_schema(s).unwrap();
+            }
+            store.add_schema(setting.target_schema()).unwrap();
+            let refs: Vec<&Schema> = setting.source_schemas().iter().collect();
+            for m in setting.mappings() {
+                store
+                    .add_mapping(m, &refs, setting.target_schema())
+                    .unwrap();
+            }
+            black_box(store.correspondences.len())
+        })
+    });
+    g.bench_function("materialize_view", |b| {
+        let mut store = MetaStore::new();
+        for s in setting.source_schemas() {
+            store.add_schema(s).unwrap();
+        }
+        store.add_schema(setting.target_schema()).unwrap();
+        let refs: Vec<&Schema> = setting.source_schemas().iter().collect();
+        for m in setting.mappings() {
+            store
+                .add_mapping(m, &refs, setting.target_schema())
+                .unwrap();
+        }
+        let schema = meta_schema();
+        b.iter(|| black_box(meta_instance(&store, &schema).len()))
+    });
+    g.finish();
+}
+
+fn translation(c: &mut Criterion) {
+    let single = parse_query(
+        "select s.hid, m
+         from Portal.houses s, s.price@map m
+         where e = s.price@elem
+           and <'Yahoo':'/Yahoo/listings/price' -> m -> 'Portal':e>",
+    )
+    .unwrap();
+    let double =
+        parse_query("select es from where <db:es => m => 'Portal':'/Portal/houses/price'>")
+            .unwrap();
+    let mut g = c.benchmark_group("translate");
+    g.bench_function("single_arrow", |b| {
+        b.iter(|| black_box(translate(&single, "Portal").unwrap().len()))
+    });
+    g.bench_function("double_arrow_union", |b| {
+        b.iter(|| black_box(translate(&double, "Portal").unwrap().len()))
+    });
+    g.finish();
+}
+
+fn end_to_end_runner(c: &mut Criterion) {
+    let tagged = small_portal();
+    let mut g = c.benchmark_group("meta_runner");
+    g.sample_size(10);
+    g.bench_function("build_runner", |b| {
+        b.iter(|| {
+            black_box(
+                MetaRunner::new(tagged.setting())
+                    .unwrap()
+                    .store()
+                    .elements
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, encoding, translation, end_to_end_runner);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Provenance computation benchmarks (Section 6): building and evaluating
+//! the where/what/why-provenance queries of a portal value, and the
+//! Theorem 6.1/6.4 exhaustive checks on the running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_bench::small_portal;
+use dtr_core::provenance::{check_theorem_6_1, check_theorem_6_4, provenance_of, ProvenanceKind};
+use dtr_core::testkit::figure1;
+use dtr_model::value::MappingName;
+use std::hint::black_box;
+
+fn provenance_kinds(c: &mut Criterion) {
+    let tagged = small_portal();
+    // A Yahoo-generated price value.
+    let (node, _) = tagged
+        .target_values("/Portal/houses/price")
+        .into_iter()
+        .next()
+        .expect("portal has prices");
+    let m = MappingName::new("y1");
+
+    let mut g = c.benchmark_group("provenance");
+    g.sample_size(20);
+    for (name, kind) in [
+        ("where", ProvenanceKind::Where),
+        ("what", ProvenanceKind::What),
+        ("why", ProvenanceKind::Why),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    provenance_of(&tagged, kind, &m, node)
+                        .expect("provenance computes")
+                        .facts
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn theorem_checks(c: &mut Criterion) {
+    let tagged = figure1();
+    let mut g = c.benchmark_group("theorems_figure1");
+    g.sample_size(10);
+    g.bench_function("theorem_6_1_all_mappings", |b| {
+        b.iter(|| {
+            for m in ["m1", "m2", "m3"] {
+                assert_eq!(
+                    black_box(check_theorem_6_1(&tagged, &MappingName::new(m)).unwrap()),
+                    None
+                );
+            }
+        })
+    });
+    g.bench_function("theorem_6_4_all_mappings", |b| {
+        b.iter(|| {
+            for m in ["m1", "m2", "m3"] {
+                assert_eq!(
+                    black_box(check_theorem_6_4(&tagged, &MappingName::new(m)).unwrap()),
+                    None
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, provenance_kinds, theorem_checks);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Element inclusion between queries (Definition 6.3).
+//!
+//! `q1 ⊑ q2` iff there is a total injective renaming `h` from the variables
+//! of `q1` to the variables of `q2` such that the from and where clauses of
+//! `h(q1)` and `q2` coincide and the (ordered) select list of `h(q1)` is a
+//! subset of `q2`'s. Intuitively: `q1(I) = π_X(q2(I))` for every instance.
+//!
+//! The paper uses this to order the provenance notions:
+//! `q_where ⊑ q_what ⊑ q_why`.
+
+use dtr_query::ast::{Comparison, Condition, Expr, MappingPred, PathExpr, PathStart, Query, Term};
+use std::collections::HashMap;
+
+/// Checks `q1 ⊑ q2` (element inclusion, Definition 6.3).
+///
+/// The renaming is constructed positionally over the from clauses, which is
+/// complete for queries whose binding lists agree up to variable names (the
+/// provenance queries of Section 6 always do — they share the from clause
+/// of the mapping's foreach query).
+pub fn element_included(q1: &Query, q2: &Query) -> bool {
+    if q1.from.len() != q2.from.len() {
+        return false;
+    }
+    // Build h positionally and verify injectivity.
+    let mut h: HashMap<&str, &str> = HashMap::new();
+    for (b1, b2) in q1.from.iter().zip(&q2.from) {
+        if let Some(prev) = h.insert(&b1.var, &b2.var) {
+            if prev != b2.var {
+                return false;
+            }
+        }
+    }
+    let mut targets: Vec<&str> = h.values().copied().collect();
+    targets.sort_unstable();
+    targets.dedup();
+    if targets.len() != h.len() {
+        return false; // not injective
+    }
+
+    // From clauses must coincide after renaming.
+    for (b1, b2) in q1.from.iter().zip(&q2.from) {
+        if rename_expr(&b1.source, &h) != b2.source {
+            return false;
+        }
+    }
+
+    // Where clauses must coincide as sets after renaming.
+    let c1: Vec<Condition> = q1
+        .conditions
+        .iter()
+        .map(|c| rename_condition(c, &h))
+        .collect();
+    if c1.len() != q2.conditions.len() {
+        return false;
+    }
+    let mut used = vec![false; q2.conditions.len()];
+    'outer: for c in &c1 {
+        for (i, c2) in q2.conditions.iter().enumerate() {
+            if !used[i] && conditions_equal(c, c2) {
+                used[i] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+
+    // Select: subset.
+    q1.select
+        .iter()
+        .map(|e| rename_expr(e, &h))
+        .all(|e| q2.select.contains(&e))
+}
+
+fn conditions_equal(a: &Condition, b: &Condition) -> bool {
+    match (a, b) {
+        (Condition::Cmp(x), Condition::Cmp(y)) => {
+            (x.left == y.left && x.op == y.op && x.right == y.right)
+                // Equality is symmetric.
+                || (x.op == dtr_query::ast::CmpOp::Eq
+                    && y.op == dtr_query::ast::CmpOp::Eq
+                    && x.left == y.right
+                    && x.right == y.left)
+        }
+        (Condition::MapPred(x), Condition::MapPred(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn rename_path(p: &PathExpr, h: &HashMap<&str, &str>) -> PathExpr {
+    let start = match &p.start {
+        PathStart::Var(v) => PathStart::Var(
+            h.get(v.as_str())
+                .map(|s| (*s).to_owned())
+                .unwrap_or_else(|| v.clone()),
+        ),
+        r => r.clone(),
+    };
+    PathExpr {
+        start,
+        steps: p.steps.clone(),
+    }
+}
+
+fn rename_expr(e: &Expr, h: &HashMap<&str, &str>) -> Expr {
+    match e {
+        Expr::Path(p) => Expr::Path(rename_path(p, h)),
+        Expr::ElemOf(p) => Expr::ElemOf(rename_path(p, h)),
+        Expr::MapOf(p) => Expr::MapOf(rename_path(p, h)),
+        Expr::Const(c) => Expr::Const(c.clone()),
+        Expr::Call(n, args) => {
+            Expr::Call(n.clone(), args.iter().map(|a| rename_expr(a, h)).collect())
+        }
+    }
+}
+
+fn rename_term(t: &Term, h: &HashMap<&str, &str>) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(
+            h.get(v.as_str())
+                .map(|s| (*s).to_owned())
+                .unwrap_or_else(|| v.clone()),
+        ),
+        c => c.clone(),
+    }
+}
+
+fn rename_condition(c: &Condition, h: &HashMap<&str, &str>) -> Condition {
+    match c {
+        Condition::Cmp(cmp) => Condition::Cmp(Comparison {
+            left: rename_expr(&cmp.left, h),
+            op: cmp.op,
+            right: rename_expr(&cmp.right, h),
+        }),
+        Condition::MapPred(p) => Condition::MapPred(MappingPred {
+            src_db: rename_term(&p.src_db, h),
+            src_elem: rename_term(&p.src_elem, h),
+            mapping: rename_term(&p.mapping, h),
+            tgt_db: rename_term(&p.tgt_db, h),
+            tgt_elem: rename_term(&p.tgt_elem, h),
+            double: p.double,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_query::parser::parse_query;
+
+    #[test]
+    fn projection_included() {
+        let q1 = parse_query("select h.hid from US.houses h where h.aid = 'a1'").unwrap();
+        let q2 = parse_query("select h.hid, h.price from US.houses h where h.aid = 'a1'").unwrap();
+        assert!(element_included(&q1, &q2));
+        assert!(!element_included(&q2, &q1));
+    }
+
+    #[test]
+    fn renaming_applies() {
+        let q1 = parse_query("select x.hid from US.houses x where x.aid = 'a1'").unwrap();
+        let q2 = parse_query("select h.hid, h.price from US.houses h where h.aid = 'a1'").unwrap();
+        assert!(element_included(&q1, &q2));
+    }
+
+    #[test]
+    fn differing_conditions_not_included() {
+        let q1 = parse_query("select h.hid from US.houses h where h.aid = 'a1'").unwrap();
+        let q2 = parse_query("select h.hid from US.houses h where h.aid = 'a2'").unwrap();
+        assert!(!element_included(&q1, &q2));
+    }
+
+    #[test]
+    fn symmetric_equality_conditions_match() {
+        let q1 =
+            parse_query("select h.hid from US.houses h, US.agents a where h.aid = a.aid").unwrap();
+        let q2 =
+            parse_query("select h.hid, a.phone from US.houses h, US.agents a where a.aid = h.aid")
+                .unwrap();
+        assert!(element_included(&q1, &q2));
+    }
+
+    #[test]
+    fn differing_from_not_included() {
+        let q1 = parse_query("select h.hid from US.houses h").unwrap();
+        let q2 = parse_query("select h.hid, a.aid from US.houses h, US.agents a").unwrap();
+        assert!(!element_included(&q1, &q2));
+    }
+
+    #[test]
+    fn reflexive() {
+        let q =
+            parse_query("select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid")
+                .unwrap();
+        assert!(element_included(&q, &q));
+    }
+}

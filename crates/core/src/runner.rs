@@ -1,0 +1,283 @@
+//! Executing translated MXQL queries over the metastore (the full
+//! Section 7 pipeline).
+//!
+//! [`MetaRunner`] encodes a mapping setting's schemas and mappings into the
+//! metastore once, materializes the nested-relational view, and then runs
+//! translated queries against *data instance + meta instance* with the
+//! ordinary evaluator — exactly the execution strategy the paper describes:
+//! "the user does not need to be aware of the details of the meta-data
+//! storage schema".
+
+use crate::tagged::{MappingSetting, MxqlError, TaggedInstance};
+use crate::translate::{translate, TranslateError};
+use dtr_metastore::store::MetaStore;
+use dtr_metastore::view::{meta_instance, meta_schema};
+use dtr_model::instance::Instance;
+use dtr_model::schema::Schema;
+use dtr_query::ast::Query;
+use dtr_query::eval::{Evaluator, QueryResult, Source};
+use dtr_query::parser::parse_query;
+
+impl From<TranslateError> for MxqlError {
+    fn from(e: TranslateError) -> Self {
+        MxqlError::Other(e.to_string())
+    }
+}
+
+/// A prepared metastore for one mapping setting.
+pub struct MetaRunner {
+    store: MetaStore,
+    meta_schema: Schema,
+    meta_inst: Instance,
+}
+
+impl MetaRunner {
+    /// Encodes the setting's schemas and mappings (Section 7.1) and builds
+    /// the queryable view.
+    pub fn new(setting: &MappingSetting) -> Result<Self, MxqlError> {
+        let mut store = MetaStore::new();
+        for s in setting.source_schemas() {
+            store
+                .add_schema(s)
+                .map_err(|e| MxqlError::Other(e.to_string()))?;
+        }
+        store
+            .add_schema(setting.target_schema())
+            .map_err(|e| MxqlError::Other(e.to_string()))?;
+        let refs: Vec<&Schema> = setting.source_schemas().iter().collect();
+        for m in setting.mappings() {
+            store
+                .add_mapping(m, &refs, setting.target_schema())
+                .map_err(|e| MxqlError::Other(e.to_string()))?;
+        }
+        let schema = meta_schema();
+        let inst = meta_instance(&store, &schema);
+        Ok(MetaRunner {
+            store,
+            meta_schema: schema,
+            meta_inst: inst,
+        })
+    }
+
+    /// The underlying relational store (for inspection / Figure 5 dumps).
+    pub fn store(&self) -> &MetaStore {
+        &self.store
+    }
+
+    /// The metastore as a queryable source.
+    pub fn meta_source(&self) -> Source<'_> {
+        Source {
+            schema: &self.meta_schema,
+            instance: &self.meta_inst,
+        }
+    }
+
+    /// Translates an MXQL query (Section 7.3) and runs every branch of the
+    /// resulting union over the tagged instance plus the metastore,
+    /// concatenating and de-duplicating rows.
+    pub fn run(&self, tagged: &TaggedInstance, q: &Query) -> Result<QueryResult, MxqlError> {
+        let q = tagged.setting().normalize_query(q);
+        // Order/limit (the extension tail) apply to the whole union; each
+        // order key must be one of the select expressions so the sort can
+        // run on the projected columns.
+        let mut key_columns: Vec<(usize, bool)> = Vec::new();
+        for k in &q.order_by {
+            let Some(col) = q.select.iter().position(|e| *e == k.expr) else {
+                return Err(MxqlError::Other(format!(
+                    "translated execution requires order-by keys to appear in the                      select clause; `{}` does not",
+                    k.expr
+                )));
+            };
+            key_columns.push((col, k.descending));
+        }
+        let branches = translate(&q, tagged.target().db())?;
+        let mut catalog = tagged.catalog();
+        catalog.push(self.meta_source());
+        let mut out = QueryResult::default();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (i, branch) in branches.iter().enumerate() {
+            let r = Evaluator::new(&catalog, tagged.functions()).run(branch)?;
+            if i == 0 {
+                out.columns = r.columns.clone();
+            }
+            for row in r.rows {
+                let key = row
+                    .iter()
+                    .map(|v| v.value.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
+                if seen.insert(key) {
+                    out.rows.push(row);
+                }
+            }
+        }
+        if !key_columns.is_empty() {
+            out.rows.sort_by(|a, b| {
+                for &(col, desc) in &key_columns {
+                    let ord = dtr_query::eval::coerced_compare(&a[col].value, &b[col].value)
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = q.limit {
+            out.rows.truncate(n);
+        }
+        Ok(out)
+    }
+
+    /// Parses and runs MXQL text through the translation pipeline.
+    pub fn query(&self, tagged: &TaggedInstance, text: &str) -> Result<QueryResult, MxqlError> {
+        let q = parse_query(text)?;
+        self.run(tagged, &q)
+    }
+}
+
+/// Renders result rows as sorted strings — the canonical form used to
+/// compare the direct (Section 5) and translated (Section 7) execution
+/// paths, which agree modulo value *types* (`Mapping` values come back as
+/// `mid` strings from the metastore).
+pub fn canonical_rows(r: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| v.value.to_string())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{figure1, figure1_setting};
+
+    fn agree(text: &str) {
+        let tagged = figure1();
+        let runner = MetaRunner::new(tagged.setting()).unwrap();
+        let direct = tagged.query(text).unwrap();
+        let translated = runner.query(&tagged, text).unwrap();
+        assert_eq!(
+            canonical_rows(&direct),
+            canonical_rows(&translated),
+            "direct and translated execution disagree for: {text}"
+        );
+    }
+
+    #[test]
+    fn example_5_5_agrees() {
+        agree(
+            "select s.hid, m
+             from Portal.estates s, Portal.contacts c, c.title@map m
+             where s.contact = c.title and e = c.title@elem
+               and <'USdb':'US/agents/title/firm' -> m -> 'Pdb':e>",
+        );
+    }
+
+    #[test]
+    fn example_5_6_agrees() {
+        agree("select e from where <db:e -> m -> 'Pdb':'/Portal/estates/estate/stories'>");
+    }
+
+    #[test]
+    fn example_5_7_agrees() {
+        agree(
+            "select c.title, es
+             from Portal.estates s, Portal.contacts c, c.title@map m
+             where s.contact = c.title and e = c.title@elem
+               and <'USdb':es => m => 'Pdb':e>",
+        );
+    }
+
+    #[test]
+    fn example_5_4_agrees() {
+        agree("select x.hid, x.value, m from Portal.estates x, x.value@map m");
+    }
+
+    #[test]
+    fn plain_queries_agree() {
+        agree("select e.hid, e.value from Portal.estates e where e.contact = 'HomeGain'");
+    }
+
+    #[test]
+    fn ordered_mxql_agrees_across_engines() {
+        let tagged = figure1();
+        let runner = MetaRunner::new(tagged.setting()).unwrap();
+        let text = "select x.hid, x.value, m from Portal.estates x, x.value@map m \
+                    order by x.hid desc limit 2";
+        let q = dtr_query::parser::parse_query(text).unwrap();
+        let direct = tagged.run(&q).unwrap();
+        let translated = runner.run(&tagged, &q).unwrap();
+        // Ordered results compare positionally, not as sorted sets.
+        let rows = |r: &dtr_query::eval::QueryResult| {
+            r.tuples()
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&direct), rows(&translated));
+        assert_eq!(direct.len(), 2);
+        assert_eq!(direct.tuples()[0][0].to_string(), "H7");
+        // An order key outside the select clause is rejected on the
+        // translated path (documented restriction).
+        let q2 =
+            dtr_query::parser::parse_query("select x.hid from Portal.estates x order by x.value")
+                .unwrap();
+        assert!(runner.run(&tagged, &q2).is_err());
+        assert!(tagged.run(&q2).is_ok());
+    }
+
+    #[test]
+    fn figure_5_dump_available() {
+        let tagged = figure1();
+        let runner = MetaRunner::new(tagged.setting()).unwrap();
+        let dump = runner.store().render();
+        assert!(dump.contains("Correspondence"));
+        assert!(dump.contains("m1 | q0 | q1"));
+    }
+
+    #[test]
+    fn pure_metadata_query_over_view() {
+        // Query the meta instance directly (no annotations involved):
+        // the mappings populating /Portal/estates/value.
+        let tagged = figure1();
+        let runner = MetaRunner::new(tagged.setting()).unwrap();
+        let mut catalog = tagged.catalog();
+        catalog.push(runner.meta_source());
+        let q = dtr_query::parser::parse_query(
+            "select o.mid
+             from Correspondence o, Element e
+             where o.conEid = e.eid and e.path = '/Portal/estates/value'",
+        )
+        .unwrap();
+        let r = dtr_query::eval::Evaluator::new(&catalog, tagged.functions())
+            .run(&q)
+            .unwrap();
+        let mut mids: Vec<String> = r.tuples().into_iter().map(|t| t[0].to_string()).collect();
+        mids.sort();
+        assert_eq!(mids, ["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn setting_reusable_across_runners() {
+        let setting = figure1_setting();
+        let r1 = MetaRunner::new(&setting).unwrap();
+        let r2 = MetaRunner::new(&setting).unwrap();
+        assert_eq!(r1.store().elements.len(), r2.store().elements.len());
+    }
+}

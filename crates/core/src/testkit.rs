@@ -1,0 +1,263 @@
+//! The paper's running example (Figures 1–3) as a ready-made scenario.
+//!
+//! Three data sources appear throughout the paper: the American site
+//! `USdb` (houses + agents with a name/firm choice), the European site
+//! `EUdb` (postings with nested agents), and the integrated portal `Pdb`.
+//! Mappings `m1`, `m2`, `m3` populate the portal. The sample instances are
+//! chosen so that the exchange reproduces Figure 3 exactly: the `H522`
+//! estate comes from the HomeGain firm (mapping `m2`), the `H2525` estate
+//! from the European posting (mapping `m3`), and the shared `HomeGain`
+//! contact carries the union annotation `{m2, m3}`.
+//!
+//! This module doubles as the repository's canonical quick-start fixture;
+//! `dtr-portal` builds its large-scale scenarios in the same style.
+
+use crate::tagged::{MappingSetting, TaggedInstance};
+use dtr_mapping::glav::Mapping;
+use dtr_model::instance::{Instance, Value};
+use dtr_model::schema::Schema;
+use dtr_model::types::{AtomicType, Type};
+
+/// The USdb schema of Figure 1.
+pub fn us_schema() -> Schema {
+    Schema::build(
+        "USdb",
+        vec![(
+            "US",
+            Type::record(vec![
+                (
+                    "houses",
+                    Type::relation(vec![
+                        ("hid", AtomicType::String),
+                        ("floors", AtomicType::String),
+                        ("price", AtomicType::String),
+                        ("pool", AtomicType::String),
+                        ("aid", AtomicType::String),
+                    ]),
+                ),
+                (
+                    "agents",
+                    Type::set(Type::record(vec![
+                        ("aid", Type::string()),
+                        (
+                            "title",
+                            Type::choice(vec![("name", Type::string()), ("firm", Type::string())]),
+                        ),
+                        ("phone", Type::string()),
+                    ])),
+                ),
+            ]),
+        )],
+    )
+    .expect("USdb schema is valid")
+}
+
+/// The EUdb schema of Figures 1–2 (elements e0..e9).
+pub fn eu_schema() -> Schema {
+    Schema::build(
+        "EUdb",
+        vec![(
+            "EU",
+            Type::record(vec![(
+                "postings",
+                Type::set(Type::record(vec![
+                    ("hid", Type::string()),
+                    ("levels", Type::string()),
+                    ("totalVal", Type::string()),
+                    (
+                        "agents",
+                        Type::set(Type::record(vec![
+                            ("agentName", Type::string()),
+                            ("agentPhone", Type::string()),
+                        ])),
+                    ),
+                ])),
+            )]),
+        )],
+    )
+    .expect("EUdb schema is valid")
+}
+
+/// The Pdb portal schema of Figures 1–2 (elements e30..e40).
+pub fn portal_schema() -> Schema {
+    Schema::build(
+        "Pdb",
+        vec![(
+            "Portal",
+            Type::record(vec![
+                (
+                    "estates",
+                    Type::relation(vec![
+                        ("hid", AtomicType::String),
+                        ("stories", AtomicType::String),
+                        ("value", AtomicType::String),
+                        ("contact", AtomicType::String),
+                    ]),
+                ),
+                (
+                    "contacts",
+                    Type::relation(vec![
+                        ("title", AtomicType::String),
+                        ("phone", AtomicType::String),
+                    ]),
+                ),
+            ]),
+        )],
+    )
+    .expect("Pdb schema is valid")
+}
+
+/// Mapping `m1` of Figure 1: US houses with *independent agents*.
+pub fn m1() -> Mapping {
+    Mapping::parse(
+        "m1",
+        "foreach
+           select h.hid, h.floors, h.price, n, a.phone
+           from US.houses h, US.agents a, a.title->name n
+           where h.aid = a.aid
+         exists
+           select e.hid, e.stories, e.value, c.title, c.phone
+           from Portal.estates e, Portal.contacts c
+           where e.contact = c.title",
+    )
+    .expect("m1 parses")
+}
+
+/// Mapping `m2` of Figure 1: US houses with *firms*.
+pub fn m2() -> Mapping {
+    Mapping::parse(
+        "m2",
+        "foreach
+           select h.hid, h.floors, h.price, f, a.phone
+           from US.houses h, US.agents a, a.title->firm f
+           where h.aid = a.aid
+         exists
+           select e.hid, e.stories, e.value, c.title, c.phone
+           from Portal.estates e, Portal.contacts c
+           where e.contact = c.title",
+    )
+    .expect("m2 parses")
+}
+
+/// Mapping `m3` of Figure 1: the European postings.
+pub fn m3() -> Mapping {
+    Mapping::parse(
+        "m3",
+        "foreach
+           select p.hid, p.levels, p.totalVal, a.agentName, a.agentPhone
+           from EU.postings p, p.agents a
+         exists
+           select e.hid, e.stories, e.value, c.title, c.phone
+           from Portal.estates e, Portal.contacts c
+           where e.contact = c.title",
+    )
+    .expect("m3 parses")
+}
+
+/// The sample USdb instance: `H522` (the Figure 3 estate, listed by the
+/// HomeGain firm) and `H7` (listed by the independent agent Smith).
+pub fn us_instance() -> Instance {
+    let mut inst = Instance::new("USdb");
+    let house = |hid: &str, floors: &str, price: &str, pool: &str, aid: &str| {
+        Value::record(vec![
+            ("hid", Value::str(hid)),
+            ("floors", Value::str(floors)),
+            ("price", Value::str(price)),
+            ("pool", Value::str(pool)),
+            ("aid", Value::str(aid)),
+        ])
+    };
+    let agent = |aid: &str, alt: &str, title: &str, phone: &str| {
+        Value::record(vec![
+            ("aid", Value::str(aid)),
+            ("title", Value::choice(alt, Value::str(title))),
+            ("phone", Value::str(phone)),
+        ])
+    };
+    inst.install_root(
+        "US",
+        Value::record(vec![
+            (
+                "houses",
+                Value::set(vec![
+                    house("H522", "2", "500K", "no", "a2"),
+                    house("H7", "1", "250K", "yes", "a1"),
+                ]),
+            ),
+            (
+                "agents",
+                Value::set(vec![
+                    agent("a1", "name", "Smith", "555-1111"),
+                    agent("a2", "firm", "HomeGain", "18009468501"),
+                ]),
+            ),
+        ]),
+    );
+    inst
+}
+
+/// The sample EUdb instance: the `H2525` posting handled by the HomeGain
+/// agency (whose contact merges with `m2`'s in Figure 3).
+pub fn eu_instance() -> Instance {
+    let mut inst = Instance::new("EUdb");
+    inst.install_root(
+        "EU",
+        Value::record(vec![(
+            "postings",
+            Value::set(vec![Value::record(vec![
+                ("hid", Value::str("H2525")),
+                ("levels", Value::str("1")),
+                ("totalVal", Value::str("300K")),
+                (
+                    "agents",
+                    Value::set(vec![Value::record(vec![
+                        ("agentName", Value::str("HomeGain")),
+                        ("agentPhone", Value::str("18009468501")),
+                    ])]),
+                ),
+            ])]),
+        )]),
+    );
+    inst
+}
+
+/// The Figure 1 mapping setting `<{USdb, EUdb}, Pdb, {m1, m2, m3}>`.
+pub fn figure1_setting() -> MappingSetting {
+    MappingSetting::new(
+        vec![us_schema(), eu_schema()],
+        portal_schema(),
+        vec![m1(), m2(), m3()],
+    )
+    .expect("the Figure 1 setting validates")
+}
+
+/// The source instances, in setting order (USdb, EUdb).
+pub fn figure1_sources() -> Vec<Instance> {
+    vec![us_instance(), eu_instance()]
+}
+
+/// Runs the exchange and returns the full tagged instance — the Figure 3
+/// state of the running example.
+pub fn figure1() -> TaggedInstance {
+    TaggedInstance::exchange(figure1_setting(), figure1_sources())
+        .expect("the Figure 1 exchange succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_element_counts_match_figure_2() {
+        assert_eq!(eu_schema().len(), 10); // e0..e9
+        assert_eq!(portal_schema().len(), 11); // e30..e40
+    }
+
+    #[test]
+    fn setting_validates() {
+        let s = figure1_setting();
+        assert_eq!(s.mappings().len(), 3);
+        assert_eq!(s.source_schemas().len(), 2);
+        assert_eq!(s.target_schema().name(), "Pdb");
+    }
+}

@@ -1,0 +1,170 @@
+//! What-if analysis over tagged instances.
+//!
+//! The introduction motivates "the ability to analyze 'what-if' scenarios
+//! in order to reason about the impact of the data coming from specific
+//! sources (or parts of them)". With `f_mp` materialized this is a pure
+//! annotation computation: a value *survives* the removal of a set of
+//! mappings iff some mapping outside the set also generated it.
+
+use crate::tagged::TaggedInstance;
+use dtr_model::instance::NodeId;
+use dtr_model::schema::ElementKind;
+use dtr_model::value::MappingName;
+use std::collections::HashMap;
+
+/// The impact of removing a set of mappings (or a whole source).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Impact {
+    /// Atomic target values generated *only* by removed mappings — they
+    /// would disappear.
+    pub lost_values: usize,
+    /// Atomic target values that also have a surviving generator.
+    pub surviving_values: usize,
+    /// Lost values grouped by their target element path.
+    pub lost_by_element: Vec<(String, usize)>,
+}
+
+impl Impact {
+    /// Fraction of annotated atomic values lost, in `[0, 1]`.
+    pub fn lost_fraction(&self) -> f64 {
+        let total = self.lost_values + self.surviving_values;
+        if total == 0 {
+            0.0
+        } else {
+            self.lost_values as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the impact of removing the given mappings.
+pub fn impact_of_mappings(tagged: &TaggedInstance, removed: &[MappingName]) -> Impact {
+    let schema = tagged.setting().target_schema();
+    let inst = tagged.target();
+    let mut impact = Impact::default();
+    let mut by_elem: HashMap<String, usize> = HashMap::new();
+    for node in inst.walk() {
+        let annot = inst.annotation(node);
+        // Only atomic, mapping-generated values count.
+        let Some(elem) = annot.element else { continue };
+        if !matches!(schema.element(elem).kind, ElementKind::Atomic(_)) {
+            continue;
+        }
+        if annot.mappings.is_empty() {
+            continue;
+        }
+        let survives = annot.mappings.iter().any(|m| !removed.contains(m));
+        if survives {
+            impact.surviving_values += 1;
+        } else {
+            impact.lost_values += 1;
+            *by_elem.entry(schema.path(elem)).or_insert(0) += 1;
+        }
+    }
+    impact.lost_by_element = {
+        let mut v: Vec<(String, usize)> = by_elem.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    };
+    impact
+}
+
+/// Computes the impact of removing an entire data source: every mapping
+/// whose foreach query references that source is removed.
+pub fn impact_of_source(tagged: &TaggedInstance, db: &str) -> Impact {
+    let removed: Vec<MappingName> = tagged
+        .setting()
+        .mappings()
+        .iter()
+        .filter(|m| {
+            tagged
+                .setting()
+                .triple(&m.name)
+                .map(|t| t.source_elements.iter().any(|e| e.db == db))
+                .unwrap_or(false)
+        })
+        .map(|m| m.name.clone())
+        .collect();
+    impact_of_mappings(tagged, &removed)
+}
+
+/// The nodes that would be lost (for drill-down displays).
+pub fn lost_nodes(tagged: &TaggedInstance, removed: &[MappingName]) -> Vec<NodeId> {
+    let inst = tagged.target();
+    inst.walk()
+        .into_iter()
+        .filter(|&n| {
+            let a = inst.annotation(n);
+            !a.mappings.is_empty() && a.mappings.iter().all(|m| removed.contains(m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::figure1;
+
+    #[test]
+    fn removing_one_mapping_keeps_merged_values() {
+        let t = figure1();
+        // m2 generated H522's values and (with m3) the HomeGain contact.
+        let impact = impact_of_mappings(&t, &[MappingName::new("m2")]);
+        assert!(impact.lost_values > 0);
+        // The HomeGain contact title survives via m3: check it is not lost.
+        let schema = t.setting().target_schema();
+        let title = schema.resolve_path("/Portal/contacts/title").unwrap();
+        let lost = lost_nodes(&t, &[MappingName::new("m2")]);
+        let homegain = t
+            .target()
+            .interpretation(title)
+            .into_iter()
+            .find(|&n| t.target().atomic(n).unwrap().as_str() == Some("HomeGain"))
+            .unwrap();
+        assert!(!lost.contains(&homegain));
+        // But H522's hid is lost (only m2 made it).
+        let hid_elem = schema.resolve_path("/Portal/estates/hid").unwrap();
+        let h522 = t
+            .target()
+            .interpretation(hid_elem)
+            .into_iter()
+            .find(|&n| t.target().atomic(n).unwrap().as_str() == Some("H522"))
+            .unwrap();
+        assert!(lost.contains(&h522));
+    }
+
+    #[test]
+    fn removing_a_source_removes_its_mappings() {
+        let t = figure1();
+        // Removing EUdb removes exactly m3's exclusive values.
+        let impact = impact_of_source(&t, "EUdb");
+        let by_mapping = impact_of_mappings(&t, &[MappingName::new("m3")]);
+        assert_eq!(impact, by_mapping);
+        assert!(impact.lost_values > 0);
+        assert!(impact.lost_fraction() > 0.0 && impact.lost_fraction() < 1.0);
+    }
+
+    #[test]
+    fn removing_everything_loses_everything() {
+        let t = figure1();
+        let all: Vec<MappingName> = t
+            .setting()
+            .mappings()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        let impact = impact_of_mappings(&t, &all);
+        assert_eq!(impact.surviving_values, 0);
+        assert!((impact.lost_fraction() - 1.0).abs() < f64::EPSILON);
+        // Per-element breakdown accounts for every lost value.
+        let sum: usize = impact.lost_by_element.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, impact.lost_values);
+    }
+
+    #[test]
+    fn removing_nothing_loses_nothing() {
+        let t = figure1();
+        let impact = impact_of_mappings(&t, &[]);
+        assert_eq!(impact.lost_values, 0);
+        assert_eq!(impact.lost_fraction(), 0.0);
+    }
+}

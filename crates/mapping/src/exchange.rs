@@ -1,0 +1,1255 @@
+//! The data exchange engine: executing mappings to materialize an
+//! annotated target instance.
+//!
+//! The paper builds on the generation methodology of Popa et al. (reference \[21\])
+//! ("Translating Web Data"): every tuple retrieved by a mapping's `foreach`
+//! query is inserted into the target instance following the structure of the
+//! `exists` query, merging values into Partition Normal Form. Section 7.2
+//! adds annotation generation: every created value is annotated with its
+//! schema element (`f_el`) and with the mapping that generated it (`f_mp`);
+//! when two mappings generate the same value the annotation sets are
+//! unioned — Figure 3's `title:"HomeGain" {m2,m3}`.
+//!
+//! The engine natively attaches annotations while inserting (the observable
+//! contract of the §7.2 rewrite, which is also provided verbatim in
+//! [`crate::rewrite`] for fidelity).
+
+use crate::glav::Mapping;
+use dtr_model::instance::{Instance, NodeData, NodeId, Value};
+use dtr_model::label::Label;
+use dtr_model::schema::{ElementId, ElementKind, Schema};
+use dtr_model::value::AtomicValue;
+use dtr_query::ast::{CmpOp, Condition, Expr, PathExpr, PathStart, Step};
+use dtr_query::check::{check_query, CheckError, ExprKind, SchemaCatalog};
+use dtr_query::eval::{Catalog, EvalError, Evaluator, Source};
+use dtr_query::functions::FunctionRegistry;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Errors raised by the exchange engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExchangeError {
+    /// A mapping query failed static checking.
+    Check(CheckError),
+    /// The foreach query failed at runtime.
+    Eval(EvalError),
+    /// The exists query uses a construct the generator does not support.
+    Unsupported(String),
+    /// Two select positions assigned conflicting values to one target slot.
+    Conflict(String),
+    /// The generated instance failed conformance (engine bug or malformed
+    /// mapping).
+    Conformance(String),
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::Check(e) => write!(f, "check error: {e}"),
+            ExchangeError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ExchangeError::Unsupported(m) => write!(f, "unsupported mapping construct: {m}"),
+            ExchangeError::Conflict(m) => write!(f, "conflicting assignment: {m}"),
+            ExchangeError::Conformance(m) => write!(f, "conformance failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+impl From<CheckError> for ExchangeError {
+    fn from(e: CheckError) -> Self {
+        ExchangeError::Check(e)
+    }
+}
+
+impl From<EvalError> for ExchangeError {
+    fn from(e: EvalError) -> Self {
+        ExchangeError::Eval(e)
+    }
+}
+
+/// Statistics of one exchange run.
+#[derive(Clone, Debug, Default)]
+pub struct ExchangeReport {
+    /// `(mapping, tuples retrieved by its foreach query)`.
+    pub tuples: Vec<(dtr_model::value::MappingName, usize)>,
+}
+
+/// Where a target binding's set lives.
+enum Parent {
+    /// Under a schema root: `(root label, projection labels to the set)`.
+    Root(Label, Vec<Label>),
+    /// Under an earlier binding's member: `(binding index, projection
+    /// labels to the set)`.
+    Var(usize, Vec<Label>),
+}
+
+/// One exists-clause binding, planned.
+struct PlanBinding {
+    parent: Parent,
+    member_elem: ElementId,
+    /// Atomic assignments: `(steps relative to the member, slot class)`.
+    fields: Vec<(Vec<Step>, usize)>,
+}
+
+/// The insertion plan derived from a mapping's exists query.
+struct Plan {
+    bindings: Vec<PlanBinding>,
+    /// Slot class of each select position.
+    select_classes: Vec<usize>,
+    n_classes: usize,
+}
+
+/// Simple union-find for slot classes.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind { parent: Vec::new() }
+    }
+    fn make(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+fn path_key(p: &PathExpr) -> String {
+    p.to_string()
+}
+
+fn plan_exists(m: &Mapping, target_schema: &Schema) -> Result<Plan, ExchangeError> {
+    let resolved = check_query(&m.exists, SchemaCatalog::new(vec![target_schema]))?;
+    let mut var_index: HashMap<&str, usize> = HashMap::new();
+    let mut bindings: Vec<PlanBinding> = Vec::new();
+
+    for b in &m.exists.from {
+        let Expr::Path(p) = &b.source else {
+            return Err(ExchangeError::Unsupported(format!(
+                "exists binding `{}` must be a path",
+                b.source
+            )));
+        };
+        if p.steps.iter().any(|s| matches!(s, Step::Choice(_))) {
+            return Err(ExchangeError::Unsupported(format!(
+                "choice step in exists binding `{p}`"
+            )));
+        }
+        let labels: Vec<Label> = p
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Project(l) => l.clone(),
+                Step::Choice(l) => l.clone(),
+            })
+            .collect();
+        let parent = match &p.start {
+            PathStart::Root(r) => Parent::Root(r.clone(), labels),
+            PathStart::Var(v) => {
+                let idx = *var_index.get(v.as_str()).ok_or_else(|| {
+                    ExchangeError::Unsupported(format!(
+                        "exists binding uses unknown variable `{v}`"
+                    ))
+                })?;
+                Parent::Var(idx, labels)
+            }
+        };
+        let member_elem = match resolved.path_kind(p)? {
+            ExprKind::Complex(_, e, ElementKind::Set) => target_schema
+                .set_member(e)
+                .expect("set element has a member"),
+            other => {
+                return Err(ExchangeError::Unsupported(format!(
+                    "exists binding `{p}` is not a set ({other:?})"
+                )))
+            }
+        };
+        var_index.insert(b.var.as_str(), bindings.len());
+        bindings.push(PlanBinding {
+            parent,
+            member_elem,
+            fields: Vec::new(),
+        });
+    }
+
+    // Slot classes over (var, steps) paths.
+    let mut uf = UnionFind::new();
+    let mut slot_of: HashMap<String, (usize, usize, Vec<Step>)> = HashMap::new(); // key -> (class, binding idx, steps)
+
+    let slot = |p: &PathExpr,
+                uf: &mut UnionFind,
+                slot_of: &mut HashMap<String, (usize, usize, Vec<Step>)>|
+     -> Result<usize, ExchangeError> {
+        let PathStart::Var(v) = &p.start else {
+            return Err(ExchangeError::Unsupported(format!(
+                "exists expression `{p}` must start from a variable"
+            )));
+        };
+        let Some(&bidx) = var_index.get(v.as_str()) else {
+            return Err(ExchangeError::Unsupported(format!(
+                "exists expression uses unknown variable `{v}`"
+            )));
+        };
+        let key = path_key(p);
+        if let Some((c, _, _)) = slot_of.get(&key) {
+            return Ok(*c);
+        }
+        let c = uf.make();
+        slot_of.insert(key, (c, bidx, p.steps.clone()));
+        Ok(c)
+    };
+
+    let mut select_classes = Vec::with_capacity(m.exists.select.len());
+    for e in &m.exists.select {
+        let Expr::Path(p) = e else {
+            return Err(ExchangeError::Unsupported(format!(
+                "exists select item `{e}` must be a path"
+            )));
+        };
+        select_classes.push(slot(p, &mut uf, &mut slot_of)?);
+    }
+
+    for c in &m.exists.conditions {
+        match c {
+            Condition::Cmp(cmp) if cmp.op == CmpOp::Eq => {
+                let (Expr::Path(l), Expr::Path(r)) = (&cmp.left, &cmp.right) else {
+                    return Err(ExchangeError::Unsupported(format!(
+                        "exists condition `{cmp}` must equate two paths"
+                    )));
+                };
+                let cl = slot(l, &mut uf, &mut slot_of)?;
+                let cr = slot(r, &mut uf, &mut slot_of)?;
+                uf.union(cl, cr);
+            }
+            other => {
+                return Err(ExchangeError::Unsupported(format!(
+                    "exists condition `{other}` (only equalities are supported)"
+                )));
+            }
+        }
+    }
+
+    // Normalize classes and attach fields to their bindings.
+    let n = uf.parent.len();
+    let mut canon: HashMap<usize, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut canon_of = |uf: &mut UnionFind, c: usize, canon: &mut HashMap<usize, usize>| {
+        let root = uf.find(c);
+        *canon.entry(root).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        })
+    };
+    let mut plan = Plan {
+        bindings,
+        select_classes: Vec::new(),
+        n_classes: 0,
+    };
+    for c in select_classes {
+        let cc = canon_of(&mut uf, c, &mut canon);
+        plan.select_classes.push(cc);
+    }
+    for (_, (c, bidx, steps)) in slot_of {
+        let cc = canon_of(&mut uf, c, &mut canon);
+        plan.bindings[bidx].fields.push((steps, cc));
+    }
+    // Deterministic field order (slot_of is a HashMap).
+    for b in &mut plan.bindings {
+        b.fields.sort_by(|a, c| {
+            let ka: Vec<String> = a.0.iter().map(|s| format!("{s:?}")).collect();
+            let kc: Vec<String> = c.0.iter().map(|s| format!("{s:?}")).collect();
+            ka.cmp(&kc)
+        });
+    }
+    plan.n_classes = n;
+    Ok(plan)
+}
+
+/// Builds the member [`Value`] from field assignments, following the schema
+/// to know which intermediates are records and which are choices.
+fn build_member(
+    schema: &Schema,
+    elem: ElementId,
+    fields: &[(&[Step], AtomicValue)],
+) -> Result<Value, ExchangeError> {
+    if fields.is_empty() {
+        return Err(ExchangeError::Unsupported(
+            "a target member with no assigned fields".into(),
+        ));
+    }
+    // Leaf?
+    if fields.len() == 1 && fields[0].0.is_empty() {
+        return Ok(Value::Atomic(fields[0].1.clone()));
+    }
+    /// Field assignments grouped under one leading label.
+    type Group<'a> = Vec<(&'a [Step], AtomicValue)>;
+    match schema.element(elem).kind {
+        ElementKind::Record => {
+            // Group by leading label, preserving schema field order.
+            let mut groups: Vec<(Label, Group<'_>)> = Vec::new();
+            for (steps, v) in fields {
+                let Some((first, rest)) = steps.split_first() else {
+                    return Err(ExchangeError::Conflict(
+                        "value assigned to a whole record".into(),
+                    ));
+                };
+                let label = match first {
+                    Step::Project(l) => l.clone(),
+                    Step::Choice(_) => {
+                        return Err(ExchangeError::Unsupported(
+                            "choice step on a record element".into(),
+                        ))
+                    }
+                };
+                match groups.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, g)) => g.push((rest, v.clone())),
+                    None => groups.push((label, vec![(rest, v.clone())])),
+                }
+            }
+            let mut rec = Vec::with_capacity(groups.len());
+            for (label, group) in groups {
+                let child = schema.child(elem, &label).ok_or_else(|| {
+                    ExchangeError::Unsupported(format!(
+                        "target schema has no field `{label}` under {}",
+                        schema.path(elem)
+                    ))
+                })?;
+                rec.push((label, build_member(schema, child, &group)?));
+            }
+            // Schema declaration order for deterministic output.
+            let order: Vec<&Label> = schema
+                .element(elem)
+                .children
+                .iter()
+                .map(|&c| &schema.element(c).label)
+                .collect();
+            rec.sort_by_key(|(l, _)| order.iter().position(|o| *o == l).unwrap_or(usize::MAX));
+            Ok(Value::Record(rec))
+        }
+        ElementKind::Choice => {
+            let mut label: Option<Label> = None;
+            let mut inner: Vec<(&[Step], AtomicValue)> = Vec::new();
+            for (steps, v) in fields {
+                let Some((first, rest)) = steps.split_first() else {
+                    return Err(ExchangeError::Conflict(
+                        "value assigned to a whole choice".into(),
+                    ));
+                };
+                let l = match first {
+                    Step::Choice(l) | Step::Project(l) => l.clone(),
+                };
+                match &label {
+                    None => label = Some(l),
+                    Some(prev) if *prev == l => {}
+                    Some(prev) => {
+                        return Err(ExchangeError::Conflict(format!(
+                            "choice assigned two alternatives `{prev}` and `{l}`"
+                        )))
+                    }
+                }
+                inner.push((rest, v.clone()));
+            }
+            let label = label.expect("fields nonempty");
+            let child = schema.child(elem, &label).ok_or_else(|| {
+                ExchangeError::Unsupported(format!(
+                    "target schema has no alternative `{label}` under {}",
+                    schema.path(elem)
+                ))
+            })?;
+            Ok(Value::choice(label, build_member(schema, child, &inner)?))
+        }
+        other => Err(ExchangeError::Unsupported(format!(
+            "cannot assign through element kind {other:?}"
+        ))),
+    }
+}
+
+fn value_fingerprint(v: &Value, h: &mut DefaultHasher) {
+    match v {
+        Value::Atomic(a) => {
+            0u8.hash(h);
+            a.hash(h);
+        }
+        Value::Record(fields) => {
+            1u8.hash(h);
+            for (l, v) in fields {
+                l.hash(h);
+                value_fingerprint(v, h);
+            }
+        }
+        Value::Choice(l, v) => {
+            2u8.hash(h);
+            l.hash(h);
+            value_fingerprint(v, h);
+        }
+        Value::Set(members) => {
+            3u8.hash(h);
+            members.len().hash(h);
+        }
+    }
+}
+
+/// The exchange engine. Holds the target instance under construction plus
+/// the merge index.
+pub struct Exchange<'a> {
+    sources: Vec<Source<'a>>,
+    target_schema: &'a Schema,
+    functions: &'a FunctionRegistry,
+    target: Instance,
+    /// `(set node, member fingerprint) -> member node` for PNF merging.
+    merge_index: HashMap<(NodeId, u64), NodeId>,
+    report: ExchangeReport,
+}
+
+impl<'a> Exchange<'a> {
+    /// Creates an engine producing an instance for `target_schema` (the
+    /// instance's database name is the schema's name).
+    pub fn new(
+        sources: Vec<Source<'a>>,
+        target_schema: &'a Schema,
+        functions: &'a FunctionRegistry,
+    ) -> Self {
+        let mut target = Instance::new(target_schema.name().to_string());
+        // Pre-create every schema root so the target is queryable even when
+        // a mapping retrieved no tuples at all.
+        for &root in target_schema.roots() {
+            let el = target_schema.element(root);
+            target.push_raw(el.label.clone(), None, node_data_for(el.kind), true);
+        }
+        Exchange {
+            sources,
+            target_schema,
+            functions,
+            target,
+            merge_index: HashMap::new(),
+            report: ExchangeReport::default(),
+        }
+    }
+
+    /// Executes one mapping: evaluates its foreach query over the sources
+    /// and inserts every tuple into the target.
+    pub fn run_mapping(&mut self, m: &Mapping) -> Result<(), ExchangeError> {
+        let plan = plan_exists(m, self.target_schema)?;
+        let catalog = Catalog::new(self.sources.clone());
+        let rows = Evaluator::new(&catalog, self.functions)
+            .run(&m.foreach)?
+            .tuples();
+        self.report.tuples.push((m.name.clone(), rows.len()));
+        if plan.select_classes.len() != m.foreach.select.len() {
+            return Err(ExchangeError::Unsupported(format!(
+                "mapping {}: select arity mismatch",
+                m.name
+            )));
+        }
+        for row in rows {
+            self.insert_row(m, &plan, &row)?;
+        }
+        Ok(())
+    }
+
+    fn insert_row(
+        &mut self,
+        m: &Mapping,
+        plan: &Plan,
+        row: &[AtomicValue],
+    ) -> Result<(), ExchangeError> {
+        // Assign slot-class values from the select positions.
+        let mut class_values: Vec<Option<AtomicValue>> = vec![None; plan.n_classes];
+        for (i, &c) in plan.select_classes.iter().enumerate() {
+            match &class_values[c] {
+                None => class_values[c] = Some(row[i].clone()),
+                Some(prev) if *prev == row[i] => {}
+                Some(prev) => {
+                    return Err(ExchangeError::Conflict(format!(
+                        "mapping {}: positions assign `{prev}` and `{}` to one slot",
+                        m.name, row[i]
+                    )))
+                }
+            }
+        }
+
+        // Insert bindings in order; remember each binding's member node.
+        let mut member_nodes: Vec<NodeId> = Vec::with_capacity(plan.bindings.len());
+        for b in &plan.bindings {
+            let set_node = match &b.parent {
+                Parent::Root(root, steps) => self.skeleton_set(m, root, steps)?,
+                Parent::Var(idx, steps) => {
+                    let base = member_nodes[*idx];
+                    self.nested_set(m, base, b.member_elem, steps)?
+                }
+            };
+            let fields: Vec<(&[Step], AtomicValue)> = b
+                .fields
+                .iter()
+                .filter_map(|(steps, c)| {
+                    class_values[*c]
+                        .as_ref()
+                        .map(|v| (steps.as_slice(), v.clone()))
+                })
+                .collect();
+            let value = build_member(self.target_schema, b.member_elem, &fields)?;
+            let mut h = DefaultHasher::new();
+            value_fingerprint(&value, &mut h);
+            let fp = h.finish();
+            let member = match self.merge_index.get(&(set_node, fp)) {
+                Some(&existing) => {
+                    self.annotate_subtree(existing, m);
+                    existing
+                }
+                None => {
+                    let node = self.target.push_set_member(set_node, value);
+                    self.merge_index.insert((set_node, fp), node);
+                    self.annotate_subtree(node, m);
+                    node
+                }
+            };
+            member_nodes.push(member);
+        }
+        Ok(())
+    }
+
+    /// Ensures the skeleton chain `root / steps... / set` exists, adding the
+    /// mapping annotation along it. Returns the set node.
+    fn skeleton_set(
+        &mut self,
+        m: &Mapping,
+        root: &Label,
+        steps: &[Label],
+    ) -> Result<NodeId, ExchangeError> {
+        let mut elem = self.target_schema.root(root).ok_or_else(|| {
+            ExchangeError::Unsupported(format!("target schema has no root `{root}`"))
+        })?;
+        let mut node = match self.target.root(root) {
+            Some(n) => n,
+            None => {
+                let data = node_data_for(self.target_schema.element(elem).kind);
+                self.target.push_raw(root.clone(), None, data, true)
+            }
+        };
+        self.target.add_mapping(node, m.name.clone());
+        for label in steps {
+            elem = self.target_schema.child(elem, label).ok_or_else(|| {
+                ExchangeError::Unsupported(format!("no element `{label}` in skeleton path"))
+            })?;
+            node = match self.target.child_by_label(node, label) {
+                Some(c) => c,
+                None => {
+                    let data = node_data_for(self.target_schema.element(elem).kind);
+                    let child = self.target.push_raw(label.clone(), Some(node), data, false);
+                    attach_child(&mut self.target, node, child);
+                    child
+                }
+            };
+            self.target.add_mapping(node, m.name.clone());
+        }
+        if !matches!(self.target_schema.element(elem).kind, ElementKind::Set) {
+            return Err(ExchangeError::Unsupported(format!(
+                "skeleton path does not end at a set (`{root}`)",
+            )));
+        }
+        Ok(node)
+    }
+
+    /// Ensures a nested set under an existing member node, creating record
+    /// intermediates as needed. `member_elem` is the schema element of the
+    /// *target* set's member; the walk starts from the member's element.
+    fn nested_set(
+        &mut self,
+        m: &Mapping,
+        base: NodeId,
+        member_elem: ElementId,
+        steps: &[Label],
+    ) -> Result<NodeId, ExchangeError> {
+        // The set element is the parent of its member element; the base
+        // member's element sits `steps.len()` levels above it.
+        let set_elem = self
+            .target_schema
+            .parent(member_elem)
+            .expect("member element has a set parent");
+        let mut cur_elem = set_elem;
+        for _ in 0..steps.len() {
+            cur_elem = self
+                .target_schema
+                .parent(cur_elem)
+                .expect("schema walk stays in bounds");
+        }
+        let mut node = base;
+        for label in steps {
+            cur_elem = self.target_schema.child(cur_elem, label).ok_or_else(|| {
+                ExchangeError::Unsupported(format!("no element `{label}` in nested path"))
+            })?;
+            node = match self.target.child_by_label(node, label) {
+                Some(c) => c,
+                None => {
+                    let data = node_data_for(self.target_schema.element(cur_elem).kind);
+                    let child = self.target.push_raw(label.clone(), Some(node), data, false);
+                    attach_child(&mut self.target, node, child);
+                    child
+                }
+            };
+            self.target.add_mapping(node, m.name.clone());
+        }
+        Ok(node)
+    }
+
+    /// Adds the mapping annotation to a whole member subtree.
+    fn annotate_subtree(&mut self, node: NodeId, m: &Mapping) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            self.target.add_mapping(n, m.name.clone());
+            stack.extend_from_slice(self.target.children(n));
+        }
+    }
+
+    /// Finishes the exchange: computes element annotations (conformance
+    /// check included) and returns the annotated target instance plus a
+    /// report.
+    pub fn finish(mut self) -> Result<(Instance, ExchangeReport), ExchangeError> {
+        self.target
+            .annotate_elements(self.target_schema)
+            .map_err(|e| ExchangeError::Conformance(e.to_string()))?;
+        Ok((self.target, self.report))
+    }
+}
+
+fn node_data_for(kind: ElementKind) -> NodeData {
+    match kind {
+        ElementKind::Record => NodeData::Record(Vec::new()),
+        ElementKind::Set => NodeData::Set(Vec::new()),
+        ElementKind::Choice => NodeData::Choice(None),
+        ElementKind::Atomic(_) => NodeData::Atomic(AtomicValue::Str(String::new())),
+    }
+}
+
+fn attach_child(inst: &mut Instance, parent: NodeId, child: NodeId) {
+    let mut kids: Vec<NodeId> = inst.children(parent).to_vec();
+    kids.push(child);
+    inst.replace_children(parent, kids);
+}
+
+/// Executes a set of mappings over the sources and returns the annotated
+/// target instance (Section 4.3 + Section 7.2 in one call).
+pub fn execute_mappings(
+    sources: &[Source<'_>],
+    target_schema: &Schema,
+    mappings: &[Mapping],
+    functions: &FunctionRegistry,
+) -> Result<(Instance, ExchangeReport), ExchangeError> {
+    let mut engine = Exchange::new(sources.to_vec(), target_schema, functions);
+    for m in mappings {
+        engine.run_mapping(m)?;
+    }
+    engine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_model::types::{AtomicType, Type};
+    use dtr_model::value::MappingName;
+
+    fn us_schema() -> Schema {
+        Schema::build(
+            "USdb",
+            vec![(
+                "US",
+                Type::record(vec![
+                    (
+                        "houses",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("floors", AtomicType::String),
+                            ("price", AtomicType::String),
+                            ("aid", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "agents",
+                        Type::set(Type::record(vec![
+                            ("aid", Type::string()),
+                            (
+                                "title",
+                                Type::choice(vec![
+                                    ("name", Type::string()),
+                                    ("firm", Type::string()),
+                                ]),
+                            ),
+                            ("phone", Type::string()),
+                        ])),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn eu_schema() -> Schema {
+        Schema::build(
+            "EUdb",
+            vec![(
+                "EU",
+                Type::record(vec![(
+                    "postings",
+                    Type::set(Type::record(vec![
+                        ("hid", Type::string()),
+                        ("levels", Type::string()),
+                        ("totalVal", Type::string()),
+                        (
+                            "agents",
+                            Type::set(Type::record(vec![
+                                ("agentName", Type::string()),
+                                ("agentPhone", Type::string()),
+                            ])),
+                        ),
+                    ])),
+                )]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn portal_schema() -> Schema {
+        Schema::build(
+            "Pdb",
+            vec![(
+                "Portal",
+                Type::record(vec![
+                    (
+                        "estates",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("stories", AtomicType::String),
+                            ("value", AtomicType::String),
+                            ("contact", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "contacts",
+                        Type::relation(vec![
+                            ("title", AtomicType::String),
+                            ("phone", AtomicType::String),
+                        ]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn us_instance() -> Instance {
+        let mut inst = Instance::new("USdb");
+        let house = |hid: &str, floors: &str, price: &str, aid: &str| {
+            Value::record(vec![
+                ("hid", Value::str(hid)),
+                ("floors", Value::str(floors)),
+                ("price", Value::str(price)),
+                ("aid", Value::str(aid)),
+            ])
+        };
+        let agent = |aid: &str, alt: &str, title: &str, phone: &str| {
+            Value::record(vec![
+                ("aid", Value::str(aid)),
+                ("title", Value::choice(alt, Value::str(title))),
+                ("phone", Value::str(phone)),
+            ])
+        };
+        inst.install_root(
+            "US",
+            Value::record(vec![
+                (
+                    "houses",
+                    Value::set(vec![
+                        house("H522", "2", "500K", "a2"),
+                        house("H7", "1", "250K", "a1"),
+                    ]),
+                ),
+                (
+                    "agents",
+                    Value::set(vec![
+                        agent("a1", "name", "Smith", "555-1111"),
+                        agent("a2", "firm", "HomeGain", "18009468501"),
+                    ]),
+                ),
+            ]),
+        );
+        inst
+    }
+
+    fn eu_instance() -> Instance {
+        let mut inst = Instance::new("EUdb");
+        inst.install_root(
+            "EU",
+            Value::record(vec![(
+                "postings",
+                Value::set(vec![Value::record(vec![
+                    ("hid", Value::str("H2525")),
+                    ("levels", Value::str("1")),
+                    ("totalVal", Value::str("300K")),
+                    (
+                        "agents",
+                        Value::set(vec![Value::record(vec![
+                            ("agentName", Value::str("HomeGain")),
+                            ("agentPhone", Value::str("18009468501")),
+                        ])]),
+                    ),
+                ])]),
+            )]),
+        );
+        inst
+    }
+
+    fn figure1_mappings() -> Vec<Mapping> {
+        vec![
+            Mapping::parse(
+                "m1",
+                "foreach
+                   select h.hid, h.floors, h.price, n, a.phone
+                   from US.houses h, US.agents a, a.title->name n
+                   where h.aid = a.aid
+                 exists
+                   select e.hid, e.stories, e.value, c.title, c.phone
+                   from Portal.estates e, Portal.contacts c
+                   where e.contact = c.title",
+            )
+            .unwrap(),
+            Mapping::parse(
+                "m2",
+                "foreach
+                   select h.hid, h.floors, h.price, f, a.phone
+                   from US.houses h, US.agents a, a.title->firm f
+                   where h.aid = a.aid
+                 exists
+                   select e.hid, e.stories, e.value, c.title, c.phone
+                   from Portal.estates e, Portal.contacts c
+                   where e.contact = c.title",
+            )
+            .unwrap(),
+            Mapping::parse(
+                "m3",
+                "foreach
+                   select p.hid, p.levels, p.totalVal, a.agentName, a.agentPhone
+                   from EU.postings p, p.agents a
+                 exists
+                   select e.hid, e.stories, e.value, c.title, c.phone
+                   from Portal.estates e, Portal.contacts c
+                   where e.contact = c.title",
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn run_exchange() -> (Schema, Instance, ExchangeReport) {
+        let us_s = us_schema();
+        let eu_s = eu_schema();
+        let p_s = portal_schema();
+        let mut us_i = us_instance();
+        let mut eu_i = eu_instance();
+        us_i.annotate_elements(&us_s).unwrap();
+        eu_i.annotate_elements(&eu_s).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = [
+            Source {
+                schema: &us_s,
+                instance: &us_i,
+            },
+            Source {
+                schema: &eu_s,
+                instance: &eu_i,
+            },
+        ];
+        let (inst, report) = execute_mappings(&sources, &p_s, &figure1_mappings(), &funcs).unwrap();
+        (p_s, inst, report)
+    }
+
+    #[test]
+    fn exchange_reproduces_figure_3() {
+        let (schema, inst, report) = run_exchange();
+        // m1 retrieves the Smith house, m2 the HomeGain house, m3 the EU
+        // posting.
+        assert_eq!(report.tuples.len(), 3);
+        for (_, n) in &report.tuples {
+            assert_eq!(*n, 1);
+        }
+        let estates = schema.resolve_path("/Portal/estates").unwrap();
+        let member_elem = schema.set_member(estates).unwrap();
+        assert_eq!(inst.interpretation(member_elem).len(), 3);
+        // The HomeGain contact is shared by m2 and m3 (Figure 3's union).
+        let title_elem = schema.resolve_path("/Portal/contacts/title").unwrap();
+        let titles = inst.interpretation(title_elem);
+        let homegain = titles
+            .iter()
+            .copied()
+            .find(|&n| inst.atomic(n).unwrap().as_str() == Some("HomeGain"))
+            .unwrap();
+        let anns: Vec<&str> = inst
+            .annotation(homegain)
+            .mappings
+            .iter()
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(anns, ["m2", "m3"]);
+        // The contacts set itself merged the two identical records.
+        let contacts = schema.resolve_path("/Portal/contacts").unwrap();
+        let contacts_node = inst.interpretation(contacts)[0];
+        assert_eq!(inst.set_members(contacts_node).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn skeleton_annotated_with_all_mappings() {
+        let (_, inst, _) = run_exchange();
+        let portal = inst.root("Portal").unwrap();
+        let anns: Vec<&str> = inst
+            .annotation(portal)
+            .mappings
+            .iter()
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(anns, ["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn join_condition_respected() {
+        let (schema, inst, _) = run_exchange();
+        // Every estate's contact equals some contact's title.
+        let estates_set = inst.interpretation(schema.resolve_path("/Portal/estates").unwrap())[0];
+        let contacts_set = inst.interpretation(schema.resolve_path("/Portal/contacts").unwrap())[0];
+        let titles: Vec<String> = inst
+            .set_members(contacts_set)
+            .unwrap()
+            .iter()
+            .map(|&c| {
+                inst.atomic(inst.child_by_label(c, "title").unwrap())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        for &e in inst.set_members(estates_set).unwrap() {
+            let contact = inst
+                .atomic(inst.child_by_label(e, "contact").unwrap())
+                .unwrap()
+                .to_string();
+            assert!(titles.contains(&contact));
+        }
+    }
+
+    #[test]
+    fn mapping_satisfaction_after_exchange() {
+        // ∀t ∈ Qs(Is) ⇒ t ∈ Qt(It) — check via the satisfy module.
+        let us_s = us_schema();
+        let eu_s = eu_schema();
+        let (p_s, inst, _) = run_exchange();
+        let mut us_i = us_instance();
+        let mut eu_i = eu_instance();
+        us_i.annotate_elements(&us_s).unwrap();
+        eu_i.annotate_elements(&eu_s).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        for m in figure1_mappings() {
+            let sat = crate::satisfy::is_satisfied(
+                &m,
+                &[
+                    Source {
+                        schema: &us_s,
+                        instance: &us_i,
+                    },
+                    Source {
+                        schema: &eu_s,
+                        instance: &eu_i,
+                    },
+                ],
+                Source {
+                    schema: &p_s,
+                    instance: &inst,
+                },
+                &funcs,
+            )
+            .unwrap();
+            assert!(sat, "mapping {} not satisfied", m.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_tuples_merge_idempotently() {
+        // Running the same mapping twice must not duplicate members.
+        let us_s = us_schema();
+        let p_s = portal_schema();
+        let mut us_i = us_instance();
+        us_i.annotate_elements(&us_s).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let m = &figure1_mappings()[1];
+        let mut engine = Exchange::new(
+            vec![Source {
+                schema: &us_s,
+                instance: &us_i,
+            }],
+            &p_s,
+            &funcs,
+        );
+        engine.run_mapping(m).unwrap();
+        engine.run_mapping(m).unwrap();
+        let (inst, _) = engine.finish().unwrap();
+        let estates = inst.interpretation(p_s.resolve_path("/Portal/estates").unwrap())[0];
+        assert_eq!(inst.set_members(estates).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nested_target_sets_supported() {
+        // Copy EU postings (with nested agents) into an EU-shaped target.
+        let eu_s = eu_schema();
+        let tgt_s = Schema::build(
+            "Copy",
+            vec![(
+                "Out",
+                Type::record(vec![(
+                    "posts",
+                    Type::set(Type::record(vec![
+                        ("hid", Type::string()),
+                        (
+                            "people",
+                            Type::set(Type::record(vec![("who", Type::string())])),
+                        ),
+                    ])),
+                )]),
+            )],
+        )
+        .unwrap();
+        let mut eu_i = eu_instance();
+        eu_i.annotate_elements(&eu_s).unwrap();
+        let m = Mapping::parse(
+            "mc",
+            "foreach select p.hid, a.agentName from EU.postings p, p.agents a
+             exists select q.hid, w.who from Out.posts q, q.people w",
+        )
+        .unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let (inst, _) = execute_mappings(
+            &[Source {
+                schema: &eu_s,
+                instance: &eu_i,
+            }],
+            &tgt_s,
+            &[m],
+            &funcs,
+        )
+        .unwrap();
+        let posts = inst.interpretation(tgt_s.resolve_path("/Out/posts").unwrap())[0];
+        let members = inst.set_members(posts).unwrap();
+        assert_eq!(members.len(), 1);
+        let people = inst.child_by_label(members[0], "people").unwrap();
+        assert_eq!(inst.set_members(people).unwrap().len(), 1);
+        let who = inst
+            .child_by_label(inst.set_members(people).unwrap()[0], "who")
+            .unwrap();
+        assert_eq!(inst.atomic(who).unwrap().as_str(), Some("HomeGain"));
+    }
+
+    #[test]
+    fn unsupported_exists_conditions_rejected() {
+        let us_s = us_schema();
+        let p_s = portal_schema();
+        let us_i = us_instance();
+        let funcs = FunctionRegistry::with_builtins();
+        let m = Mapping::parse(
+            "bad",
+            "foreach select h.hid from US.houses h
+             exists select e.hid from Portal.estates e where e.hid > e.contact",
+        )
+        .unwrap();
+        let err = execute_mappings(
+            &[Source {
+                schema: &us_s,
+                instance: &us_i,
+            }],
+            &p_s,
+            &[m],
+            &funcs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExchangeError::Unsupported(_)));
+    }
+
+    #[test]
+    fn choice_targets_supported() {
+        // A mapping populating a union-typed target element through a
+        // choice step in its exists select clause.
+        let src = Schema::build(
+            "S",
+            vec![(
+                "R",
+                Type::relation(vec![
+                    ("name", AtomicType::String),
+                    ("firm", AtomicType::String),
+                ]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::build(
+            "T",
+            vec![(
+                "Q",
+                Type::set(Type::record(vec![
+                    ("who", Type::string()),
+                    (
+                        "title",
+                        Type::choice(vec![("firm", Type::string()), ("person", Type::string())]),
+                    ),
+                ])),
+            )],
+        )
+        .unwrap();
+        let mut inst = Instance::new("S");
+        inst.install_root(
+            "R",
+            Value::set(vec![Value::record(vec![
+                ("name", Value::str("Ann")),
+                ("firm", Value::str("Acme")),
+            ])]),
+        );
+        inst.annotate_elements(&src).unwrap();
+        let m = Mapping::parse(
+            "mc",
+            "foreach select r.name, r.firm from R r
+             exists select q.who, q.title->firm from Q q",
+        )
+        .unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let (out, _) = execute_mappings(
+            &[Source {
+                schema: &src,
+                instance: &inst,
+            }],
+            &tgt,
+            &[m],
+            &funcs,
+        )
+        .unwrap();
+        let member = out.set_members(out.root("Q").unwrap()).unwrap()[0];
+        let title = out.child_by_label(member, "title").unwrap();
+        let (alt, leaf) = out.choice_selection(title).unwrap();
+        assert_eq!(alt, "firm");
+        assert_eq!(out.atomic(leaf).unwrap().as_str(), Some("Acme"));
+    }
+
+    #[test]
+    fn conflicting_assignment_detected() {
+        // Two select positions feed the same target slot with different
+        // values.
+        let src = Schema::build(
+            "S",
+            vec![(
+                "R",
+                Type::relation(vec![("a", AtomicType::String), ("b", AtomicType::String)]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::build(
+            "T",
+            vec![("Q", Type::relation(vec![("x", AtomicType::String)]))],
+        )
+        .unwrap();
+        let mut inst = Instance::new("S");
+        inst.install_root(
+            "R",
+            Value::set(vec![Value::record(vec![
+                ("a", Value::str("1")),
+                ("b", Value::str("2")),
+            ])]),
+        );
+        inst.annotate_elements(&src).unwrap();
+        let m = Mapping::parse(
+            "bad",
+            "foreach select r.a, r.b from R r
+             exists select q.x, q.x from Q q",
+        )
+        .unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let err = execute_mappings(
+            &[Source {
+                schema: &src,
+                instance: &inst,
+            }],
+            &tgt,
+            &[m],
+            &funcs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExchangeError::Conflict(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_sources_yield_queryable_empty_target() {
+        // Regression: roots are pre-created so the target stays queryable.
+        let src = us_schema();
+        let tgt = portal_schema();
+        let mut inst = Instance::new("USdb");
+        inst.install_root(
+            "US",
+            Value::record(vec![
+                ("houses", Value::set(vec![])),
+                ("agents", Value::set(vec![])),
+            ]),
+        );
+        inst.annotate_elements(&src).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let (out, report) = execute_mappings(
+            &[Source {
+                schema: &src,
+                instance: &inst,
+            }],
+            &tgt,
+            &[figure1_mappings()[0].clone()],
+            &funcs,
+        )
+        .unwrap();
+        assert_eq!(report.tuples[0].1, 0);
+        assert!(out.root("Portal").is_some());
+    }
+
+    #[test]
+    fn report_counts_tuples() {
+        let (_, _, report) = run_exchange();
+        let names: Vec<&str> = report.tuples.iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, ["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn mapping_annotations_only_on_contributing_values() {
+        let (schema, inst, _) = run_exchange();
+        // The Smith contact was created only by m1.
+        let title_elem = schema.resolve_path("/Portal/contacts/title").unwrap();
+        let smith = inst
+            .interpretation(title_elem)
+            .into_iter()
+            .find(|&n| inst.atomic(n).unwrap().as_str() == Some("Smith"))
+            .unwrap();
+        let anns: Vec<&str> = inst
+            .annotation(smith)
+            .mappings
+            .iter()
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(anns, ["m1"]);
+        assert_eq!(
+            inst.annotation(smith).element,
+            Some(title_elem),
+            "element annotation must point at /Portal/contacts/title"
+        );
+        let _ = MappingName::new("x");
+    }
+}

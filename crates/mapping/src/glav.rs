@@ -1,0 +1,312 @@
+//! GLAV mappings (Section 4.3).
+//!
+//! A mapping between a source schema and a target schema is an expression
+//! `foreach Qs exists Qt`: every tuple retrieved by `Qs` over the source
+//! must be in the result of `Qt` over the target. GLAV mappings subsume the
+//! GAV and LAV mappings of the integration literature.
+
+use dtr_model::schema::Schema;
+use dtr_model::value::MappingName;
+use dtr_query::ast::Query;
+use dtr_query::check::{check_query, CheckError, SchemaCatalog};
+use dtr_query::parser::{parse_mapping_parts, ParseError};
+use std::fmt;
+
+/// A named GLAV mapping `foreach Qs exists Qt`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mapping {
+    /// The mapping's identity (e.g. `m1`).
+    pub name: MappingName,
+    /// The source-side query `Qs`.
+    pub foreach: Query,
+    /// The target-side query `Qt`.
+    pub exists: Query,
+}
+
+impl Mapping {
+    /// Parses a mapping body of the form `foreach <query> exists <query>`.
+    ///
+    /// ```
+    /// use dtr_mapping::glav::Mapping;
+    ///
+    /// let m = Mapping::parse(
+    ///     "m3",
+    ///     "foreach select p.hid, p.totalVal from EU.postings p
+    ///      exists select e.hid, e.value from Portal.estates e",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(m.name.as_str(), "m3");
+    /// assert_eq!(m.foreach.select.len(), m.exists.select.len());
+    /// ```
+    pub fn parse(name: impl Into<MappingName>, text: &str) -> Result<Mapping, ParseError> {
+        let (foreach, exists) = parse_mapping_parts(text)?;
+        Ok(Mapping {
+            name: name.into(),
+            foreach,
+            exists,
+        })
+    }
+
+    /// Validates the mapping against source schemas and the target schema:
+    /// both queries must be well-formed over their respective schemas, and
+    /// the two select clauses must have the same number of (type
+    /// compatible) expressions (Section 4.3).
+    pub fn validate(
+        &self,
+        source_schemas: &[&Schema],
+        target_schema: &Schema,
+    ) -> Result<(), MappingError> {
+        let src = check_query(&self.foreach, SchemaCatalog::new(source_schemas.to_vec()))
+            .map_err(|e| MappingError::Foreach(self.name.clone(), e))?;
+        let tgt = check_query(&self.exists, SchemaCatalog::new(vec![target_schema]))
+            .map_err(|e| MappingError::Exists(self.name.clone(), e))?;
+        if self.foreach.select.len() != self.exists.select.len() {
+            return Err(MappingError::SelectArity {
+                mapping: self.name.clone(),
+                foreach: self.foreach.select.len(),
+                exists: self.exists.select.len(),
+            });
+        }
+        for (i, (fe, ee)) in self
+            .foreach
+            .select
+            .iter()
+            .zip(&self.exists.select)
+            .enumerate()
+        {
+            let ft = src
+                .expr_kind(fe)
+                .map_err(|e| MappingError::Foreach(self.name.clone(), e))?
+                .atomic_type();
+            let et = tgt
+                .expr_kind(ee)
+                .map_err(|e| MappingError::Exists(self.name.clone(), e))?
+                .atomic_type();
+            if let (Some(ft), Some(et)) = (ft, et) {
+                let numeric = |t: dtr_model::types::AtomicType| {
+                    matches!(
+                        t,
+                        dtr_model::types::AtomicType::Integer | dtr_model::types::AtomicType::Float
+                    )
+                };
+                if ft != et && !(numeric(ft) && numeric(et)) {
+                    return Err(MappingError::SelectTypeMismatch {
+                        mapping: self.name.clone(),
+                        position: i,
+                        foreach: ft,
+                        exists: et,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: foreach", self.name)?;
+        for line in self.foreach.to_string().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "exists")?;
+        let text = self.exists.to_string();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            if lines.peek().is_some() {
+                writeln!(f, "  {line}")?;
+            } else {
+                write!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while validating mappings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MappingError {
+    /// The `foreach` query failed checking.
+    Foreach(MappingName, CheckError),
+    /// The `exists` query failed checking.
+    Exists(MappingName, CheckError),
+    /// The two select clauses have different lengths.
+    SelectArity {
+        /// The mapping.
+        mapping: MappingName,
+        /// Foreach select length.
+        foreach: usize,
+        /// Exists select length.
+        exists: usize,
+    },
+    /// Select expressions at the same position have incompatible types.
+    SelectTypeMismatch {
+        /// The mapping.
+        mapping: MappingName,
+        /// The select position.
+        position: usize,
+        /// Foreach-side type.
+        foreach: dtr_model::types::AtomicType,
+        /// Exists-side type.
+        exists: dtr_model::types::AtomicType,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Foreach(m, e) => write!(f, "mapping {m}: foreach query: {e}"),
+            MappingError::Exists(m, e) => write!(f, "mapping {m}: exists query: {e}"),
+            MappingError::SelectArity {
+                mapping,
+                foreach,
+                exists,
+            } => write!(
+                f,
+                "mapping {mapping}: select clauses differ in arity ({foreach} vs {exists})"
+            ),
+            MappingError::SelectTypeMismatch {
+                mapping,
+                position,
+                foreach,
+                exists,
+            } => write!(
+                f,
+                "mapping {mapping}: select position {position}: {foreach} vs {exists}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_model::types::{AtomicType, Type};
+
+    fn us_schema() -> Schema {
+        Schema::build(
+            "USdb",
+            vec![(
+                "US",
+                Type::record(vec![
+                    (
+                        "houses",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("floors", AtomicType::String),
+                            ("price", AtomicType::String),
+                            ("aid", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "agents",
+                        Type::set(Type::record(vec![
+                            ("aid", Type::string()),
+                            (
+                                "title",
+                                Type::choice(vec![
+                                    ("name", Type::string()),
+                                    ("firm", Type::string()),
+                                ]),
+                            ),
+                            ("phone", Type::string()),
+                        ])),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn portal_schema() -> Schema {
+        Schema::build(
+            "Pdb",
+            vec![(
+                "Portal",
+                Type::record(vec![
+                    (
+                        "estates",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("stories", AtomicType::String),
+                            ("value", AtomicType::String),
+                            ("contact", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "contacts",
+                        Type::relation(vec![
+                            ("title", AtomicType::String),
+                            ("phone", AtomicType::String),
+                        ]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    const M1: &str = "foreach
+        select h.hid, h.floors, h.price, n, a.phone
+        from US.houses h, US.agents a, a.title->name n
+        where h.aid = a.aid
+      exists
+        select e.hid, e.stories, e.value, c.title, c.phone
+        from Portal.estates e, Portal.contacts c
+        where e.contact = c.title";
+
+    #[test]
+    fn parse_and_validate_m1() {
+        let m = Mapping::parse("m1", M1).unwrap();
+        let us = us_schema();
+        let portal = portal_schema();
+        m.validate(&[&us], &portal).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let m = Mapping::parse(
+            "bad",
+            "foreach select h.hid from US.houses h
+             exists select e.hid, e.stories from Portal.estates e",
+        )
+        .unwrap();
+        let us = us_schema();
+        let portal = portal_schema();
+        assert!(matches!(
+            m.validate(&[&us], &portal),
+            Err(MappingError::SelectArity { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_foreach_detected() {
+        let m = Mapping::parse(
+            "bad",
+            "foreach select h.nope from US.houses h
+             exists select e.hid from Portal.estates e",
+        )
+        .unwrap();
+        let us = us_schema();
+        let portal = portal_schema();
+        assert!(matches!(
+            m.validate(&[&us], &portal),
+            Err(MappingError::Foreach(..))
+        ));
+    }
+
+    #[test]
+    fn display_contains_both_parts() {
+        let m = Mapping::parse("m1", M1).unwrap();
+        let s = m.to_string();
+        assert!(s.starts_with("m1: foreach"));
+        assert!(s.contains("exists"));
+        assert!(s.contains("Portal.estates e"));
+        // Round trip through the parser.
+        let body = s.strip_prefix("m1: ").unwrap();
+        let m2 = Mapping::parse("m1", body).unwrap();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Mapping diagnostics.
+//!
+//! Section 8 reports that MXQL "helped identify the meaning of some
+//! elements" and "helped detect ill-defined mappings". This module distills
+//! those manual debugging sessions into automated checks over the mapping
+//! triples `⟨Es, Et, Wc⟩`:
+//!
+//! * [`Lint::MultiSourceTarget`] — a target element populated from several
+//!   *different* source elements (the `stories` ← {floors, levels} and
+//!   price-with/without-tax situations: worth checking the semantics
+//!   agree);
+//! * [`Lint::FanOutSource`] — one source element feeding several target
+//!   elements (Yahoo's phone → business *and* home phone; NK's single
+//!   `schoolDistrict` → all three school levels);
+//! * [`Lint::UnpopulatedTarget`] — atomic target elements no mapping
+//!   populates (dead schema);
+//! * [`Lint::SelfJoin`] — a mapping joining a relation with itself (the
+//!   `housesInNeighborhood` computation): self-joins on too few attributes
+//!   caused the paper's cross-state neighbors, so they deserve review.
+
+use crate::glav::Mapping;
+use crate::triple::{extract_triple, MappingTriple};
+use dtr_model::schema::{ElementKind, Schema};
+use dtr_model::value::{ElementRef, MappingName};
+use dtr_query::ast::{Condition, Expr, PathStart};
+use dtr_query::check::CheckError;
+use std::fmt;
+
+/// One diagnostic finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lint {
+    /// A target element receives values from several distinct source
+    /// elements (possibly via different mappings).
+    MultiSourceTarget {
+        /// The populated target element.
+        target: ElementRef,
+        /// The distinct source elements feeding it, with the mapping.
+        sources: Vec<(ElementRef, MappingName)>,
+    },
+    /// A source element feeds several distinct target elements.
+    FanOutSource {
+        /// The source element.
+        source: ElementRef,
+        /// The target elements it populates, with the mapping.
+        targets: Vec<(ElementRef, MappingName)>,
+    },
+    /// An atomic target element no mapping populates.
+    UnpopulatedTarget {
+        /// The dead element.
+        target: ElementRef,
+    },
+    /// A mapping whose foreach clause binds the same set twice — a
+    /// self-join. The `join_elements` are the elements its where clause
+    /// compares; review whether they qualify the join sufficiently.
+    SelfJoin {
+        /// The mapping.
+        mapping: MappingName,
+        /// The self-joined set element.
+        relation: ElementRef,
+        /// Elements used in the join conditions.
+        join_elements: Vec<ElementRef>,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::MultiSourceTarget { target, sources } => {
+                write!(f, "{target} is populated from multiple source elements:")?;
+                for (s, m) in sources {
+                    write!(f, " {s} (via {m})")?;
+                }
+                write!(f, " — check that their semantics agree")
+            }
+            Lint::FanOutSource { source, targets } => {
+                write!(f, "{source} feeds multiple target elements:")?;
+                for (t, m) in targets {
+                    write!(f, " {t} (via {m})")?;
+                }
+                Ok(())
+            }
+            Lint::UnpopulatedTarget { target } => {
+                write!(f, "no mapping populates {target}")
+            }
+            Lint::SelfJoin {
+                mapping,
+                relation,
+                join_elements,
+            } => {
+                write!(
+                    f,
+                    "{mapping} self-joins {relation} on {join_elements:?} — verify the \
+                     join attributes identify what you mean"
+                )
+            }
+        }
+    }
+}
+
+/// Runs every lint over a set of mappings.
+pub fn lint_mappings(
+    mappings: &[Mapping],
+    source_schemas: &[&Schema],
+    target_schema: &Schema,
+) -> Result<Vec<Lint>, CheckError> {
+    let triples: Vec<(&Mapping, MappingTriple)> = mappings
+        .iter()
+        .map(|m| extract_triple(m, source_schemas, target_schema).map(|t| (m, t)))
+        .collect::<Result<_, _>>()?;
+
+    let mut lints = Vec::new();
+
+    // Gather all (source, target, mapping) correspondences.
+    let mut pairs: Vec<(ElementRef, ElementRef, MappingName)> = Vec::new();
+    for (m, t) in &triples {
+        for (s, tgt) in &t.correspondences {
+            pairs.push((s.clone(), tgt.clone(), m.name.clone()));
+        }
+    }
+
+    // MultiSourceTarget.
+    let mut targets: Vec<ElementRef> = pairs.iter().map(|(_, t, _)| t.clone()).collect();
+    targets.sort();
+    targets.dedup();
+    for target in &targets {
+        let mut sources: Vec<(ElementRef, MappingName)> = pairs
+            .iter()
+            .filter(|(_, t, _)| t == target)
+            .map(|(s, _, m)| (s.clone(), m.clone()))
+            .collect();
+        sources.sort_by(|a, b| (&a.0, a.1.as_str()).cmp(&(&b.0, b.1.as_str())));
+        sources.dedup();
+        let mut distinct: Vec<&ElementRef> = sources.iter().map(|(s, _)| s).collect();
+        distinct.sort();
+        distinct.dedup();
+        if distinct.len() > 1 {
+            lints.push(Lint::MultiSourceTarget {
+                target: target.clone(),
+                sources,
+            });
+        }
+    }
+
+    // FanOutSource (within a single mapping — cross-mapping fan-out to the
+    // same contract is expected).
+    for (m, t) in &triples {
+        let mut srcs: Vec<&ElementRef> = t.correspondences.iter().map(|(s, _)| s).collect();
+        srcs.sort();
+        srcs.dedup();
+        for src in srcs {
+            let targets: Vec<(ElementRef, MappingName)> = t
+                .correspondences
+                .iter()
+                .filter(|(s, _)| s == src)
+                .map(|(_, tgt)| (tgt.clone(), m.name.clone()))
+                .collect();
+            if targets.len() > 1 {
+                lints.push(Lint::FanOutSource {
+                    source: src.clone(),
+                    targets,
+                });
+            }
+        }
+    }
+
+    // UnpopulatedTarget.
+    let populated: Vec<&ElementRef> = pairs.iter().map(|(_, t, _)| t).collect();
+    for e in target_schema.atomic_elements() {
+        let r = ElementRef::new(target_schema.name(), target_schema.path(e));
+        if !populated.contains(&&r) {
+            lints.push(Lint::UnpopulatedTarget { target: r });
+        }
+    }
+
+    // SelfJoin: the foreach clause binds one set expression twice.
+    for (m, t) in &triples {
+        let mut seen: Vec<String> = Vec::new();
+        for b in &m.foreach.from {
+            if let Expr::Path(p) = &b.source {
+                if matches!(p.start, PathStart::Root(_)) {
+                    let key = p.to_string();
+                    if seen.contains(&key) {
+                        // Collect the join elements (where-clause operands).
+                        let mut join_elements: Vec<ElementRef> = Vec::new();
+                        for c in &m.foreach.conditions {
+                            if let Condition::Cmp(_) = c {
+                                for e in &t.foreach_where_elements {
+                                    if !join_elements.contains(e) {
+                                        join_elements.push(e.clone());
+                                    }
+                                }
+                            }
+                        }
+                        // The relation element (resolve the set path).
+                        if let Some((s, rel)) = resolve_root_path(p, source_schemas) {
+                            lints.push(Lint::SelfJoin {
+                                mapping: m.name.clone(),
+                                relation: ElementRef::new(s.name(), s.path(rel)),
+                                join_elements,
+                            });
+                        }
+                    }
+                    seen.push(key);
+                }
+            }
+        }
+    }
+
+    Ok(lints)
+}
+
+fn resolve_root_path<'a>(
+    p: &dtr_query::ast::PathExpr,
+    schemas: &[&'a Schema],
+) -> Option<(&'a Schema, dtr_model::schema::ElementId)> {
+    let PathStart::Root(r) = &p.start else {
+        return None;
+    };
+    for s in schemas {
+        if let Some(root) = s.root(r) {
+            let mut cur = root;
+            for step in &p.steps {
+                let label = match step {
+                    dtr_query::ast::Step::Project(l) | dtr_query::ast::Step::Choice(l) => l,
+                };
+                while s.element(cur).kind == ElementKind::Set {
+                    cur = s.set_member(cur)?;
+                }
+                cur = s.child(cur, label)?;
+            }
+            return Some((s, cur));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_model::types::{AtomicType, Type};
+
+    fn schemas() -> (Schema, Schema) {
+        let src = Schema::build(
+            "S",
+            vec![(
+                "R",
+                Type::relation(vec![
+                    ("k", AtomicType::String),
+                    ("v", AtomicType::String),
+                    ("grp", AtomicType::String),
+                ]),
+            )],
+        )
+        .unwrap();
+        let tgt = Schema::build(
+            "D",
+            vec![(
+                "Q",
+                Type::relation(vec![
+                    ("a", AtomicType::String),
+                    ("b", AtomicType::String),
+                    ("dead", AtomicType::String),
+                ]),
+            )],
+        )
+        .unwrap();
+        (src, tgt)
+    }
+
+    #[test]
+    fn detects_fan_out_and_unpopulated() {
+        let (src, tgt) = schemas();
+        // v feeds both a and b; dead is never populated.
+        let m = Mapping::parse(
+            "m1",
+            "foreach select r.v, r.v from R r
+             exists select q.a, q.b from Q q",
+        )
+        .unwrap();
+        let lints = lint_mappings(&[m], &[&src], &tgt).unwrap();
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::FanOutSource { source, .. }
+            if source.path == "/R/v")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnpopulatedTarget { target }
+            if target.path == "/Q/dead")));
+    }
+
+    #[test]
+    fn detects_multi_source_target() {
+        let (src, tgt) = schemas();
+        let m1 = Mapping::parse(
+            "m1",
+            "foreach select r.v from R r exists select q.a from Q q",
+        )
+        .unwrap();
+        let m2 = Mapping::parse(
+            "m2",
+            "foreach select r.k from R r exists select q.a from Q q",
+        )
+        .unwrap();
+        let lints = lint_mappings(&[m1, m2], &[&src], &tgt).unwrap();
+        let multi = lints
+            .iter()
+            .find_map(|l| match l {
+                Lint::MultiSourceTarget { target, sources } if target.path == "/Q/a" => {
+                    Some(sources.len())
+                }
+                _ => None,
+            })
+            .expect("multi-source lint fires");
+        assert_eq!(multi, 2);
+    }
+
+    #[test]
+    fn detects_self_join() {
+        let (src, tgt) = schemas();
+        let m = Mapping::parse(
+            "nbr",
+            "foreach select r.k, n.k from R r, R n where r.grp = n.grp
+             exists select q.a, q.b from Q q",
+        )
+        .unwrap();
+        let lints = lint_mappings(&[m], &[&src], &tgt).unwrap();
+        let self_join = lints
+            .iter()
+            .find_map(|l| match l {
+                Lint::SelfJoin {
+                    mapping,
+                    relation,
+                    join_elements,
+                } => Some((mapping.clone(), relation.clone(), join_elements.clone())),
+                _ => None,
+            })
+            .expect("self-join lint fires");
+        assert_eq!(self_join.0.as_str(), "nbr");
+        assert_eq!(self_join.1.path, "/R");
+        assert!(self_join.2.iter().any(|e| e.path == "/R/grp"));
+    }
+
+    #[test]
+    fn clean_mapping_produces_no_spurious_lints() {
+        let (src, tgt) = schemas();
+        let m = Mapping::parse(
+            "ok",
+            "foreach select r.k, r.v, r.grp from R r
+             exists select q.a, q.b, q.dead from Q q",
+        )
+        .unwrap();
+        let lints = lint_mappings(&[m], &[&src], &tgt).unwrap();
+        assert!(lints.is_empty(), "{lints:?}");
+    }
+
+    #[test]
+    fn lints_render() {
+        let (src, tgt) = schemas();
+        let m = Mapping::parse(
+            "m1",
+            "foreach select r.v, r.v from R r exists select q.a, q.b from Q q",
+        )
+        .unwrap();
+        for l in lint_mappings(&[m], &[&src], &tgt).unwrap() {
+            assert!(!l.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The annotation-generating mapping rewrite (Section 7.2).
+//!
+//! "Given a mapping `m`, for every expression `expr` referring to element
+//! `e` in the select clause of the exists part, expressions
+//! `getElAnnot(expr)` and `getMapAnnot(expr)` are also appended to this
+//! clause and constants `'e'` and `'m'` are appended to the select clause of
+//! the foreach part query." Example 7.2 shows mapping `m2` rewritten this
+//! way.
+//!
+//! The exchange engine of this crate annotates natively (same observable
+//! result), but the rewrite is provided for fidelity: it documents exactly
+//! what the engine guarantees, and the rewritten mapping can be inspected,
+//! stored in the metastore, or checked for satisfaction against an
+//! annotated instance.
+
+use crate::glav::Mapping;
+use dtr_model::schema::Schema;
+use dtr_model::value::{AtomicValue, ElementRef};
+use dtr_query::ast::Expr;
+use dtr_query::check::{check_query, CheckError, SchemaCatalog};
+
+/// Rewrites a mapping per Section 7.2: the exists select clause additionally
+/// retrieves each value's element and mapping annotations, and the foreach
+/// select clause supplies the expected constants (the element the value
+/// populates and the mapping's own name).
+pub fn rewrite_with_annotations(
+    m: &Mapping,
+    target_schema: &Schema,
+) -> Result<Mapping, CheckError> {
+    let resolved = check_query(&m.exists, SchemaCatalog::new(vec![target_schema]))?;
+    let mut out = m.clone();
+    let exists_selects = m.exists.select.clone();
+    for expr in &exists_selects {
+        // The element the expression refers to, as a constant for the
+        // foreach side.
+        let elem_const = match resolved.expr_element(expr) {
+            Some((s, e)) => {
+                let schema = resolved.catalog().schema(s);
+                AtomicValue::Elem(ElementRef::new(schema.name(), schema.path(e)))
+            }
+            None => continue,
+        };
+        out.exists
+            .select
+            .push(Expr::Call("getElAnnot".into(), vec![expr.clone()]));
+        out.exists
+            .select
+            .push(Expr::Call("getMapAnnot".into(), vec![expr.clone()]));
+        out.foreach.select.push(Expr::Const(elem_const));
+        out.foreach
+            .select
+            .push(Expr::Const(AtomicValue::Map(m.name.clone())));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_model::types::{AtomicType, Type};
+
+    fn portal_schema() -> Schema {
+        Schema::build(
+            "Pdb",
+            vec![(
+                "Portal",
+                Type::record(vec![
+                    (
+                        "estates",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("stories", AtomicType::String),
+                            ("value", AtomicType::String),
+                            ("contact", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "contacts",
+                        Type::relation(vec![
+                            ("title", AtomicType::String),
+                            ("phone", AtomicType::String),
+                        ]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rewrite_matches_example_7_2() {
+        let m = Mapping::parse(
+            "m2",
+            "foreach
+               select h.hid, h.floors, h.price
+               from US.houses h
+             exists
+               select e.hid, e.stories, e.value
+               from Portal.estates e",
+        )
+        .unwrap();
+        let portal = portal_schema();
+        let r = rewrite_with_annotations(&m, &portal).unwrap();
+        // Each of the three exists select items gains two annotation calls,
+        // and the foreach side gains matching constants.
+        assert_eq!(r.exists.select.len(), 3 + 6);
+        assert_eq!(r.foreach.select.len(), 3 + 6);
+        let text = r.exists.to_string();
+        assert!(text.contains("getElAnnot(e.hid)"));
+        assert!(text.contains("getMapAnnot(e.hid)"));
+        assert!(text.contains("getElAnnot(e.value)"));
+        let ftext = r.foreach.to_string();
+        assert!(ftext.contains("/Portal/estates/hid"));
+        assert!(ftext.contains("'m2'"));
+        // Arity stays aligned (a requirement on mappings, Section 4.3).
+        assert_eq!(r.foreach.select.len(), r.exists.select.len());
+    }
+
+    #[test]
+    fn rewrite_is_idempotent_on_names() {
+        let m = Mapping::parse(
+            "m9",
+            "foreach select h.hid from US.houses h
+             exists select e.hid from Portal.estates e",
+        )
+        .unwrap();
+        let portal = portal_schema();
+        let r = rewrite_with_annotations(&m, &portal).unwrap();
+        assert_eq!(r.name, m.name);
+        assert_eq!(r.foreach.from, m.foreach.from);
+        assert_eq!(r.exists.from, m.exists.from);
+    }
+}

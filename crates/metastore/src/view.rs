@@ -1,0 +1,348 @@
+//! The metastore as a queryable nested-relational source.
+//!
+//! Section 7.1 represents the seven storage relations as `Set of Rcd[...]`
+//! types "for notational simplicity"; this module materializes exactly that:
+//! a [`Schema`] with one relation root per storage relation and an
+//! [`Instance`] holding the rows, so that the translated MXQL queries of
+//! Section 7.3 can be executed by the ordinary query evaluator against the
+//! data instance *plus* this meta instance.
+
+use crate::store::MetaStore;
+use dtr_model::instance::{Instance, Value};
+use dtr_model::schema::Schema;
+use dtr_model::types::{AtomicType, Type};
+
+/// The reserved database name of the metastore source.
+pub const META_DB: &str = "MetaDb";
+
+/// Value used for NULLs (the `–` of Figure 5).
+pub const NULL: &str = "-";
+
+/// Builds the nested-relational schema of the storage relations (Figure 4).
+pub fn meta_schema() -> Schema {
+    Schema::build(
+        META_DB,
+        vec![
+            ("Db", Type::relation(vec![("name", AtomicType::String)])),
+            (
+                "Element",
+                Type::relation(vec![
+                    ("eid", AtomicType::String),
+                    ("name", AtomicType::String),
+                    ("type", AtomicType::String),
+                    ("parent", AtomicType::String),
+                    ("db", AtomicType::String),
+                    ("path", AtomicType::String),
+                ]),
+            ),
+            ("Query", Type::relation(vec![("qid", AtomicType::String)])),
+            (
+                "Binding",
+                Type::relation(vec![
+                    ("bid", AtomicType::String),
+                    ("qid", AtomicType::String),
+                    ("eid", AtomicType::String),
+                    ("prev", AtomicType::String),
+                ]),
+            ),
+            (
+                "Condition",
+                Type::relation(vec![
+                    ("qid", AtomicType::String),
+                    ("bid", AtomicType::String),
+                    ("eid", AtomicType::String),
+                    ("op", AtomicType::String),
+                    ("bid2", AtomicType::String),
+                    ("eid2", AtomicType::String),
+                ]),
+            ),
+            (
+                "Mapping",
+                Type::relation(vec![
+                    ("mid", AtomicType::String),
+                    ("forQ", AtomicType::String),
+                    ("conQ", AtomicType::String),
+                ]),
+            ),
+            (
+                "Correspondence",
+                Type::relation(vec![
+                    ("mid", AtomicType::String),
+                    ("forBid", AtomicType::String),
+                    ("forEid", AtomicType::String),
+                    ("conBid", AtomicType::String),
+                    ("conEid", AtomicType::String),
+                ]),
+            ),
+        ],
+    )
+    .expect("the metastore schema is statically valid")
+}
+
+fn opt(v: &Option<String>) -> Value {
+    Value::str(v.as_deref().unwrap_or(NULL))
+}
+
+/// Materializes the store's rows as an instance of [`meta_schema`], with
+/// element annotations computed (so MXQL queries may even ask for the
+/// provenance of meta-data).
+pub fn meta_instance(store: &MetaStore, schema: &Schema) -> Instance {
+    let mut inst = Instance::new(META_DB);
+    inst.install_root(
+        "Db",
+        Value::set(
+            store
+                .dbs
+                .iter()
+                .map(|d| Value::record(vec![("name", Value::str(&d.name))]))
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Element",
+        Value::set(
+            store
+                .elements
+                .iter()
+                .map(|e| {
+                    Value::record(vec![
+                        ("eid", Value::str(&e.eid)),
+                        ("name", Value::str(&e.name)),
+                        ("type", Value::str(&e.ty)),
+                        ("parent", opt(&e.parent)),
+                        ("db", Value::str(&e.db)),
+                        ("path", Value::str(&e.path)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Query",
+        Value::set(
+            store
+                .queries
+                .iter()
+                .map(|q| Value::record(vec![("qid", Value::str(&q.qid))]))
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Binding",
+        Value::set(
+            store
+                .bindings
+                .iter()
+                .map(|b| {
+                    Value::record(vec![
+                        ("bid", Value::str(&b.bid)),
+                        ("qid", Value::str(&b.qid)),
+                        ("eid", Value::str(&b.eid)),
+                        ("prev", opt(&b.prev)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Condition",
+        Value::set(
+            store
+                .conditions
+                .iter()
+                .map(|c| {
+                    Value::record(vec![
+                        ("qid", Value::str(&c.qid)),
+                        ("bid", opt(&c.bid)),
+                        ("eid", Value::str(&c.eid)),
+                        ("op", Value::str(&c.op)),
+                        ("bid2", opt(&c.bid2)),
+                        ("eid2", Value::str(&c.eid2)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Mapping",
+        Value::set(
+            store
+                .mappings
+                .iter()
+                .map(|m| {
+                    Value::record(vec![
+                        ("mid", Value::str(&m.mid)),
+                        ("forQ", Value::str(&m.for_q)),
+                        ("conQ", Value::str(&m.con_q)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    inst.install_root(
+        "Correspondence",
+        Value::set(
+            store
+                .correspondences
+                .iter()
+                .map(|c| {
+                    Value::record(vec![
+                        ("mid", Value::str(&c.mid)),
+                        ("forBid", Value::str(&c.for_bid)),
+                        ("forEid", Value::str(&c.for_eid)),
+                        ("conBid", Value::str(&c.con_bid)),
+                        ("conEid", Value::str(&c.con_eid)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    inst.annotate_elements(schema)
+        .expect("meta instance conforms to meta schema by construction");
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_mapping::glav::Mapping;
+    use dtr_query::eval::{Catalog, Evaluator, Source};
+    use dtr_query::functions::FunctionRegistry;
+    use dtr_query::parser::parse_query;
+
+    fn store_with_figure1() -> MetaStore {
+        let eu = Schema::build(
+            "EUdb",
+            vec![(
+                "EU",
+                Type::record(vec![(
+                    "postings",
+                    Type::set(Type::record(vec![
+                        ("hid", Type::string()),
+                        ("levels", Type::string()),
+                        ("totalVal", Type::string()),
+                        (
+                            "agents",
+                            Type::set(Type::record(vec![
+                                ("agentName", Type::string()),
+                                ("agentPhone", Type::string()),
+                            ])),
+                        ),
+                    ])),
+                )]),
+            )],
+        )
+        .unwrap();
+        let portal = Schema::build(
+            "Pdb",
+            vec![(
+                "Portal",
+                Type::record(vec![
+                    (
+                        "estates",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("stories", AtomicType::String),
+                            ("value", AtomicType::String),
+                            ("contact", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "contacts",
+                        Type::relation(vec![
+                            ("title", AtomicType::String),
+                            ("phone", AtomicType::String),
+                        ]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap();
+        let m3 = Mapping::parse(
+            "m3",
+            "foreach
+               select p.hid, p.levels, p.totalVal, a.agentName, a.agentPhone
+               from EU.postings p, p.agents a
+             exists
+               select e.hid, e.stories, e.value, c.title, c.phone
+               from Portal.estates e, Portal.contacts c
+               where e.contact = c.title",
+        )
+        .unwrap();
+        let mut store = MetaStore::new();
+        store.add_schema(&eu).unwrap();
+        store.add_schema(&portal).unwrap();
+        store.add_mapping(&m3, &[&eu], &portal).unwrap();
+        store
+    }
+
+    #[test]
+    fn meta_instance_is_queryable() {
+        let store = store_with_figure1();
+        let schema = meta_schema();
+        let inst = meta_instance(&store, &schema);
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+
+        // Which mappings populate the Pdb `value` element? (A hand-written
+        // version of what the translator generates.)
+        let q = parse_query(
+            "select o.mid
+             from Correspondence o, Element e
+             where o.conEid = e.eid and e.path = '/Portal/estates/value' and e.db = 'Pdb'",
+        )
+        .unwrap();
+        let r = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0][0].to_string(), "m3");
+    }
+
+    #[test]
+    fn joins_across_meta_relations() {
+        let store = store_with_figure1();
+        let schema = meta_schema();
+        let inst = meta_instance(&store, &schema);
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        // Elements referenced in the where clause of m3's exists query.
+        let q = parse_query(
+            "select e.name
+             from Mapping m, Condition c, Element e
+             where c.qid = m.conQ and c.eid = e.eid and m.mid = 'm3'",
+        )
+        .unwrap();
+        let r = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0][0].to_string(), "contact");
+    }
+
+    #[test]
+    fn nulls_are_dashes() {
+        let store = store_with_figure1();
+        let schema = meta_schema();
+        let inst = meta_instance(&store, &schema);
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select e.eid from Element e where e.parent = '-'").unwrap();
+        let r = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        // Two stored schemas => two root elements.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn meta_schema_shape() {
+        let s = meta_schema();
+        assert_eq!(s.roots().len(), 7);
+        assert!(s.is_relation(s.resolve_path("/Element").unwrap()));
+        assert!(s.resolve_path("/Correspondence/forEid").is_some());
+    }
+}

@@ -1,0 +1,161 @@
+//! Human-readable tree renderings of instances, in the spirit of Figure 3.
+
+use crate::instance::{Instance, NodeData, NodeId};
+use crate::schema::Schema;
+use std::fmt::Write;
+
+/// Options for [`render_instance`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RenderOptions {
+    /// Show the element annotation (`<eN>`) next to each value, as in
+    /// Figure 3's angle-bracket annotations.
+    pub show_elements: bool,
+    /// Show the mapping annotation (`{m2,m3}`) next to each value, as in
+    /// Figure 3's curly-bracket annotations.
+    pub show_mappings: bool,
+}
+
+impl RenderOptions {
+    /// Show both annotation kinds — the full Figure 3 rendering.
+    pub fn annotated() -> Self {
+        RenderOptions {
+            show_elements: true,
+            show_mappings: true,
+        }
+    }
+}
+
+/// Renders the whole instance as an indented tree. When `schema` is given,
+/// element annotations are printed with their `eN` names from that schema.
+pub fn render_instance(inst: &Instance, schema: Option<&Schema>, opts: RenderOptions) -> String {
+    let mut out = String::new();
+    for &root in inst.roots() {
+        render_node(inst, root, 0, schema, opts, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    inst: &Instance,
+    id: NodeId,
+    depth: usize,
+    schema: Option<&Schema>,
+    opts: RenderOptions,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let node = inst.node(id);
+    match &node.data {
+        NodeData::Atomic(v) => {
+            let _ = write!(out, "{}: \"{}\"", node.label, v);
+        }
+        NodeData::Record(_) => {
+            let _ = write!(out, "{}", node.label);
+        }
+        NodeData::Choice(_) => {
+            let _ = write!(out, "{} (choice)", node.label);
+        }
+        NodeData::Set(kids) => {
+            let _ = write!(out, "{} ({} members)", node.label, kids.len());
+        }
+    }
+    let annot = inst.annotation(id);
+    if opts.show_elements {
+        if let Some(e) = annot.element {
+            // With a schema, annotate with the canonical path as well as
+            // the Figure 3-style `<eN>` id.
+            match schema {
+                Some(s) => {
+                    let _ = write!(out, "  <{e} {}>", s.path(e));
+                }
+                None => {
+                    let _ = write!(out, "  <{e}>");
+                }
+            }
+        }
+    }
+    if opts.show_mappings && !annot.mappings.is_empty() {
+        let names: Vec<&str> = annot.mappings.iter().map(|m| m.as_str()).collect();
+        let _ = write!(out, "  {{{}}}", names.join(","));
+    }
+    out.push('\n');
+    for &c in inst.children(id) {
+        render_node(inst, c, depth + 1, schema, opts, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Value;
+    use crate::value::MappingName;
+
+    #[test]
+    fn render_shows_structure_and_annotations() {
+        let mut inst = Instance::new("Pdb");
+        let root = inst.install_root(
+            "contacts",
+            Value::set(vec![Value::record(vec![
+                ("title", Value::str("HomeGain")),
+                ("phone", Value::str("18009468501")),
+            ])]),
+        );
+        let member = inst.set_members(root).unwrap()[0];
+        let title = inst.child_by_label(member, "title").unwrap();
+        inst.add_mapping(title, MappingName::new("m2"));
+        inst.add_mapping(title, MappingName::new("m3"));
+
+        let plain = render_instance(&inst, None, RenderOptions::default());
+        assert!(plain.contains("contacts (1 members)"));
+        assert!(plain.contains("title: \"HomeGain\""));
+        assert!(!plain.contains("{m2,m3}"));
+
+        let annotated = render_instance(&inst, None, RenderOptions::annotated());
+        assert!(annotated.contains("{m2,m3}"));
+    }
+
+    #[test]
+    fn render_with_schema_shows_paths() {
+        use crate::schema::Schema;
+        use crate::types::{AtomicType, Type};
+        let schema = Schema::build(
+            "Pdb",
+            vec![(
+                "contacts",
+                Type::relation(vec![
+                    ("title", AtomicType::String),
+                    ("phone", AtomicType::String),
+                ]),
+            )],
+        )
+        .unwrap();
+        let mut inst = Instance::new("Pdb");
+        inst.install_root(
+            "contacts",
+            Value::set(vec![Value::record(vec![
+                ("title", Value::str("HomeGain")),
+                ("phone", Value::str("1")),
+            ])]),
+        );
+        inst.annotate_elements(&schema).unwrap();
+        let s = render_instance(&inst, Some(&schema), RenderOptions::annotated());
+        assert!(s.contains("/contacts/title"), "{s}");
+        assert!(s.contains("<e0 "), "{s}");
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut inst = Instance::new("X");
+        inst.install_root(
+            "a",
+            Value::record(vec![("b", Value::record(vec![("c", Value::str("v"))]))]),
+        );
+        let s = render_instance(&inst, None, RenderOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("  b"));
+        assert!(lines[2].starts_with("    c"));
+    }
+}

@@ -1,0 +1,571 @@
+//! Schemas as element trees (Definition 4.1).
+//!
+//! A schema is a pair `<E, f_parent>`: a set of label-type pairs (the
+//! *schema elements*) and a total parent function. Because types nest, a
+//! schema is a forest whose roots are the schema's root elements; we store it
+//! as an arena of [`Element`] nodes addressed by [`ElementId`].
+//!
+//! Every schema belongs to a named data source (database), mirroring the
+//! paper's convention that "each data source has an instance and a schema ...
+//! each has a unique name assigned".
+
+use crate::label::Label;
+use crate::types::{AtomicType, Type, TypeError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a schema element inside its [`Schema`] arena.
+///
+/// The paper's figures name elements `e0, e1, ...`; [`ElementId::name`]
+/// renders that spelling.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// Arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The `eN` spelling used in the paper's figures.
+    pub fn name(self) -> String {
+        format!("e{}", self.0)
+    }
+}
+
+impl fmt::Debug for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The structural kind of a schema element. This is the "type" column of the
+/// metastore's `Element` relation (Figure 5): `Rcd`, `Choice`, `Set` or an
+/// atomic type name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// Atomic leaf element.
+    Atomic(AtomicType),
+    /// Record element; children are its fields.
+    Record,
+    /// Choice (union) element; children are its alternatives.
+    Choice,
+    /// Set element; single child is the `*` member element.
+    Set,
+}
+
+impl ElementKind {
+    /// Name used in schema dumps and the metastore.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElementKind::Atomic(a) => a.name(),
+            ElementKind::Record => "Rcd",
+            ElementKind::Choice => "Choice",
+            ElementKind::Set => "Set",
+        }
+    }
+
+    /// Parses the output of [`ElementKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "Rcd" => ElementKind::Record,
+            "Choice" => ElementKind::Choice,
+            "Set" => ElementKind::Set,
+            other => ElementKind::Atomic(AtomicType::parse(other)?),
+        })
+    }
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A schema element: a label-kind pair plus its position in the tree.
+#[derive(Clone, Debug)]
+pub struct Element {
+    /// The element's label (attribute name, or `*` for set members).
+    pub label: Label,
+    /// Structural kind.
+    pub kind: ElementKind,
+    /// Parent element, or `None` for root elements (`f_parent(e) = null`).
+    pub parent: Option<ElementId>,
+    /// Child elements in declaration order.
+    pub children: Vec<ElementId>,
+}
+
+/// A schema: a named forest of elements.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    name: String,
+    elements: Vec<Element>,
+    roots: Vec<ElementId>,
+}
+
+impl Schema {
+    /// Builds a schema for database `name` from root `(label, type)` pairs.
+    ///
+    /// Validates each root type per Section 4.1 and rejects duplicate root
+    /// labels.
+    pub fn build<L: Into<Label>>(
+        name: impl Into<String>,
+        roots: Vec<(L, Type)>,
+    ) -> Result<Schema, SchemaError> {
+        let mut schema = Schema {
+            name: name.into(),
+            elements: Vec::new(),
+            roots: Vec::new(),
+        };
+        let mut seen_roots: Vec<Label> = Vec::new();
+        for (label, ty) in roots {
+            let label = label.into();
+            if seen_roots.contains(&label) {
+                return Err(SchemaError::DuplicateRoot(label));
+            }
+            ty.validate().map_err(SchemaError::Type)?;
+            seen_roots.push(label.clone());
+            let id = schema.add_subtree(label, &ty, None);
+            schema.roots.push(id);
+        }
+        Ok(schema)
+    }
+
+    fn add_subtree(&mut self, label: Label, ty: &Type, parent: Option<ElementId>) -> ElementId {
+        let kind = match ty {
+            Type::Atomic(a) => ElementKind::Atomic(*a),
+            Type::Record(_) => ElementKind::Record,
+            Type::Choice(_) => ElementKind::Choice,
+            Type::Set(_) => ElementKind::Set,
+        };
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element {
+            label,
+            kind,
+            parent,
+            children: Vec::new(),
+        });
+        for (child_label, child_ty) in ty.directly_used() {
+            let child_id = self.add_subtree(child_label, child_ty, Some(id));
+            self.elements[id.index()].children.push(child_id);
+        }
+        id
+    }
+
+    /// The database name this schema belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Root element ids.
+    pub fn roots(&self) -> &[ElementId] {
+        &self.roots
+    }
+
+    /// Number of schema elements (the paper reports source schemas of ~55
+    /// elements and a 135-element portal schema).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the schema has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Access an element by id. Panics on a foreign id; use
+    /// [`Schema::get`] for a fallible lookup.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// Fallible element lookup.
+    pub fn get(&self, id: ElementId) -> Option<&Element> {
+        self.elements.get(id.index())
+    }
+
+    /// Iterates over `(id, element)` pairs in id order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId(i as u32), e))
+    }
+
+    /// `f_parent` of Definition 4.1.
+    pub fn parent(&self, id: ElementId) -> Option<ElementId> {
+        self.element(id).parent
+    }
+
+    /// The child of `id` with the given label, if any. For set elements the
+    /// single child has label `*`.
+    pub fn child(&self, id: ElementId, label: &str) -> Option<ElementId> {
+        self.element(id)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.element(c).label == label)
+    }
+
+    /// The `*` member element of a set element.
+    pub fn set_member(&self, id: ElementId) -> Option<ElementId> {
+        if self.element(id).kind != ElementKind::Set {
+            return None;
+        }
+        self.element(id).children.first().copied()
+    }
+
+    /// Finds a root element by label.
+    pub fn root(&self, label: &str) -> Option<ElementId> {
+        self.roots
+            .iter()
+            .copied()
+            .find(|&r| self.element(r).label == label)
+    }
+
+    /// The canonical slash path of an element, omitting implicit `*`
+    /// segments: e.g. `/Portal/estates/value` for element `e35` of Figure 2.
+    pub fn path(&self, id: ElementId) -> String {
+        let mut segments: Vec<&str> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(e) = cur {
+            let el = self.element(e);
+            if !el.label.is_star() {
+                segments.push(el.label.as_str());
+            }
+            cur = el.parent;
+        }
+        segments.reverse();
+        let mut out = String::with_capacity(segments.iter().map(|s| s.len() + 1).sum());
+        for s in segments {
+            out.push('/');
+            out.push_str(s);
+        }
+        out
+    }
+
+    /// Resolves a slash path to an element.
+    ///
+    /// Accepts both the canonical `*`-free spelling and spellings that name
+    /// an extra segment under a set element (the paper writes both
+    /// `/Portal/estates/stories` and `/Portal/estates/estate/stories`): when
+    /// descending from a set element, the implicit `*` member is traversed
+    /// transparently, and a segment that fails to match a child of a set
+    /// member's record is retried as a "documentation" segment and skipped.
+    pub fn resolve_path(&self, path: &str) -> Option<ElementId> {
+        let segments: Vec<&str> = path
+            .split('/')
+            .filter(|s| !s.is_empty() && *s != "*")
+            .collect();
+        let (first, rest) = segments.split_first()?;
+        let root = self.root(first)?;
+        self.resolve_from(root, rest)
+    }
+
+    fn resolve_from(&self, mut cur: ElementId, segs: &[&str]) -> Option<ElementId> {
+        let Some((first, rest)) = segs.split_first() else {
+            return Some(cur);
+        };
+        // Transparently descend through set members.
+        while self.element(cur).kind == ElementKind::Set {
+            cur = self.set_member(cur)?;
+        }
+        if let Some(c) = self.child(cur, first) {
+            if let Some(r) = self.resolve_from(c, rest) {
+                return Some(r);
+            }
+        }
+        // Tolerate a documentation segment that names the record under a set
+        // (the `estate` in Example 5.6's `/Portal/estates/estate/stories`):
+        // at a `*`-labelled record a non-matching segment is skipped —
+        // but only mid-path, so that a bogus trailing segment still fails.
+        if self.element(cur).label.is_star() && !rest.is_empty() {
+            return self.resolve_from(cur, rest);
+        }
+        None
+    }
+
+    /// Reconstructs the [`Type`] of an element from the arena.
+    pub fn type_of(&self, id: ElementId) -> Type {
+        let el = self.element(id);
+        match el.kind {
+            ElementKind::Atomic(a) => Type::Atomic(a),
+            ElementKind::Record => Type::Record(
+                el.children
+                    .iter()
+                    .map(|&c| (self.element(c).label.clone(), self.type_of(c)))
+                    .collect(),
+            ),
+            ElementKind::Choice => Type::Choice(
+                el.children
+                    .iter()
+                    .map(|&c| (self.element(c).label.clone(), self.type_of(c)))
+                    .collect(),
+            ),
+            ElementKind::Set => {
+                let member = el.children.first().expect("set element has a member");
+                Type::Set(Box::new(self.type_of(*member)))
+            }
+        }
+    }
+
+    /// True if the element is a *relation* in the paper's sense: a
+    /// `Set of Rcd[..atomic..]`.
+    pub fn is_relation(&self, id: ElementId) -> bool {
+        self.type_of(id).is_relation()
+    }
+
+    /// All atomic (leaf) elements.
+    pub fn atomic_elements(&self) -> Vec<ElementId> {
+        self.elements()
+            .filter(|(_, e)| matches!(e.kind, ElementKind::Atomic(_)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Depth of an element (roots have depth 0).
+    pub fn depth(&self, id: ElementId) -> usize {
+        let mut d = 0;
+        let mut cur = self.element(id).parent;
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.element(p).parent;
+        }
+        d
+    }
+
+    /// Emits a Graphviz `dot` rendering of the schema forest — the shape of
+    /// Figure 2 in the paper.
+    pub fn to_graphviz(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n  rankdir=TB;\n", self.name));
+        for (id, el) in self.elements() {
+            out.push_str(&format!(
+                "  {} [label=\"{}\\n{}:{}\"];\n",
+                id.name(),
+                id.name(),
+                el.label,
+                el.kind
+            ));
+        }
+        for (id, el) in self.elements() {
+            for &c in &el.children {
+                out.push_str(&format!("  {} -> {};\n", id.name(), c.name()));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A map from canonical path to element id, useful for bulk lookups.
+    pub fn path_index(&self) -> HashMap<String, ElementId> {
+        let mut map = HashMap::with_capacity(self.elements.len());
+        for (id, _) in self.elements() {
+            map.insert(self.path(id), id);
+        }
+        map
+    }
+}
+
+/// Errors raised while constructing a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two roots with the same label.
+    DuplicateRoot(Label),
+    /// A root type failed structural validation.
+    Type(TypeError),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateRoot(l) => write!(f, "duplicate schema root `{l}`"),
+            SchemaError::Type(e) => write!(f, "invalid type: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Pdb portal schema of Figures 1-2.
+    fn portal_schema() -> Schema {
+        Schema::build(
+            "Pdb",
+            vec![(
+                "Portal",
+                Type::record(vec![
+                    (
+                        "estates",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("stories", AtomicType::String),
+                            ("value", AtomicType::String),
+                            ("contact", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "contacts",
+                        Type::relation(vec![
+                            ("title", AtomicType::String),
+                            ("phone", AtomicType::String),
+                        ]),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn portal_element_count_matches_figure_2() {
+        // Figure 2 shows Pdb as elements e30..e40 - eleven elements.
+        let s = portal_schema();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.roots().len(), 1);
+        assert_eq!(s.element(s.roots()[0]).label, "Portal");
+    }
+
+    #[test]
+    fn parent_function_total() {
+        let s = portal_schema();
+        let root = s.roots()[0];
+        assert_eq!(s.parent(root), None);
+        for (id, _) in s.elements() {
+            if id != root {
+                assert!(s.parent(id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_paths() {
+        let s = portal_schema();
+        let estates = s.child(s.roots()[0], "estates").unwrap();
+        assert_eq!(s.path(estates), "/Portal/estates");
+        let member = s.set_member(estates).unwrap();
+        // `*` segments are omitted from canonical paths.
+        assert_eq!(s.path(member), "/Portal/estates");
+        let value = s.child(member, "value").unwrap();
+        assert_eq!(s.path(value), "/Portal/estates/value");
+    }
+
+    #[test]
+    fn resolve_path_canonical_and_paper_spelling() {
+        let s = portal_schema();
+        let canonical = s.resolve_path("/Portal/estates/stories").unwrap();
+        // Example 5.6 writes `/Portal/estates/estate/stories`.
+        let paper = s.resolve_path("/Portal/estates/estate/stories").unwrap();
+        assert_eq!(canonical, paper);
+        assert_eq!(s.element(canonical).label, "stories");
+        assert!(s.resolve_path("/Portal/none").is_none());
+        assert!(s.resolve_path("/Nope").is_none());
+    }
+
+    #[test]
+    fn resolve_path_with_explicit_star() {
+        let s = portal_schema();
+        let a = s.resolve_path("/Portal/estates/*/value").unwrap();
+        let b = s.resolve_path("/Portal/estates/value").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn type_round_trip() {
+        let s = portal_schema();
+        let root = s.roots()[0];
+        let t = s.type_of(root);
+        let rebuilt = Schema::build("Pdb", vec![("Portal", t)]).unwrap();
+        assert_eq!(rebuilt.len(), s.len());
+        for (id, el) in s.elements() {
+            let r = rebuilt.element(id);
+            assert_eq!(r.label, el.label);
+            assert_eq!(r.kind, el.kind);
+        }
+    }
+
+    #[test]
+    fn relations_detected() {
+        let s = portal_schema();
+        let estates = s.resolve_path("/Portal/estates").unwrap();
+        assert!(s.is_relation(estates));
+        assert!(!s.is_relation(s.roots()[0]));
+    }
+
+    #[test]
+    fn duplicate_root_rejected() {
+        let err =
+            Schema::build("X", vec![("A", Type::string()), ("A", Type::integer())]).unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateRoot(Label::new("A")));
+    }
+
+    #[test]
+    fn graphviz_contains_all_elements() {
+        let s = portal_schema();
+        let dot = s.to_graphviz();
+        assert!(dot.contains("digraph \"Pdb\""));
+        for (id, _) in s.elements() {
+            assert!(dot.contains(&id.name()));
+        }
+    }
+
+    #[test]
+    fn depth_and_path_index() {
+        let s = portal_schema();
+        let root = s.roots()[0];
+        assert_eq!(s.depth(root), 0);
+        let value = s.resolve_path("/Portal/estates/value").unwrap();
+        assert_eq!(s.depth(value), 3); // Portal / estates / * / value
+        let idx = s.path_index();
+        assert_eq!(idx.get("/Portal/estates/value"), Some(&value));
+    }
+
+    #[test]
+    fn choice_elements() {
+        // USdb agents.title : Choice of name | firm (Figure 1).
+        let s = Schema::build(
+            "USdb",
+            vec![(
+                "US",
+                Type::record(vec![(
+                    "agents",
+                    Type::set(Type::record(vec![
+                        ("aid", Type::string()),
+                        (
+                            "title",
+                            Type::choice(vec![("name", Type::string()), ("firm", Type::string())]),
+                        ),
+                        ("phone", Type::string()),
+                    ])),
+                )]),
+            )],
+        )
+        .unwrap();
+        let firm = s.resolve_path("/US/agents/title/firm").unwrap();
+        assert_eq!(s.element(firm).label, "firm");
+        let title = s.parent(firm).unwrap();
+        assert_eq!(s.element(title).kind, ElementKind::Choice);
+    }
+
+    #[test]
+    fn element_kind_name_round_trip() {
+        for k in [
+            ElementKind::Record,
+            ElementKind::Choice,
+            ElementKind::Set,
+            ElementKind::Atomic(AtomicType::String),
+        ] {
+            assert_eq!(ElementKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ElementKind::parse("Bogus"), None);
+    }
+}

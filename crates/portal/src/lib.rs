@@ -1,0 +1,43 @@
+//! # dtr-portal — the Section 8 experiment scenarios
+//!
+//! The paper's "Experience" section integrates five real-estate web sites
+//! (≈55-element schemas, 10,000 listings, 14.3 MB of XML) into a
+//! 135-element portal. The original crawl data no longer exists, so this
+//! crate generates synthetic sources with the same statistical shape and
+//! the same structural quirks the case studies rely on (see DESIGN.md's
+//! substitution notes).
+//!
+//! * [`mod@portal_schema`] — the 135-element integrated schema.
+//! * [`sources`] — the five source schemas and their emitters.
+//! * [`mappings`] — the sixteen mappings (including the buggy/fixed
+//!   `housesInNeighborhood` self-join variants).
+//! * [`listing`] — the canonical listing generator (seeded).
+//! * [`scenario`] — end-to-end assembly with overlap injection.
+//! * [`nesting`] — the nesting-depth family for experiment E6.
+//! * The paper's *running example* (Figures 1–3) lives in
+//!   [`dtr_core::testkit`] and is re-exported as [`figure1`].
+
+#![warn(missing_docs)]
+
+pub mod listing;
+pub mod mappings;
+pub mod nesting;
+pub mod portal_schema;
+pub mod scenario;
+pub mod sources;
+
+/// The Figure 1 running example (re-exported from `dtr_core::testkit`).
+pub mod figure1 {
+    pub use dtr_core::testkit::*;
+}
+
+/// Convenient glob-import of the most used names.
+pub mod prelude {
+    pub use crate::listing::{Agent, Feature, Listing, ListingGenerator, OpenHouse};
+    pub use crate::mappings::all_mappings;
+    pub use crate::nesting::nested_tagged;
+    pub use crate::portal_schema::portal_schema;
+    pub use crate::scenario::{build, tagged, Scenario, ScenarioConfig};
+}
+
+pub use prelude::*;

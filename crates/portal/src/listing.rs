@@ -1,0 +1,422 @@
+//! Seeded synthetic real-estate data.
+//!
+//! The paper's experiments crawled five 2004-era web sites (14.3 MB /
+//! 10,000 listings). That data is gone, so the scenario generates listings
+//! with the same statistical shape: one *canonical* listing record per
+//! property, which the per-source emitters of [`crate::sources`] render in
+//! each source's own schema. Mappings are designed to invert the emitters
+//! exactly, so a listing copied into two sources (the overlap experiment)
+//! maps to the *same* portal record from both — which is what makes merged
+//! values with unioned mapping annotations appear, as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A real-estate agent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Agent {
+    /// Stable id, e.g. `A17`.
+    pub id: String,
+    /// Full name, always `First Last` (one space) so sources that split the
+    /// name can be re-joined losslessly by `concat(first, ' ', last)`.
+    pub name: String,
+    /// Primary phone.
+    pub phone: String,
+    /// Email address.
+    pub email: String,
+    /// Office / agency name.
+    pub office: String,
+}
+
+/// A feature line of a listing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feature {
+    /// Feature name.
+    pub name: String,
+    /// Free-text note.
+    pub note: String,
+}
+
+/// A scheduled open house.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenHouse {
+    /// Date, `YYYY-MM-DD`.
+    pub date: String,
+    /// Start time.
+    pub start: String,
+    /// End time.
+    pub end: String,
+}
+
+/// The canonical listing: the fields of the portal mapping contract plus
+/// the nested collections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Listing {
+    /// Globally unique house id, e.g. `H1042`.
+    pub hid: String,
+    /// Street address.
+    pub address: String,
+    /// City name.
+    pub city: String,
+    /// Two-letter state.
+    pub state: String,
+    /// Zip code.
+    pub zip: String,
+    /// Neighborhood name — deliberately reused across cities, which is what
+    /// makes the buggy `housesInNeighborhood` self-join misbehave
+    /// (Section 8's case study).
+    pub neighborhood: String,
+    /// Asking price in dollars.
+    pub price: i64,
+    /// Bedrooms.
+    pub beds: i64,
+    /// Bathrooms.
+    pub baths: i64,
+    /// Interior square feet.
+    pub sqft: i64,
+    /// Construction year.
+    pub year_built: i64,
+    /// Number of stories.
+    pub stories: i64,
+    /// Architectural style.
+    pub style: String,
+    /// Listing status.
+    pub status: String,
+    /// Listing date, `YYYY-MM-DD`.
+    pub listed_date: String,
+    /// Free-text remarks (the bulk of the instance bytes, as on real
+    /// sites).
+    pub remarks: String,
+    /// Elementary school (district).
+    pub school_elementary: String,
+    /// Middle school (district).
+    pub school_middle: String,
+    /// High school (district).
+    pub school_high: String,
+    /// The listing agent.
+    pub agent: Agent,
+    /// Feature lines (at least one; conjunctive mappings join on them).
+    pub features: Vec<Feature>,
+    /// Open houses (at least one).
+    pub open_houses: Vec<OpenHouse>,
+}
+
+impl Listing {
+    /// The single school-district value NK Realtors stores (the source does
+    /// not separate elementary/middle/high — Section 8's accuracy finding).
+    pub fn school_district(&self) -> &str {
+        &self.school_elementary
+    }
+
+    /// Forces all three school levels to one district value. Applied to
+    /// every NK-destined listing: it makes the Yahoo↔NK overlap twins map
+    /// to identical portal records, and it reproduces the paper's
+    /// observation that NK-originated houses have all three districts
+    /// equal.
+    pub fn equalize_schools(&mut self) {
+        let d = format!("{} Unified District", self.neighborhood);
+        self.school_elementary = d.clone();
+        self.school_middle = d.clone();
+        self.school_high = d;
+    }
+}
+
+const CITIES: &[(&str, &str, &str)] = &[
+    ("Seattle", "WA", "981"),
+    ("Portland", "OR", "972"),
+    ("Austin", "TX", "787"),
+    ("Boston", "MA", "021"),
+    ("Denver", "CO", "802"),
+    ("Madison", "WI", "537"),
+    ("Raleigh", "NC", "276"),
+    ("Tucson", "AZ", "857"),
+    ("Columbus", "OH", "432"),
+    ("Sacramento", "CA", "958"),
+    ("Nashville", "TN", "372"),
+    ("Omaha", "NE", "681"),
+    ("Richmond", "VA", "232"),
+    ("Spokane", "WA", "992"),
+    ("Eugene", "OR", "974"),
+    ("El Paso", "TX", "799"),
+    ("Boulder", "CO", "803"),
+    ("Ithaca", "NY", "148"),
+    ("Savannah", "GA", "314"),
+    ("Bend", "OR", "977"),
+];
+
+/// Neighborhood names are shared across cities on purpose (see
+/// [`Listing::neighborhood`]).
+const NEIGHBORHOODS: &[&str] = &[
+    "Oakwood",
+    "Riverside",
+    "Maple Hill",
+    "Sunnyvale",
+    "Greenfield",
+    "Lakeview",
+    "Cedar Park",
+    "Highland",
+    "Willow Creek",
+    "Fairview",
+    "Brookside",
+    "Elm Grove",
+    "Stonegate",
+    "Meadowbrook",
+    "Harbor Point",
+];
+
+const STREETS: &[&str] = &[
+    "Main St",
+    "Oak Ave",
+    "Pine Rd",
+    "Maple Dr",
+    "Cedar Ln",
+    "Birch Way",
+    "Elm Ct",
+    "Walnut Blvd",
+    "Spruce Pl",
+    "Chestnut Ter",
+    "Juniper Loop",
+    "Aspen Cir",
+];
+
+const STYLES: &[&str] = &[
+    "Craftsman",
+    "Colonial",
+    "Ranch",
+    "Victorian",
+    "Tudor",
+    "Contemporary",
+    "Bungalow",
+    "Split-Level",
+];
+
+const STATUSES: &[&str] = &["active", "pending", "contingent", "active"];
+
+const FEATURES: &[(&str, &str)] = &[
+    (
+        "hardwood floors",
+        "refinished oak throughout the main level",
+    ),
+    ("granite counters", "slab granite in kitchen and baths"),
+    ("fenced yard", "fully fenced back yard with mature trees"),
+    ("two-car garage", "attached garage with storage loft"),
+    (
+        "new roof",
+        "architectural composition roof installed recently",
+    ),
+    (
+        "updated kitchen",
+        "stainless appliances and custom cabinets",
+    ),
+    ("finished basement", "daylight basement with rec room"),
+    ("central air", "high-efficiency furnace and A/C"),
+    ("deck", "large entertainer's deck off the dining room"),
+    ("fireplace", "gas fireplace in the living room"),
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Alice", "Brian", "Carla", "Derek", "Elena", "Frank", "Grace", "Hank", "Irene", "Jorge",
+    "Kara", "Liam", "Mona", "Nate", "Olga", "Pete", "Quinn", "Rosa",
+];
+const LAST_NAMES: &[&str] = &[
+    "Anderson", "Baker", "Chen", "Dawson", "Ellis", "Foster", "Garcia", "Hughes", "Ibarra",
+    "Jensen", "Kim", "Lopez", "Meyer", "Nolan", "Ortega", "Price",
+];
+
+const REMARK_BITS: &[&str] = &[
+    "Charming home on a quiet tree-lined street.",
+    "Light-filled rooms with generous storage throughout.",
+    "Walking distance to parks, schools and the neighborhood cafe.",
+    "Meticulously maintained by the original owners.",
+    "Open floor plan ideal for entertaining.",
+    "Private backyard retreat with established gardens.",
+    "Minutes from downtown with an easy freeway commute.",
+    "A rare opportunity in a sought-after location.",
+    "Recent updates include fresh paint and new fixtures.",
+    "Bring your ideas - great bones and endless potential.",
+];
+
+/// A deterministic generator of canonical listings and agents.
+pub struct ListingGenerator {
+    rng: StdRng,
+    next_hid: usize,
+    agents: Vec<Agent>,
+}
+
+impl ListingGenerator {
+    /// Creates a generator with `agent_pool` agents and the given seed.
+    pub fn new(seed: u64, agent_pool: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agents = (0..agent_pool.max(1))
+            .map(|i| {
+                let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+                let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+                let office = format!(
+                    "{} Realty",
+                    NEIGHBORHOODS[rng.gen_range(0..NEIGHBORHOODS.len())]
+                );
+                Agent {
+                    id: format!("A{i}"),
+                    name: format!("{first} {last}"),
+                    phone: format!("555-{:04}", 1000 + i),
+                    email: format!(
+                        "{}.{}@example.com",
+                        first.to_lowercase(),
+                        last.to_lowercase()
+                    ),
+                    office,
+                }
+            })
+            .collect();
+        ListingGenerator {
+            rng,
+            next_hid: 1000,
+            agents,
+        }
+    }
+
+    /// The agent pool.
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// Generates one listing.
+    pub fn listing(&mut self) -> Listing {
+        let rng = &mut self.rng;
+        let (city, state, zip3) = CITIES[rng.gen_range(0..CITIES.len())];
+        let neighborhood = NEIGHBORHOODS[rng.gen_range(0..NEIGHBORHOODS.len())];
+        let hid = format!("H{}", self.next_hid);
+        self.next_hid += 1;
+        let n_features = rng.gen_range(1..=3);
+        let n_open = rng.gen_range(1..=2);
+        let mut features = Vec::with_capacity(n_features);
+        let mut picked: Vec<usize> = Vec::new();
+        while features.len() < n_features {
+            let i = rng.gen_range(0..FEATURES.len());
+            if !picked.contains(&i) {
+                picked.push(i);
+                features.push(Feature {
+                    name: FEATURES[i].0.to_owned(),
+                    note: FEATURES[i].1.to_owned(),
+                });
+            }
+        }
+        let open_houses = (0..n_open)
+            .map(|k| {
+                let day = rng.gen_range(1..=28);
+                let month = rng.gen_range(1..=12);
+                OpenHouse {
+                    date: format!("2004-{month:02}-{day:02}"),
+                    start: format!("{:02}:00", 10 + 2 * k),
+                    end: format!("{:02}:00", 12 + 2 * k),
+                }
+            })
+            .collect();
+        let remarks = {
+            let mut out = String::new();
+            for _ in 0..rng.gen_range(5..=8) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(REMARK_BITS[rng.gen_range(0..REMARK_BITS.len())]);
+            }
+            out
+        };
+        let agent = self.agents[rng.gen_range(0..self.agents.len())].clone();
+        Listing {
+            address: format!(
+                "{} {}",
+                rng.gen_range(100..9999),
+                STREETS[rng.gen_range(0..STREETS.len())]
+            ),
+            city: city.to_owned(),
+            state: state.to_owned(),
+            zip: format!("{zip3}{:02}", rng.gen_range(0..100)),
+            neighborhood: neighborhood.to_owned(),
+            price: rng.gen_range(120..1600) * 1000,
+            beds: rng.gen_range(1..=6),
+            baths: rng.gen_range(1..=4),
+            sqft: rng.gen_range(600..5200),
+            year_built: rng.gen_range(1900..=2004),
+            stories: rng.gen_range(1..=3),
+            style: STYLES[rng.gen_range(0..STYLES.len())].to_owned(),
+            status: STATUSES[rng.gen_range(0..STATUSES.len())].to_owned(),
+            listed_date: format!(
+                "2004-{:02}-{:02}",
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            remarks,
+            school_elementary: format!("{city} {neighborhood} Elementary"),
+            school_middle: format!("{city} {neighborhood} Middle"),
+            school_high: format!("{city} {neighborhood} High"),
+            agent,
+            features,
+            open_houses,
+            hid,
+        }
+    }
+
+    /// Generates `n` listings.
+    pub fn listings(&mut self, n: usize) -> Vec<Listing> {
+        (0..n).map(|_| self.listing()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut g1 = ListingGenerator::new(42, 10);
+        let mut g2 = ListingGenerator::new(42, 10);
+        assert_eq!(g1.listings(20), g2.listings(20));
+        let mut g3 = ListingGenerator::new(43, 10);
+        assert_ne!(g1.listings(20), g3.listings(20));
+    }
+
+    #[test]
+    fn hids_unique_and_collections_nonempty() {
+        let mut g = ListingGenerator::new(7, 5);
+        let ls = g.listings(100);
+        let mut hids: Vec<&str> = ls.iter().map(|l| l.hid.as_str()).collect();
+        hids.sort();
+        hids.dedup();
+        assert_eq!(hids.len(), 100);
+        for l in &ls {
+            assert!(!l.features.is_empty());
+            assert!(!l.open_houses.is_empty());
+            assert!(l.agent.name.matches(' ').count() == 1, "splittable name");
+        }
+    }
+
+    #[test]
+    fn equalize_schools_unifies() {
+        let mut g = ListingGenerator::new(1, 3);
+        let mut l = g.listing();
+        assert_ne!(l.school_elementary, l.school_middle);
+        l.equalize_schools();
+        assert_eq!(l.school_elementary, l.school_middle);
+        assert_eq!(l.school_middle, l.school_high);
+        assert_eq!(l.school_district(), l.school_elementary);
+    }
+
+    #[test]
+    fn neighborhoods_repeat_across_cities() {
+        // The precondition of the buggy-join case study: the same
+        // neighborhood name in different cities.
+        let mut g = ListingGenerator::new(11, 5);
+        let ls = g.listings(300);
+        let mut cross = false;
+        'outer: for a in &ls {
+            for b in &ls {
+                if a.neighborhood == b.neighborhood && a.city != b.city {
+                    cross = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(cross);
+    }
+}

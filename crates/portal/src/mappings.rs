@@ -1,0 +1,445 @@
+//! The mappings from the five sources into the portal.
+//!
+//! Every house-producing mapping assigns the same 22-position *contract*
+//! (core fields + schools + contact) so that a listing reaching the portal
+//! through two mappings — either two mappings of the same source or, for
+//! overlapped listings, mappings of different sources — produces the *same*
+//! portal record and merges under PNF with unioned `f_mp` annotations
+//! (Figure 3's behaviour at scale).
+//!
+//! Noteworthy per-source details:
+//!
+//! * `y1`/`y2` (Yahoo): `l.contact.agentPhone` appears **twice** in the
+//!   foreach select, feeding both `businessPhone` and `homePhone` — the
+//!   paper's example of one source value mapped to two target elements.
+//! * `nk1`/`nk2` (NK Realtors): `p.schoolDistrict` appears **three times**,
+//!   populating all three school levels from one source element — the
+//!   Section 8 accuracy finding waiting to be discovered with MXQL.
+//! * `wm1`/`wm2` (Windermere): the contact name is
+//!   `concat(a.firstName, ' ', a.lastName)` — a function combining two
+//!   source elements into one target element (Section 4.3 allows this).
+//! * `hs2` (Homeseekers): the `housesInNeighborhood` self-join. The buggy
+//!   variant joins on `neighborhood` only; the fixed variant also joins on
+//!   city and state — exactly the paper's debugging session.
+
+use dtr_mapping::glav::Mapping;
+
+/// The 22 portal paths every house-producing mapping assigns, rendered for
+/// house variable `h`.
+pub fn contract_exists(h: &str) -> String {
+    [
+        "hid",
+        "address",
+        "city",
+        "state",
+        "zip",
+        "neighborhood",
+        "price",
+        "beds",
+        "baths",
+        "sqft",
+        "yearBuilt",
+        "stories",
+        "style",
+        "status",
+        "listedDate",
+        "remarks",
+        "schools.elementary",
+        "schools.middle",
+        "schools.high",
+        "contact.name",
+        "contact.businessPhone",
+        "contact.homePhone",
+    ]
+    .iter()
+    .map(|f| format!("{h}.{f}"))
+    .collect::<Vec<_>>()
+    .join(", ")
+}
+
+fn m(name: &str, body: String) -> Mapping {
+    Mapping::parse(name, &body).unwrap_or_else(|e| panic!("mapping {name} fails to parse: {e}"))
+}
+
+/// `y1`: Yahoo listings (with their feature lines) into portal houses.
+pub fn y1() -> Mapping {
+    m(
+        "y1",
+        format!(
+            "foreach
+               select l.id, l.street, l.city, l.state, l.zip, l.neighborhood,
+                      l.price, l.bedrooms, l.bathrooms, l.area, l.built, l.levels,
+                      l.styleName, l.status, l.posted, l.comments,
+                      l.schoolDistricts.elementary, l.schoolDistricts.middle,
+                      l.schoolDistricts.high,
+                      l.contact.agentName, l.contact.agentPhone, l.contact.agentPhone,
+                      x.feature, x.detail
+               from Yahoo.listings l, l.extras x
+             exists
+               select {}, f.name, f.note
+               from Portal.houses h, h.features f",
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `y2`: Yahoo listings with their open days.
+pub fn y2() -> Mapping {
+    m(
+        "y2",
+        format!(
+            "foreach
+               select l.id, l.street, l.city, l.state, l.zip, l.neighborhood,
+                      l.price, l.bedrooms, l.bathrooms, l.area, l.built, l.levels,
+                      l.styleName, l.status, l.posted, l.comments,
+                      l.schoolDistricts.elementary, l.schoolDistricts.middle,
+                      l.schoolDistricts.high,
+                      l.contact.agentName, l.contact.agentPhone, l.contact.agentPhone,
+                      d.date, d.from, d.to
+               from Yahoo.listings l, l.openDays d
+             exists
+               select {}, o.date, o.startTime, o.endTime
+               from Portal.houses h, h.openHouses o",
+            contract_exists("h")
+        ),
+    )
+}
+
+fn nk_contract_foreach() -> &'static str {
+    "p.ref, p.addr, p.town, p.region, p.postcode, p.district,
+     p.askingPrice, p.beds, p.baths, p.floorArea, p.constructed, p.floors,
+     p.kind, p.condition, p.advertised, p.notes,
+     p.schoolDistrict, p.schoolDistrict, p.schoolDistrict,
+     a.fullName, a.telephone, a.telephone"
+}
+
+/// `nk1`: NK properties joined with their agents.
+pub fn nk1() -> Mapping {
+    m(
+        "nk1",
+        format!(
+            "foreach
+               select {}
+               from NK.properties p, NK.agents a
+               where p.agentRef = a.ref
+             exists
+               select {}
+               from Portal.houses h",
+            nk_contract_foreach(),
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `nk2`: NK properties with their visit slots.
+pub fn nk2() -> Mapping {
+    m(
+        "nk2",
+        format!(
+            "foreach
+               select {}, v.date, v.from, v.to
+               from NK.properties p, NK.agents a, p.visits v
+               where p.agentRef = a.ref
+             exists
+               select {}, o.date, o.startTime, o.endTime
+               from Portal.houses h, h.openHouses o",
+            nk_contract_foreach(),
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `nk3`: NK agents into the portal agents relation.
+pub fn nk3() -> Mapping {
+    m(
+        "nk3",
+        "foreach
+           select a.ref, a.fullName, a.telephone, a.email, a.branch, a.licence
+           from NK.agents a
+         exists
+           select g.aid, g.name, g.phone, g.email, g.agency, g.license
+           from Portal.agents g"
+            .to_owned(),
+    )
+}
+
+/// `nk4`: NK branches into the portal agencies relation.
+pub fn nk4() -> Mapping {
+    m(
+        "nk4",
+        "foreach
+           select b.name, b.telephone, b.town, b.url, b.founded
+           from NK.branches b
+         exists
+           select g.name, g.phone, g.city, g.url, g.founded
+           from Portal.agencies g"
+            .to_owned(),
+    )
+}
+
+fn wm_contract_foreach() -> &'static str {
+    "h.hid, h.street, h.city, h.state, h.zip, h.area,
+     h.listPrice, h.beds, h.baths, h.sqft, h.built, h.floors,
+     h.styleName, h.status, h.listedOn, h.remarks,
+     h.elemSchool, h.middleSchool, h.highSchool,
+     concat(a.firstName, ' ', a.lastName), a.phone, a.phone"
+}
+
+/// `wm1`: Windermere homes joined with their agents.
+pub fn wm1() -> Mapping {
+    m(
+        "wm1",
+        format!(
+            "foreach
+               select {}
+               from WM.homes h, WM.agents a
+               where h.agentId = a.agentId
+             exists
+               select {}
+               from Portal.houses ph",
+            wm_contract_foreach(),
+            contract_exists("ph")
+        ),
+    )
+}
+
+/// `wm2`: Windermere homes with their open-house rows (a three-way join).
+pub fn wm2() -> Mapping {
+    m(
+        "wm2",
+        format!(
+            "foreach
+               select {}, o.date, o.from, o.to
+               from WM.homes h, WM.agents a, WM.opens o
+               where h.agentId = a.agentId and o.hid = h.hid
+             exists
+               select {}, oh.date, oh.startTime, oh.endTime
+               from Portal.houses ph, ph.openHouses oh",
+            wm_contract_foreach(),
+            contract_exists("ph")
+        ),
+    )
+}
+
+/// `wm3`: Windermere agents into the portal agents relation.
+pub fn wm3() -> Mapping {
+    m(
+        "wm3",
+        "foreach
+           select a.agentId, concat(a.firstName, ' ', a.lastName), a.phone,
+                  a.email, a.officeName, a.license
+           from WM.agents a
+         exists
+           select g.aid, g.name, g.phone, g.email, g.agency, g.license
+           from Portal.agents g"
+            .to_owned(),
+    )
+}
+
+/// `wm4`: Windermere offices into the portal offices relation.
+pub fn wm4() -> Mapping {
+    m(
+        "wm4",
+        "foreach
+           select o.officeName, o.street, o.city, o.phone, o.manager
+           from WM.offices o
+         exists
+           select g.name, g.street, g.city, g.phone, g.manager
+           from Portal.offices g"
+            .to_owned(),
+    )
+}
+
+fn wf_contract_foreach(lister: &str) -> String {
+    format!(
+        "i.code, i.address, i.municipality, i.state, i.postal, i.quarter,
+         i.price, i.rooms, i.baths, i.size, i.yearBuilt, i.storeys,
+         i.category, i.condition, i.publishedOn, i.blurb,
+         i.schools.primary, i.schools.middle, i.schools.secondary,
+         {lister}.name, {lister}.phone, {lister}.phone"
+    )
+}
+
+/// `wf1`: Westfall inventory listed by a *person* (choice alternative).
+pub fn wf1() -> Mapping {
+    m(
+        "wf1",
+        format!(
+            "foreach
+               select {}, am.name, am.detail
+               from WF.inventory i, i.lister->person p, i.amenities am
+             exists
+               select {}, f.name, f.note
+               from Portal.houses h, h.features f",
+            wf_contract_foreach("p"),
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `wf2`: Westfall inventory listed by a *company* (the other alternative).
+pub fn wf2() -> Mapping {
+    m(
+        "wf2",
+        format!(
+            "foreach
+               select {}, am.name, am.detail
+               from WF.inventory i, i.lister->company c, i.amenities am
+             exists
+               select {}, f.name, f.note
+               from Portal.houses h, h.features f",
+            wf_contract_foreach("c"),
+            contract_exists("h")
+        ),
+    )
+}
+
+fn hs_contract_foreach(h: &str) -> String {
+    format!(
+        "{h}.hid, {h}.addr, {h}.city, {h}.state, {h}.zip, {h}.neighborhood,
+         {h}.price, {h}.beds, {h}.baths, {h}.livingArea, {h}.built, {h}.stories,
+         {h}.styleDesc, {h}.status, {h}.listed, {h}.summary,
+         {h}.schoolElementary, {h}.schoolMiddle, {h}.schoolHigh,
+         {h}.agentName, {h}.agentPhone, {h}.agentPhone"
+    )
+}
+
+/// `hs1`: Homeseekers houses into portal houses.
+pub fn hs1() -> Mapping {
+    m(
+        "hs1",
+        format!(
+            "foreach
+               select {}
+               from HS.houses s
+             exists
+               select {}
+               from Portal.houses h",
+            hs_contract_foreach("s"),
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `hs2`: the `housesInNeighborhood` self-join — buggy (neighborhood-name
+/// only) or fixed (city + state + neighborhood), per the Section 8
+/// debugging session.
+pub fn hs2(buggy: bool) -> Mapping {
+    let join = if buggy {
+        "s.neighborhood = n.neighborhood"
+    } else {
+        "s.neighborhood = n.neighborhood and s.city = n.city and s.state = n.state"
+    };
+    m(
+        "hs2",
+        format!(
+            "foreach
+               select {}, n.hid, n.addr, n.price
+               from HS.houses s, HS.houses n
+               where {}
+             exists
+               select {}, b.hid, b.address, b.price
+               from Portal.houses h, h.housesInNeighborhood b",
+            hs_contract_foreach("s"),
+            join,
+            contract_exists("h")
+        ),
+    )
+}
+
+/// `hs3`: Homeseekers agents into the portal agents relation.
+pub fn hs3() -> Mapping {
+    m(
+        "hs3",
+        "foreach
+           select a.name, a.name, a.phone, a.email, a.office
+           from HS.agents a
+         exists
+           select g.aid, g.name, g.phone, g.email, g.agency
+           from Portal.agents g"
+            .to_owned(),
+    )
+}
+
+/// `hs4`: Homeseekers tours into the open-house collections.
+pub fn hs4() -> Mapping {
+    m(
+        "hs4",
+        format!(
+            "foreach
+               select {}, t.date, t.from, t.to
+               from HS.houses s, HS.tours t
+               where t.hid = s.hid
+             exists
+               select {}, o.date, o.startTime, o.endTime
+               from Portal.houses h, h.openHouses o",
+            hs_contract_foreach("s"),
+            contract_exists("h")
+        ),
+    )
+}
+
+/// All sixteen portal mappings, with the chosen `hs2` variant.
+pub fn all_mappings(buggy_neighborhood_join: bool) -> Vec<Mapping> {
+    vec![
+        y1(),
+        y2(),
+        nk1(),
+        nk2(),
+        nk3(),
+        nk4(),
+        wm1(),
+        wm2(),
+        wm3(),
+        wm4(),
+        wf1(),
+        wf2(),
+        hs1(),
+        hs2(buggy_neighborhood_join),
+        hs3(),
+        hs4(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal_schema::portal_schema;
+    use crate::sources::*;
+    use dtr_model::schema::Schema;
+
+    #[test]
+    fn all_mappings_validate() {
+        let sources: Vec<Schema> = vec![
+            yahoo_schema(),
+            nk_schema(),
+            windermere_schema(),
+            westfall_schema(),
+            homeseekers_schema(),
+        ];
+        let refs: Vec<&Schema> = sources.iter().collect();
+        let portal = portal_schema();
+        for buggy in [false, true] {
+            for mapping in all_mappings(buggy) {
+                mapping
+                    .validate(&refs, &portal)
+                    .unwrap_or_else(|e| panic!("{} invalid: {e}", mapping.name));
+            }
+        }
+    }
+
+    #[test]
+    fn contract_has_22_positions() {
+        assert_eq!(contract_exists("h").matches(", ").count() + 1, 22);
+    }
+
+    #[test]
+    fn hs2_variants_differ_only_in_join() {
+        let b = hs2(true);
+        let f = hs2(false);
+        assert_eq!(b.foreach.select, f.foreach.select);
+        assert_eq!(b.exists, f.exists);
+        assert_eq!(b.foreach.conditions.len(), 1);
+        assert_eq!(f.foreach.conditions.len(), 3);
+    }
+}

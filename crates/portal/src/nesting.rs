@@ -1,0 +1,166 @@
+//! The nesting-depth experiment (E6).
+//!
+//! Section 8 predicts that "the annotation space overhead should decrease
+//! even further if the number of nested sets in the integrated schemas
+//! increases". This module generates a family of scenarios with the same
+//! number of leaf values arranged at different nesting depths: at depth 1
+//! everything sits in one flat relation, at depth `d` the leaves hang under
+//! `d` levels of nested sets. Two mappings split the data (by a parity tag
+//! on the top level), so annotation *differences* — the thing PNF
+//! suppression cannot elide — occur only at top-level members; the deeper
+//! the nesting, the fewer those are relative to total bytes.
+
+use dtr_core::tagged::{MappingSetting, TaggedInstance};
+use dtr_mapping::glav::Mapping;
+use dtr_model::instance::{Instance, Value};
+use dtr_model::schema::Schema;
+use dtr_model::types::Type;
+
+/// Builds a schema `db` with `depth` levels of nested sets (`l1`..`ld`).
+/// Each level's record carries a `key` and a `tag`; leaves additionally
+/// carry a `payload`.
+pub fn nested_schema(db: &str, root: &str, depth: usize) -> Schema {
+    assert!(depth >= 1);
+    let mut ty = Type::set(Type::record(vec![
+        ("key", Type::string()),
+        ("tag", Type::string()),
+        ("payload", Type::string()),
+    ]));
+    for _ in 1..depth {
+        ty = Type::set(Type::record(vec![
+            ("key", Type::string()),
+            ("tag", Type::string()),
+            ("inner", ty),
+        ]));
+    }
+    Schema::build(db, vec![(root, ty)]).expect("nested schema is valid")
+}
+
+/// Builds a complete `width^depth`-leaf instance of [`nested_schema`].
+pub fn nested_instance(db: &str, root: &str, depth: usize, width: usize) -> Instance {
+    fn level(prefix: &str, depth_left: usize, width: usize) -> Vec<Value> {
+        (0..width)
+            .map(|i| {
+                let key = format!("{prefix}.{i}");
+                let tag = if i % 2 == 0 { "a" } else { "b" };
+                if depth_left == 1 {
+                    Value::record(vec![
+                        ("key", Value::str(&key)),
+                        ("tag", Value::str(tag)),
+                        (
+                            "payload",
+                            Value::str(format!(
+                                "payload text for {key} with some characteristic length"
+                            )),
+                        ),
+                    ])
+                } else {
+                    Value::record(vec![
+                        ("key", Value::str(&key)),
+                        ("tag", Value::str(tag)),
+                        ("inner", Value::set(level(&key, depth_left - 1, width))),
+                    ])
+                }
+            })
+            .collect()
+    }
+    let mut inst = Instance::new(db);
+    inst.install_root(root, Value::set(level("k", depth, width)));
+    inst
+}
+
+/// The copy mapping for one parity tag: chains one binding per level and
+/// copies keys and the leaf payload.
+fn copy_mapping(name: &str, depth: usize, tag: &str) -> Mapping {
+    let mut from_src = String::from("Src x1");
+    let mut from_tgt = String::from("Tgt y1");
+    for lvl in 2..=depth {
+        from_src.push_str(&format!(", x{}.inner x{lvl}", lvl - 1));
+        from_tgt.push_str(&format!(", y{}.inner y{lvl}", lvl - 1));
+    }
+    let mut sel_src: Vec<String> = Vec::new();
+    let mut sel_tgt: Vec<String> = Vec::new();
+    for lvl in 1..=depth {
+        sel_src.push(format!("x{lvl}.key"));
+        sel_tgt.push(format!("y{lvl}.key"));
+        sel_src.push(format!("x{lvl}.tag"));
+        sel_tgt.push(format!("y{lvl}.tag"));
+    }
+    sel_src.push(format!("x{depth}.payload"));
+    sel_tgt.push(format!("y{depth}.payload"));
+    let body = format!(
+        "foreach select {} from {} where x1.tag = '{tag}'
+         exists select {} from {}",
+        sel_src.join(", "),
+        from_src,
+        sel_tgt.join(", "),
+        from_tgt,
+    );
+    Mapping::parse(name, &body).expect("copy mapping parses")
+}
+
+/// Builds the whole depth-`d` scenario and runs the exchange: a source with
+/// `width^depth` leaves copied by two mappings (`ma` on even top-level
+/// members, `mb` on odd ones).
+pub fn nested_tagged(depth: usize, width: usize) -> TaggedInstance {
+    let src_schema = nested_schema("SrcDb", "Src", depth);
+    let tgt_schema = nested_schema("TgtDb", "Tgt", depth);
+    let src_inst = nested_instance("SrcDb", "Src", depth, width);
+    let setting = MappingSetting::new(
+        vec![src_schema],
+        tgt_schema,
+        vec![
+            copy_mapping("ma", depth, "a"),
+            copy_mapping("mb", depth, "b"),
+        ],
+    )
+    .expect("nested setting validates");
+    TaggedInstance::exchange(setting, vec![src_inst]).expect("nested exchange succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_xml::writer::SizeReport;
+
+    #[test]
+    fn schema_depth_grows() {
+        assert_eq!(nested_schema("D", "R", 1).len(), 5); // set + * + key/tag/payload
+        let s3 = nested_schema("D", "R", 3);
+        assert!(s3.len() > nested_schema("D", "R", 1).len());
+        assert!(s3.resolve_path("/R/inner/inner/payload").is_some());
+    }
+
+    #[test]
+    fn exchange_copies_everything() {
+        let t = nested_tagged(2, 4);
+        let schema = t.setting().target_schema();
+        let leaf = schema.resolve_path("/Tgt/inner/payload").unwrap();
+        assert_eq!(t.target().interpretation(leaf).len(), 16);
+        // Top-level members split between ma and mb.
+        let top = schema.set_member(schema.roots()[0]).unwrap();
+        let tops = t.target().interpretation(top);
+        assert_eq!(tops.len(), 4);
+        let mut a_count = 0;
+        for n in tops {
+            let anns = &t.target().annotation(n).mappings;
+            assert_eq!(anns.len(), 1);
+            if anns[0].as_str() == "ma" {
+                a_count += 1;
+            }
+        }
+        assert_eq!(a_count, 2);
+    }
+
+    #[test]
+    fn deeper_nesting_lowers_pnf_overhead() {
+        // Same leaf count (64), depths 1, 2, 3.
+        let flat = nested_tagged(1, 64);
+        let mid = nested_tagged(2, 8);
+        let deep = nested_tagged(3, 4);
+        let o = |t: &TaggedInstance| SizeReport::measure(t.target()).pnf_overhead();
+        let (f, m, d) = (o(&flat), o(&mid), o(&deep));
+        assert!(f > m, "flat {f} should exceed mid {m}");
+        assert!(m > d, "mid {m} should exceed deep {d}");
+    }
+}

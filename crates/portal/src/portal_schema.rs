@@ -1,0 +1,281 @@
+//! The integrated real-estate portal schema of the Section 8 experiments.
+//!
+//! The paper integrates five web sources into a portal schema of **135
+//! elements**; this module reconstructs a schema of exactly that size with
+//! the structures the experiments need: a deeply attributed `houses`
+//! relation with nested records (schools, contact, taxes, location,
+//! interior, exterior) and nested sets (features, openHouses, priceHistory,
+//! media, housesInNeighborhood — the element at the center of the
+//! mapping-debugging case study), plus `agents`, `agencies`, `offices` and
+//! a `stats` record.
+//!
+//! Deliberately, the portal has **no element recording the originating data
+//! source** — recovering that information is exactly what the tagged
+//! instance and MXQL are for (Section 2's motivating point).
+
+use dtr_model::schema::Schema;
+use dtr_model::types::Type;
+
+fn s() -> Type {
+    Type::string()
+}
+
+/// Builds the 135-element portal schema (database name `Portal`).
+pub fn portal_schema() -> Schema {
+    let houses_member = Type::record(vec![
+        // 16 core atomic fields — the field set every house-producing
+        // mapping assigns (the "mapping contract" of `crate::mappings`).
+        ("hid", s()),
+        ("address", s()),
+        ("city", s()),
+        ("state", s()),
+        ("zip", s()),
+        ("neighborhood", s()),
+        ("price", Type::integer()),
+        ("beds", Type::integer()),
+        ("baths", Type::integer()),
+        ("sqft", Type::integer()),
+        ("yearBuilt", Type::integer()),
+        ("stories", Type::integer()),
+        ("style", s()),
+        ("status", s()),
+        ("listedDate", s()),
+        ("remarks", s()),
+        // 10 extended atomic fields (populated by no current mapping;
+        // they exist so "what populates this?" queries can answer
+        // "nothing", as in real integrations).
+        ("county", s()),
+        ("garage", s()),
+        ("pool", s()),
+        ("view", s()),
+        ("waterfront", s()),
+        ("basement", s()),
+        ("furnished", s()),
+        ("energyRating", s()),
+        ("daysOnMarket", Type::integer()),
+        ("url", s()),
+        ("mls", s()),
+        ("lotSqft", Type::integer()),
+        ("halfBaths", Type::integer()),
+        ("parkingSpaces", Type::integer()),
+        ("hoaFee", Type::integer()),
+        ("orientation", s()),
+        ("floorNumber", Type::integer()),
+        ("petsAllowed", s()),
+        ("virtualTour", s()),
+        ("photoCount", Type::integer()),
+        ("soldDate", s()),
+        ("soldPrice", Type::integer()),
+        // schools record: 1 + 3
+        (
+            "schools",
+            Type::record(vec![
+                ("elementary", s()),
+                ("middle", s()),
+                ("high", s()),
+                ("district", s()),
+            ]),
+        ),
+        // contact record: 1 + 5
+        (
+            "contact",
+            Type::record(vec![
+                ("name", s()),
+                ("businessPhone", s()),
+                ("homePhone", s()),
+                ("email", s()),
+                ("office", s()),
+            ]),
+        ),
+        // taxes record: 1 + 3
+        (
+            "taxes",
+            Type::record(vec![
+                ("annual", Type::integer()),
+                ("year", Type::integer()),
+                ("taxIncluded", s()),
+            ]),
+        ),
+        // location record: 1 + 3
+        (
+            "location",
+            Type::record(vec![
+                ("latitude", s()),
+                ("longitude", s()),
+                ("elevation", s()),
+                ("mapUrl", s()),
+            ]),
+        ),
+        // interior record: 1 + 5
+        (
+            "interior",
+            Type::record(vec![
+                ("heating", s()),
+                ("cooling", s()),
+                ("flooring", s()),
+                ("appliances", s()),
+                ("fireplace", s()),
+            ]),
+        ),
+        // exterior record: 1 + 4
+        (
+            "exterior",
+            Type::record(vec![
+                ("roof", s()),
+                ("construction", s()),
+                ("fence", s()),
+                ("parking", s()),
+            ]),
+        ),
+        // features set: 2 + 2
+        (
+            "features",
+            Type::set(Type::record(vec![
+                ("name", s()),
+                ("note", s()),
+                ("category", s()),
+            ])),
+        ),
+        // openHouses set: 2 + 3
+        (
+            "openHouses",
+            Type::set(Type::record(vec![
+                ("date", s()),
+                ("startTime", s()),
+                ("endTime", s()),
+                ("host", s()),
+            ])),
+        ),
+        // priceHistory set: 2 + 3
+        (
+            "priceHistory",
+            Type::set(Type::record(vec![
+                ("date", s()),
+                ("amount", Type::integer()),
+                ("event", s()),
+                ("source", s()),
+            ])),
+        ),
+        // media set: 2 + 3
+        (
+            "media",
+            Type::set(Type::record(vec![
+                ("kind", s()),
+                ("href", s()),
+                ("caption", s()),
+                ("width", s()),
+            ])),
+        ),
+        // housesInNeighborhood set: 2 + 3 — the Section 8 debugging case.
+        (
+            "housesInNeighborhood",
+            Type::set(Type::record(vec![
+                ("hid", s()),
+                ("address", s()),
+                ("price", Type::integer()),
+            ])),
+        ),
+    ]);
+
+    Schema::build(
+        "Portal",
+        vec![(
+            "Portal",
+            Type::record(vec![
+                ("houses", Type::set(houses_member)),
+                // agents: 2 + 8
+                (
+                    "agents",
+                    Type::set(Type::record(vec![
+                        ("aid", s()),
+                        ("name", s()),
+                        ("phone", s()),
+                        ("email", s()),
+                        ("agency", s()),
+                        ("license", s()),
+                        ("city", s()),
+                        ("rating", s()),
+                        ("fax", s()),
+                        ("office", s()),
+                        ("yearsActive", s()),
+                    ])),
+                ),
+                // agencies: 2 + 5
+                (
+                    "agencies",
+                    Type::set(Type::record(vec![
+                        ("name", s()),
+                        ("phone", s()),
+                        ("city", s()),
+                        ("url", s()),
+                        ("founded", s()),
+                        ("memberCount", s()),
+                        ("email", s()),
+                    ])),
+                ),
+                // offices: 2 + 5
+                (
+                    "offices",
+                    Type::set(Type::record(vec![
+                        ("name", s()),
+                        ("street", s()),
+                        ("city", s()),
+                        ("phone", s()),
+                        ("manager", s()),
+                        ("fax", s()),
+                        ("hours", s()),
+                    ])),
+                ),
+                // stats: 1 + 3
+                (
+                    "stats",
+                    Type::record(vec![
+                        ("totalListings", Type::integer()),
+                        ("avgPrice", Type::integer()),
+                        ("lastUpdate", s()),
+                    ]),
+                ),
+            ]),
+        )],
+    )
+    .expect("portal schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portal_has_exactly_135_elements() {
+        let schema = portal_schema();
+        assert_eq!(
+            schema.len(),
+            135,
+            "the paper's integrated schema has 135 elements; adjust the \
+             field lists if this drifts"
+        );
+    }
+
+    #[test]
+    fn key_paths_resolve() {
+        let schema = portal_schema();
+        for path in [
+            "/Portal/houses/hid",
+            "/Portal/houses/schools/elementary",
+            "/Portal/houses/contact/businessPhone",
+            "/Portal/houses/housesInNeighborhood/hid",
+            "/Portal/houses/features/name",
+            "/Portal/agents/aid",
+            "/Portal/stats/avgPrice",
+        ] {
+            assert!(schema.resolve_path(path).is_some(), "missing {path}");
+        }
+    }
+
+    #[test]
+    fn no_source_element_exists() {
+        // The motivating gap: nothing in the portal records provenance.
+        let schema = portal_schema();
+        assert!(schema.resolve_path("/Portal/houses/source").is_none());
+    }
+}

@@ -1,0 +1,591 @@
+//! Abstract syntax of the query language (Section 4.2) and its MXQL
+//! extensions (Section 5).
+//!
+//! The grammar of path expressions is exactly the paper's:
+//! `exp ::= S | x | exp.l | exp→l` — a schema root or variable followed by
+//! record projections and union choices. MXQL adds the postfix operators
+//! `@elem` and `@map` and the boolean *mapping predicates*
+//! `<db:e→m→db':e'>` (single arrow) and `<db:e⇒m⇒db':e'>` (double arrow).
+
+use dtr_model::label::Label;
+use dtr_model::value::AtomicValue;
+use std::fmt;
+
+/// A variable name bound in a `from` clause (or implicitly by a mapping
+/// predicate, as in Example 5.6).
+pub type Var = String;
+
+/// Where a path expression starts: a schema root element or a variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PathStart {
+    /// A schema root, e.g. `US` in `US.houses`.
+    Root(Label),
+    /// A query variable, e.g. `h` in `h.price`.
+    Var(Var),
+}
+
+/// One navigation step of a path expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Record projection `exp.l`.
+    Project(Label),
+    /// Union choice `exp→l`: selects the alternative `l`, filtering values
+    /// whose choice selected a different alternative.
+    Choice(Label),
+}
+
+/// A path expression: a start followed by projection/choice steps.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    /// Start symbol.
+    pub start: PathStart,
+    /// Navigation steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// A bare variable reference.
+    pub fn var(v: impl Into<Var>) -> PathExpr {
+        PathExpr {
+            start: PathStart::Var(v.into()),
+            steps: Vec::new(),
+        }
+    }
+
+    /// A bare schema-root reference.
+    pub fn root(r: impl Into<Label>) -> PathExpr {
+        PathExpr {
+            start: PathStart::Root(r.into()),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a record projection.
+    pub fn project(mut self, l: impl Into<Label>) -> PathExpr {
+        self.steps.push(Step::Project(l.into()));
+        self
+    }
+
+    /// Appends a union choice.
+    pub fn choice(mut self, l: impl Into<Label>) -> PathExpr {
+        self.steps.push(Step::Choice(l.into()));
+        self
+    }
+
+    /// The variable this path starts from, if any.
+    pub fn start_var(&self) -> Option<&str> {
+        match &self.start {
+            PathStart::Var(v) => Some(v),
+            PathStart::Root(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root(r) => write!(f, "{r}")?,
+            PathStart::Var(v) => write!(f, "{v}")?,
+        }
+        for s in &self.steps {
+            match s {
+                Step::Project(l) => write!(f, ".{l}")?,
+                Step::Choice(l) => write!(f, "->{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An expression: the operands of select items, bindings and comparisons.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A path expression.
+    Path(PathExpr),
+    /// An atomic constant.
+    Const(AtomicValue),
+    /// `exp@elem` — the schema element of the value (Section 5). Returns a
+    /// single value of type `Element`.
+    ElemOf(PathExpr),
+    /// `exp@map` — the set of mappings that generated the value (Section
+    /// 5). Set-valued; usable as a `from`-clause binding source.
+    MapOf(PathExpr),
+    /// A function call (Section 4.2 allows function calls returning a value
+    /// or a set of values).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a path expression.
+    pub fn path(p: PathExpr) -> Expr {
+        Expr::Path(p)
+    }
+
+    /// The variables referenced by this expression.
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            Expr::Path(p) | Expr::ElemOf(p) | Expr::MapOf(p) => p.start_var().into_iter().collect(),
+            Expr::Const(_) => Vec::new(),
+            Expr::Call(_, args) => args.iter().flat_map(|a| a.variables()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Const(c) => write!(f, "{}", c.display_quoted()),
+            Expr::ElemOf(p) => write!(f, "{p}@elem"),
+            Expr::MapOf(p) => write!(f, "{p}@map"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A `from`-clause binding `P x`: variable `x` ranges over the items
+/// produced by the source expression `P` (a set, a union choice, an `@map`,
+/// or a set-valued function call).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binding {
+    /// The bound variable.
+    pub var: Var,
+    /// The source expression.
+    pub source: Expr,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.source, self.var)
+    }
+}
+
+/// Comparison operators of the `where` clause. The paper lists `<`, `>`,
+/// `≤`, `≥`, `=`; `≠` is a convenience extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (extension)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Textual spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Applies the operator to an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A binary comparison condition `expr θ expr`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Expr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Expr,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A term of a mapping predicate: a variable (possibly implicitly declared
+/// by its position in the predicate) or a constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant (a database name or an element path).
+    Const(AtomicValue),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{}", c.display_quoted()),
+        }
+    }
+}
+
+/// The MXQL mapping predicate (Section 5).
+///
+/// * Single arrow `<db:es → m → db':et>`: mapping `m` copies values of the
+///   source element `es` into the target element `et` — schema-level
+///   **where-provenance** (Theorem 6.1).
+/// * Double arrow `<db:es ⇒ m ⇒ db':et>`: mapping `m` populates `et` and
+///   references `es` in the select or where clause of its `foreach` query —
+///   schema-level **what-provenance** (Theorem 6.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MappingPred {
+    /// Source database term.
+    pub src_db: Term,
+    /// Source element term.
+    pub src_elem: Term,
+    /// Mapping term.
+    pub mapping: Term,
+    /// Target database term.
+    pub tgt_db: Term,
+    /// Target element term.
+    pub tgt_elem: Term,
+    /// `true` for the double-arrow (what-provenance) form.
+    pub double: bool,
+}
+
+impl MappingPred {
+    /// All variable names used by the predicate.
+    pub fn variables(&self) -> Vec<&str> {
+        [
+            &self.src_db,
+            &self.src_elem,
+            &self.mapping,
+            &self.tgt_db,
+            &self.tgt_elem,
+        ]
+        .into_iter()
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(v.as_str()),
+            Term::Const(_) => None,
+        })
+        .collect()
+    }
+}
+
+impl fmt::Display for MappingPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = if self.double { "=>" } else { "->" };
+        write!(
+            f,
+            "<{}:{} {arrow} {} {arrow} {}:{}>",
+            self.src_db, self.src_elem, self.mapping, self.tgt_db, self.tgt_elem
+        )
+    }
+}
+
+/// A `where`-clause condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Condition {
+    /// A binary comparison.
+    Cmp(Comparison),
+    /// A mapping predicate (MXQL).
+    MapPred(MappingPred),
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Cmp(c) => write!(f, "{c}"),
+            Condition::MapPred(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A sort key of the (extension) `order by` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    /// The expression to sort by (atomic-typed).
+    pub expr: Expr,
+    /// Sort descending.
+    pub descending: bool,
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.descending {
+            f.write_str(" desc")?;
+        }
+        Ok(())
+    }
+}
+
+/// A select-from-where query (Section 4.2).
+///
+/// The optional `order by` / `limit` tail is an extension the paper
+/// explicitly permits ("the query language ... can also be extended to
+/// include aggregation functions, negation and order"); only ordering and
+/// limiting are implemented, as pure post-processing of the result set.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Query {
+    /// Select-clause expressions (atomic-typed).
+    pub select: Vec<Expr>,
+    /// From-clause bindings, in dependency order.
+    pub from: Vec<Binding>,
+    /// Where-clause conditions, conjunctively combined.
+    pub conditions: Vec<Condition>,
+    /// Optional sort keys (extension).
+    pub order_by: Vec<OrderKey>,
+    /// Optional row limit (extension).
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// True if any select item or condition uses an MXQL construct
+    /// (`@elem`, `@map`, or a mapping predicate).
+    pub fn is_mxql(&self) -> bool {
+        fn expr_is_meta(e: &Expr) -> bool {
+            match e {
+                Expr::ElemOf(_) | Expr::MapOf(_) => true,
+                Expr::Call(_, args) => args.iter().any(expr_is_meta),
+                _ => false,
+            }
+        }
+        self.select.iter().any(expr_is_meta)
+            || self.from.iter().any(|b| expr_is_meta(&b.source))
+            || self.conditions.iter().any(|c| match c {
+                Condition::MapPred(_) => true,
+                Condition::Cmp(cmp) => expr_is_meta(&cmp.left) || expr_is_meta(&cmp.right),
+            })
+    }
+
+    /// The variables declared by the `from` clause, in order.
+    pub fn declared_vars(&self) -> Vec<&str> {
+        self.from.iter().map(|b| b.var.as_str()).collect()
+    }
+
+    /// Variables used anywhere but not declared in the `from` clause —
+    /// these are the *implicitly defined* variables of mapping predicates
+    /// ("variables used in the mapping predicate need not be defined in the
+    /// from clause", Section 5).
+    pub fn implicit_vars(&self) -> Vec<&str> {
+        let declared = self.declared_vars();
+        let mut out: Vec<&str> = Vec::new();
+        fn add<'a>(vs: Vec<&'a str>, declared: &[&str], out: &mut Vec<&'a str>) {
+            for v in vs {
+                if !declared.contains(&v) && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for e in &self.select {
+            add(e.variables(), &declared, &mut out);
+        }
+        for c in &self.conditions {
+            match c {
+                Condition::Cmp(cmp) => {
+                    add(cmp.left.variables(), &declared, &mut out);
+                    add(cmp.right.variables(), &declared, &mut out);
+                }
+                Condition::MapPred(p) => add(p.variables(), &declared, &mut out),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("select ")?;
+        for (i, e) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        f.write_str("\nfrom ")?;
+        for (i, b) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        if !self.conditions.is_empty() {
+            f.write_str("\nwhere ")?;
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" and ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            f.write_str("\norder by ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, "\nlimit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        // select h.hid, n from US.houses h, a.title->name n where h.aid = a.aid
+        Query {
+            select: vec![
+                Expr::Path(PathExpr::var("h").project("hid")),
+                Expr::Path(PathExpr::var("n")),
+            ],
+            from: vec![
+                Binding {
+                    var: "h".into(),
+                    source: Expr::Path(PathExpr::root("US").project("houses")),
+                },
+                Binding {
+                    var: "n".into(),
+                    source: Expr::Path(PathExpr::var("a").project("title").choice("name")),
+                },
+            ],
+            conditions: vec![Condition::Cmp(Comparison {
+                left: Expr::Path(PathExpr::var("h").project("aid")),
+                op: CmpOp::Eq,
+                right: Expr::Path(PathExpr::var("a").project("aid")),
+            })],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let q = sample_query();
+        let s = q.to_string();
+        assert!(s.contains("select h.hid, n"));
+        assert!(s.contains("from US.houses h, a.title->name n"));
+        assert!(s.contains("where h.aid = a.aid"));
+    }
+
+    #[test]
+    fn variables_of_expressions() {
+        let e = Expr::Path(PathExpr::var("h").project("hid"));
+        assert_eq!(e.variables(), ["h"]);
+        let c = Expr::Call(
+            "f".into(),
+            vec![e.clone(), Expr::Const(AtomicValue::Int(1))],
+        );
+        assert_eq!(c.variables(), ["h"]);
+        assert!(Expr::Const(AtomicValue::Int(1)).variables().is_empty());
+    }
+
+    #[test]
+    fn mxql_detection() {
+        let mut q = sample_query();
+        assert!(!q.is_mxql());
+        q.select
+            .push(Expr::MapOf(PathExpr::var("h").project("price")));
+        assert!(q.is_mxql());
+
+        let mut q2 = sample_query();
+        q2.conditions.push(Condition::MapPred(MappingPred {
+            src_db: Term::Var("db".into()),
+            src_elem: Term::Var("e".into()),
+            mapping: Term::Var("m".into()),
+            tgt_db: Term::Const(AtomicValue::Db("Pdb".into())),
+            tgt_elem: Term::Var("e2".into()),
+            double: false,
+        }));
+        assert!(q2.is_mxql());
+    }
+
+    #[test]
+    fn implicit_vars_found() {
+        // Example 5.6: select e from where <db:e->m->'Pdb':'/Portal/...'>
+        let q = Query {
+            select: vec![Expr::Path(PathExpr::var("e"))],
+            from: vec![],
+            conditions: vec![Condition::MapPred(MappingPred {
+                src_db: Term::Var("db".into()),
+                src_elem: Term::Var("e".into()),
+                mapping: Term::Var("m".into()),
+                tgt_db: Term::Const(AtomicValue::Db("Pdb".into())),
+                tgt_elem: Term::Const(AtomicValue::str("/Portal/estates/stories")),
+                double: false,
+            })],
+            ..Default::default()
+        };
+        let implicit = q.implicit_vars();
+        assert!(implicit.contains(&"e"));
+        assert!(implicit.contains(&"db"));
+        assert!(implicit.contains(&"m"));
+        assert_eq!(implicit.len(), 3);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.test(Equal));
+        assert!(!CmpOp::Eq.test(Less));
+        assert!(CmpOp::Ne.test(Less));
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Ge.test(Greater));
+        assert!(!CmpOp::Lt.test(Greater));
+    }
+
+    #[test]
+    fn mapping_pred_display() {
+        let p = MappingPred {
+            src_db: Term::Const(AtomicValue::Db("USdb".into())),
+            src_elem: Term::Const(AtomicValue::str("/US/agents/title/firm")),
+            mapping: Term::Var("m".into()),
+            tgt_db: Term::Const(AtomicValue::Db("Pdb".into())),
+            tgt_elem: Term::Var("e".into()),
+            double: false,
+        };
+        assert_eq!(
+            p.to_string(),
+            "<'USdb':'/US/agents/title/firm' -> m -> 'Pdb':e>"
+        );
+        let d = MappingPred { double: true, ..p };
+        assert!(d.to_string().contains("=>"));
+    }
+}

@@ -1,0 +1,1491 @@
+//! Query evaluation over (annotated) instances.
+//!
+//! The evaluator implements the semantics of Section 4.2: a *valuation*
+//! instantiates the query variables to instance values such that the
+//! structure and conditions are satisfied; each result tuple is a tuple of
+//! **facts** — atomic values together with their positions in the instance
+//! ("the result of a query is not considered a simple set of values, but a
+//! set of facts", Section 6).
+//!
+//! MXQL constructs evaluate per Section 5:
+//! * `exp@elem` returns `f_el(v)` as an `Element` value;
+//! * `exp@map` returns `f_mp(v)` as a set of `Mapping` values;
+//! * mapping predicates draw `(source element, mapping, target element)`
+//!   triples from a [`MetaEnv`] — implemented by the mapping-setting type in
+//!   `dtr-core` — and act as generators for their unbound variables.
+
+use crate::ast::*;
+use crate::functions::{ArgValue, FunctionRegistry, FunctionValue};
+use dtr_model::instance::{Instance, NodeId};
+use dtr_model::schema::Schema;
+use dtr_model::value::{AtomicValue, ElementRef, MappingName};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One queryable data source: a schema and an instance conforming to it.
+#[derive(Clone, Copy)]
+pub struct Source<'a> {
+    /// The source's schema.
+    pub schema: &'a Schema,
+    /// The source's (possibly annotated) instance.
+    pub instance: &'a Instance,
+}
+
+/// The set of data sources visible to a query.
+#[derive(Clone, Default)]
+pub struct Catalog<'a> {
+    sources: Vec<Source<'a>>,
+}
+
+impl<'a> Catalog<'a> {
+    /// Builds a catalog. Root labels should be unique across sources.
+    pub fn new(sources: Vec<Source<'a>>) -> Self {
+        Catalog { sources }
+    }
+
+    /// Adds a source.
+    pub fn push(&mut self, source: Source<'a>) {
+        self.sources.push(source);
+    }
+
+    /// All sources.
+    pub fn sources(&self) -> &[Source<'a>] {
+        &self.sources
+    }
+
+    /// The source at an index.
+    pub fn source(&self, idx: usize) -> Source<'a> {
+        self.sources[idx]
+    }
+
+    /// Finds `(source index, root node)` for a root label.
+    pub fn find_root(&self, label: &str) -> Option<(usize, NodeId)> {
+        self.sources
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.instance.root(label).map(|n| (i, n)))
+    }
+
+    /// Finds a source index by database name.
+    pub fn by_name(&self, db: &str) -> Option<usize> {
+        self.sources.iter().position(|s| s.instance.db() == db)
+    }
+}
+
+/// A runtime value: an instance node (a fact) or a bare atomic value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    /// A node of a catalog instance: `(source index, node)`.
+    Node(usize, NodeId),
+    /// A computed atomic value with no instance position.
+    Atom(AtomicValue),
+}
+
+/// A `(source element, mapping, target element)` triple exposed by a
+/// mapping setting for mapping-predicate evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredTriple {
+    /// The source schema element.
+    pub src: ElementRef,
+    /// The mapping.
+    pub mapping: MappingName,
+    /// The target schema element.
+    pub tgt: ElementRef,
+}
+
+/// Supplies mapping-predicate triples. Implemented by
+/// `dtr_core::TaggedInstance` over its mapping setting.
+pub trait MetaEnv {
+    /// All triples satisfying the single-arrow (`double == false`,
+    /// where-provenance) or double-arrow (`double == true`,
+    /// what-provenance) predicate.
+    fn triples(&self, double: bool) -> Vec<PredTriple>;
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Apply each comparison as soon as all of its variables are bound
+    /// (predicate pushdown). Disabling this evaluates all conditions only
+    /// after the full cross product — the naive semantics — and exists for
+    /// the ablation benchmarks.
+    pub pushdown: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { pushdown: true }
+    }
+}
+
+/// An output value: the atomic value plus, when the select expression was a
+/// path into an instance, the node it came from (the *fact*).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutValue {
+    /// The atomic value.
+    pub value: AtomicValue,
+    /// The instance position, if the value is a fact.
+    pub node: Option<(usize, NodeId)>,
+}
+
+/// The result of evaluating a query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Column headers (the select expressions, printed).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<OutValue>>,
+}
+
+impl QueryResult {
+    /// The rows as plain atomic tuples.
+    pub fn tuples(&self) -> Vec<Vec<AtomicValue>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.value.clone()).collect())
+            .collect()
+    }
+
+    /// The distinct atomic tuples, in first-appearance order.
+    pub fn distinct_tuples(&self) -> Vec<Vec<AtomicValue>> {
+        let mut seen: Vec<Vec<AtomicValue>> = Vec::new();
+        for t in self.tuples() {
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        seen
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the result as a simple aligned table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.value.to_string();
+                        if i < widths.len() && s.len() > widths[i] {
+                            widths[i] = s.len();
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                if i + 1 < cells.len() {
+                    for _ in c.len()..widths[i] {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.columns, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for r in &rendered {
+            fmt_row(r, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Runtime evaluation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A path starts at a root no catalog instance declares.
+    UnknownRoot(String),
+    /// A variable was used before being bound.
+    UnboundVariable(String),
+    /// A binding source did not evaluate to something iterable.
+    NotIterable(String),
+    /// A select or comparison expression evaluated to a complex value.
+    ComplexValue(String),
+    /// A comparison between incomparable values.
+    Incomparable(String),
+    /// `@elem` was applied to a value with no element annotation.
+    MissingElementAnnotation(String),
+    /// An unknown function was called.
+    UnknownFunction(String),
+    /// A function rejected its arguments.
+    Function(String),
+    /// A mapping predicate was used without a [`MetaEnv`].
+    NoMetaEnv,
+    /// A projection label that does not exist on a record value (only
+    /// reported in contexts where silent filtering would be wrong).
+    BadProjection(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRoot(r) => write!(f, "unknown root `{r}`"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::NotIterable(e) => write!(f, "binding source not iterable: {e}"),
+            EvalError::ComplexValue(e) => write!(f, "expression yields a complex value: {e}"),
+            EvalError::Incomparable(c) => write!(f, "incomparable values in `{c}`"),
+            EvalError::MissingElementAnnotation(e) => {
+                write!(f, "`{e}` has no element annotation; run annotate_elements")
+            }
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::Function(m) => write!(f, "function error: {m}"),
+            EvalError::NoMetaEnv => {
+                write!(f, "mapping predicates need a mapping setting (MetaEnv)")
+            }
+            EvalError::BadProjection(p) => write!(f, "bad projection `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluator.
+pub struct Evaluator<'a> {
+    catalog: &'a Catalog<'a>,
+    functions: &'a FunctionRegistry,
+    meta: Option<&'a dyn MetaEnv>,
+    opts: EvalOptions,
+}
+
+/// Row environment: one slot per variable.
+type Env = Vec<Option<Val>>;
+
+/// A borrowed runtime value (see [`Val`]).
+enum ValRef<'a> {
+    Node(usize, NodeId),
+    Atom(&'a AtomicValue),
+}
+
+/// A comparison operand: borrowed where possible, owned for computed
+/// values, `None` when the expression has no valuation.
+enum Operand<'a> {
+    None,
+    Ref(&'a AtomicValue),
+    Owned(AtomicValue),
+}
+
+impl Operand<'_> {
+    fn as_ref(&self) -> Option<&AtomicValue> {
+        match self {
+            Operand::None => None,
+            Operand::Ref(v) => Some(v),
+            Operand::Owned(v) => Some(v),
+        }
+    }
+}
+
+/// A precomputed comparison operand: `None` = not hoisted (depends on the
+/// binding variable); `Some(v)` = hoisted, with `v` the operand's value
+/// (itself `None` when the operand had no valuation).
+type PreSide = Option<Option<AtomicValue>>;
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a catalog with the given function registry.
+    pub fn new(catalog: &'a Catalog<'a>, functions: &'a FunctionRegistry) -> Self {
+        Evaluator {
+            catalog,
+            functions,
+            meta: None,
+            opts: EvalOptions::default(),
+        }
+    }
+
+    /// Attaches a [`MetaEnv`] enabling mapping predicates.
+    pub fn with_meta(mut self, meta: &'a dyn MetaEnv) -> Self {
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Overrides evaluation options.
+    pub fn with_options(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Evaluates a query.
+    pub fn run(&self, q: &Query) -> Result<QueryResult, EvalError> {
+        // Variable slots: declared vars first, then implicit ones.
+        let mut var_index: HashMap<&str, usize> = HashMap::new();
+        for b in &q.from {
+            let next = var_index.len();
+            var_index.entry(b.var.as_str()).or_insert(next);
+        }
+        for v in q.implicit_vars() {
+            let next = var_index.len();
+            var_index.entry(v).or_insert(next);
+        }
+        let nvars = var_index.len();
+
+        // Split conditions.
+        let comparisons: Vec<&Comparison> = q
+            .conditions
+            .iter()
+            .filter_map(|c| match c {
+                Condition::Cmp(cmp) => Some(cmp),
+                _ => None,
+            })
+            .collect();
+        let predicates: Vec<&MappingPred> = q
+            .conditions
+            .iter()
+            .filter_map(|c| match c {
+                Condition::MapPred(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        let mut cmp_done = vec![false; comparisons.len()];
+
+        let mut rows: Vec<Env> = vec![vec![None; nvars]];
+
+        // Precompute which comparisons become *ready* (all variables bound)
+        // as each binding completes, so candidates can be tested in place
+        // before any row is materialized.
+        let mut bound: Vec<&str> = Vec::new();
+        let cmp_vars: Vec<Vec<&str>> = comparisons
+            .iter()
+            .map(|cmp| {
+                cmp.left
+                    .variables()
+                    .into_iter()
+                    .chain(cmp.right.variables())
+                    .collect()
+            })
+            .collect();
+        let mut ready_at: Vec<Vec<usize>> = Vec::with_capacity(q.from.len());
+        for b in &q.from {
+            bound.push(b.var.as_str());
+            let mut ready = Vec::new();
+            for (ci, vars) in cmp_vars.iter().enumerate() {
+                if cmp_done[ci] || !vars.iter().all(|v| bound.contains(v)) {
+                    continue;
+                }
+                if !ready_at.iter().any(|r: &Vec<usize>| r.contains(&ci)) {
+                    ready.push(ci);
+                }
+            }
+            ready_at.push(ready);
+        }
+
+        // From-clause bindings, in order. Each candidate item is written
+        // into the (mutable) current row and tested against the newly ready
+        // comparisons; only survivors are cloned into the next generation.
+        for (bi, b) in q.from.iter().enumerate() {
+            let slot = var_index[b.var.as_str()];
+            let ready = if self.opts.pushdown {
+                ready_at[bi].as_slice()
+            } else {
+                &[]
+            };
+            for &ci in ready {
+                cmp_done[ci] = true;
+            }
+            // A binding source without variables (a schema root) produces
+            // the same items for every row: compute them once, and
+            // pre-filter them by the ready conditions whose other operand
+            // is row-independent (constants and root paths) — e.g. the
+            // `e.db = 'Portal'` filters of translated MXQL queries.
+            let static_items: Option<Vec<Val>> = if b.source.variables().is_empty() {
+                match rows.first() {
+                    Some(env) => {
+                        let mut items = self.binding_items(&b.source, env, &var_index)?;
+                        for &ci in ready {
+                            let cmp = comparisons[ci];
+                            let l_vars = cmp.left.variables();
+                            let r_vars = cmp.right.variables();
+                            let candidate_only =
+                                |vars: &Vec<&str>| vars.iter().all(|v| *v == b.var.as_str());
+                            if !(candidate_only(&l_vars) && r_vars.is_empty()
+                                || candidate_only(&r_vars) && l_vars.is_empty())
+                            {
+                                continue;
+                            }
+                            let slot_ci = var_index[b.var.as_str()];
+                            let mut probe = env.clone();
+                            let mut kept = Vec::with_capacity(items.len());
+                            for item in items {
+                                probe[slot_ci] = Some(item.clone());
+                                if self.comparison_holds(cmp, &probe, &var_index)? {
+                                    kept.push(item);
+                                }
+                            }
+                            items = kept;
+                        }
+                        Some(items)
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            // Which comparison sides depend on this binding's variable?
+            // The others are loop-invariant over the candidates and are
+            // computed once per row.
+            let side_invariant: Vec<(bool, bool)> = ready
+                .iter()
+                .map(|&ci| {
+                    let cmp = comparisons[ci];
+                    (
+                        !cmp.left.variables().contains(&b.var.as_str()),
+                        !cmp.right.variables().contains(&b.var.as_str()),
+                    )
+                })
+                .collect();
+            let mut next_rows = Vec::new();
+            for mut env in rows {
+                let items = match &static_items {
+                    Some(cached) => cached.clone(),
+                    None => self.binding_items(&b.source, &env, &var_index)?,
+                };
+                let mut pre: Vec<(PreSide, PreSide)> = Vec::with_capacity(ready.len());
+                for (k, &ci) in ready.iter().enumerate() {
+                    let cmp = comparisons[ci];
+                    let l = if side_invariant[k].0 {
+                        Some(self.out_value_opt(&cmp.left, &env, &var_index)?.value)
+                    } else {
+                        None
+                    };
+                    let r = if side_invariant[k].1 {
+                        Some(self.out_value_opt(&cmp.right, &env, &var_index)?.value)
+                    } else {
+                        None
+                    };
+                    pre.push((l, r));
+                }
+                for item in items {
+                    env[slot] = Some(item);
+                    let mut ok = true;
+                    for (k, &ci) in ready.iter().enumerate() {
+                        if !self.comparison_holds_pre(
+                            comparisons[ci],
+                            &pre[k].0,
+                            &pre[k].1,
+                            &env,
+                            &var_index,
+                        )? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        next_rows.push(env.clone());
+                    }
+                }
+            }
+            rows = next_rows;
+            if rows.is_empty() {
+                break;
+            }
+        }
+
+        // Mapping predicates act as generators/filters. Triples are
+        // pre-filtered against the predicate's constant slots once, instead
+        // of per row.
+        for p in &predicates {
+            if rows.is_empty() {
+                break;
+            }
+            let meta = self.meta.ok_or(EvalError::NoMetaEnv)?;
+            let triples: Vec<PredTriple> = meta
+                .triples(p.double)
+                .into_iter()
+                .filter(|t| pred_constants_match(p, t))
+                .collect();
+            let mut next_rows = Vec::new();
+            for env in &rows {
+                for t in &triples {
+                    if let Some(e2) = self.unify_pred(p, t, env, &var_index)? {
+                        next_rows.push(e2);
+                    }
+                }
+            }
+            rows = next_rows;
+            if self.opts.pushdown {
+                self.apply_ready_comparisons(&comparisons, &mut cmp_done, &var_index, &mut rows)?;
+            }
+        }
+
+        // Remaining comparisons.
+        for (i, cmp) in comparisons.iter().enumerate() {
+            if cmp_done[i] {
+                continue;
+            }
+            let mut kept = Vec::with_capacity(rows.len());
+            for env in rows {
+                if self.comparison_holds(cmp, &env, &var_index)? {
+                    kept.push(env);
+                }
+            }
+            rows = kept;
+        }
+
+        // Project the select clause.
+        let mut out = QueryResult {
+            columns: q.select.iter().map(|e| e.to_string()).collect(),
+            rows: Vec::with_capacity(rows.len()),
+        };
+        let mut sort_keys: Vec<Vec<Option<AtomicValue>>> = Vec::new();
+        'rows: for env in &rows {
+            let mut tuple = Vec::with_capacity(q.select.len());
+            for e in &q.select {
+                let arg = self.out_value_opt(e, env, &var_index)?;
+                match arg.value {
+                    Some(value) => tuple.push(OutValue {
+                        value,
+                        node: arg.node,
+                    }),
+                    // A select expression with no valuation (a choice that
+                    // selected another alternative, or a record field this
+                    // value's generating mapping never assigned): the row
+                    // has no valuation.
+                    None => continue 'rows,
+                }
+            }
+            if !q.order_by.is_empty() {
+                let mut keys = Vec::with_capacity(q.order_by.len());
+                for k in &q.order_by {
+                    keys.push(self.out_value_opt(&k.expr, env, &var_index)?.value);
+                }
+                sort_keys.push(keys);
+            }
+            out.rows.push(tuple);
+        }
+
+        // The extension tail: order by, then limit.
+        if !q.order_by.is_empty() {
+            let mut indexed: Vec<usize> = (0..out.rows.len()).collect();
+            indexed.sort_by(|&a, &b| {
+                for (ki, k) in q.order_by.iter().enumerate() {
+                    let ord = match (&sort_keys[a][ki], &sort_keys[b][ki]) {
+                        (Some(x), Some(y)) => {
+                            coerced_compare(x, y).unwrap_or(std::cmp::Ordering::Equal)
+                        }
+                        (None, Some(_)) => std::cmp::Ordering::Less,
+                        (Some(_), None) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    };
+                    let ord = if k.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut reordered = Vec::with_capacity(out.rows.len());
+            for i in indexed {
+                reordered.push(std::mem::take(&mut out.rows[i]));
+            }
+            out.rows = reordered;
+        }
+        if let Some(n) = q.limit {
+            out.rows.truncate(n);
+        }
+        Ok(out)
+    }
+
+    fn apply_ready_comparisons(
+        &self,
+        comparisons: &[&Comparison],
+        cmp_done: &mut [bool],
+        var_index: &HashMap<&str, usize>,
+        rows: &mut Vec<Env>,
+    ) -> Result<(), EvalError> {
+        for (i, cmp) in comparisons.iter().enumerate() {
+            if cmp_done[i] {
+                continue;
+            }
+            let vars: Vec<&str> = cmp
+                .left
+                .variables()
+                .into_iter()
+                .chain(cmp.right.variables())
+                .collect();
+            // Ready if every referenced variable is bound in every row.
+            // All rows share the same binding pattern at this point, so
+            // checking the first row suffices.
+            let ready = match rows.first() {
+                Some(env) => vars
+                    .iter()
+                    .all(|v| var_index.get(v).is_some_and(|&s| env[s].is_some())),
+                None => false,
+            };
+            if !ready {
+                continue;
+            }
+            cmp_done[i] = true;
+            let mut kept = Vec::with_capacity(rows.len());
+            for env in rows.drain(..) {
+                if self.comparison_holds(cmp, &env, var_index)? {
+                    kept.push(env);
+                }
+            }
+            *rows = kept;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a path expression to a value, or `None` when a choice step
+    /// filters the valuation out.
+    fn eval_path(
+        &self,
+        p: &PathExpr,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<Option<Val>, EvalError> {
+        Ok(self.eval_path_ref(p, env, var_index)?.map(|v| match v {
+            ValRef::Node(s, n) => Val::Node(s, n),
+            ValRef::Atom(a) => Val::Atom(a.clone()),
+        }))
+    }
+
+    /// Like [`Evaluator::eval_path`], but borrowing: atom results reference
+    /// the environment directly, so hot comparison loops avoid cloning.
+    fn eval_path_ref<'x>(
+        &self,
+        p: &PathExpr,
+        env: &'x Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<Option<ValRef<'x>>, EvalError> {
+        let mut cur: ValRef<'x> = match &p.start {
+            PathStart::Root(r) => {
+                let (s, n) = self
+                    .catalog
+                    .find_root(r)
+                    .ok_or_else(|| EvalError::UnknownRoot(r.to_string()))?;
+                ValRef::Node(s, n)
+            }
+            PathStart::Var(v) => {
+                let slot = *var_index
+                    .get(v.as_str())
+                    .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+                match env[slot].as_ref() {
+                    Some(Val::Node(s, n)) => ValRef::Node(*s, *n),
+                    Some(Val::Atom(a)) => ValRef::Atom(a),
+                    None => return Err(EvalError::UnboundVariable(v.clone())),
+                }
+            }
+        };
+        for step in &p.steps {
+            let (src, node) = match cur {
+                ValRef::Node(s, n) => (s, n),
+                ValRef::Atom(_) => return Err(EvalError::BadProjection(p.to_string())),
+            };
+            let inst = self.catalog.source(src).instance;
+            match step {
+                Step::Project(l) => match inst.child_by_label(node, l) {
+                    Some(c) => cur = ValRef::Node(src, c),
+                    // A conformant record always carries all fields;
+                    // exchange-produced instances may omit unassigned ones,
+                    // which simply yields no valuation.
+                    None => return Ok(None),
+                },
+                Step::Choice(l) => match inst.choice_selection(node) {
+                    Some((sel, c)) if sel == l.as_str() => cur = ValRef::Node(src, c),
+                    // The choice selected a different alternative: filter.
+                    Some(_) => return Ok(None),
+                    None => return Ok(None),
+                },
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    /// Evaluates a comparison operand without cloning where possible.
+    fn operand<'x>(
+        &'x self,
+        e: &'x Expr,
+        env: &'x Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<Operand<'x>, EvalError> {
+        match e {
+            Expr::Const(c) => Ok(Operand::Ref(c)),
+            Expr::Path(p) => match self.eval_path_ref(p, env, var_index)? {
+                None => Ok(Operand::None),
+                Some(ValRef::Atom(a)) => Ok(Operand::Ref(a)),
+                Some(ValRef::Node(s, n)) => match self.catalog.source(s).instance.atomic(n) {
+                    Some(v) => Ok(Operand::Ref(v)),
+                    None => Err(EvalError::ComplexValue(e.to_string())),
+                },
+            },
+            other => match self.out_value_opt(other, env, var_index)?.value {
+                Some(v) => Ok(Operand::Owned(v)),
+                None => Ok(Operand::None),
+            },
+        }
+    }
+
+    /// The items a binding source generates for one row.
+    fn binding_items(
+        &self,
+        source: &Expr,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<Vec<Val>, EvalError> {
+        match source {
+            Expr::Path(p) => {
+                let Some(val) = self.eval_path(p, env, var_index)? else {
+                    return Ok(Vec::new());
+                };
+                match &val {
+                    Val::Node(s, n) => {
+                        let inst = self.catalog.source(*s).instance;
+                        if let Some(members) = inst.set_members(*n) {
+                            Ok(members.iter().map(|&m| Val::Node(*s, m)).collect())
+                        } else if matches!(p.steps.last(), Some(Step::Choice(_))) {
+                            // A union-choice binding yields the single
+                            // selected value (Section 4.2).
+                            Ok(vec![val])
+                        } else {
+                            Err(EvalError::NotIterable(source.to_string()))
+                        }
+                    }
+                    Val::Atom(_) => Err(EvalError::NotIterable(source.to_string())),
+                }
+            }
+            Expr::MapOf(p) => {
+                let Some(val) = self.eval_path(p, env, var_index)? else {
+                    return Ok(Vec::new());
+                };
+                let Val::Node(s, n) = val else {
+                    return Err(EvalError::NotIterable(source.to_string()));
+                };
+                let inst = self.catalog.source(s).instance;
+                Ok(inst
+                    .annotation(n)
+                    .mappings
+                    .iter()
+                    .map(|m| Val::Atom(AtomicValue::Map(m.clone())))
+                    .collect())
+            }
+            Expr::Call(name, args) => match self.call_function(name, args, env, var_index)? {
+                FunctionValue::One(v) => Ok(vec![Val::Atom(v)]),
+                FunctionValue::Many(vs) => Ok(vs.into_iter().map(Val::Atom).collect()),
+            },
+            other => Err(EvalError::NotIterable(other.to_string())),
+        }
+    }
+
+    fn call_function(
+        &self,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<FunctionValue, EvalError> {
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in args {
+            let out = self.out_value_opt(a, env, var_index)?;
+            arg_vals.push(out);
+        }
+        let f = self
+            .functions
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownFunction(name.to_string()))?;
+        f(&arg_vals, self.catalog)
+    }
+
+    /// Evaluates an expression to an [`ArgValue`] (value + optional node).
+    fn out_value_opt(
+        &self,
+        e: &Expr,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<ArgValue, EvalError> {
+        match e {
+            Expr::Const(c) => Ok(ArgValue {
+                value: Some(c.clone()),
+                node: None,
+            }),
+            Expr::Path(p) => match self.eval_path(p, env, var_index)? {
+                None => Ok(ArgValue {
+                    value: None,
+                    node: None,
+                }),
+                Some(Val::Atom(a)) => Ok(ArgValue {
+                    value: Some(a),
+                    node: None,
+                }),
+                Some(Val::Node(s, n)) => {
+                    let inst = self.catalog.source(s).instance;
+                    match inst.atomic(n) {
+                        Some(v) => Ok(ArgValue {
+                            value: Some(v.clone()),
+                            node: Some((s, n)),
+                        }),
+                        None => Err(EvalError::ComplexValue(e.to_string())),
+                    }
+                }
+            },
+            Expr::ElemOf(p) => match self.eval_path(p, env, var_index)? {
+                None => Ok(ArgValue {
+                    value: None,
+                    node: None,
+                }),
+                Some(Val::Node(s, n)) => {
+                    let source = self.catalog.source(s);
+                    let elem = source
+                        .instance
+                        .annotation(n)
+                        .element
+                        .ok_or_else(|| EvalError::MissingElementAnnotation(e.to_string()))?;
+                    Ok(ArgValue {
+                        value: Some(AtomicValue::Elem(ElementRef::new(
+                            source.instance.db(),
+                            source.schema.path(elem),
+                        ))),
+                        node: None,
+                    })
+                }
+                Some(Val::Atom(_)) => Err(EvalError::ComplexValue(e.to_string())),
+            },
+            Expr::MapOf(_) => Err(EvalError::ComplexValue(format!(
+                "`{e}` is set-valued; bind it in the from clause"
+            ))),
+            Expr::Call(name, args) => match self.call_function(name, args, env, var_index)? {
+                FunctionValue::One(v) => Ok(ArgValue {
+                    value: Some(v),
+                    node: None,
+                }),
+                FunctionValue::Many(_) => Err(EvalError::ComplexValue(format!(
+                    "`{e}` is set-valued; bind it in the from clause"
+                ))),
+            },
+        }
+    }
+
+    fn comparison_holds(
+        &self,
+        cmp: &Comparison,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<bool, EvalError> {
+        let l = self.operand(&cmp.left, env, var_index)?;
+        let r = self.operand(&cmp.right, env, var_index)?;
+        self.compare_sides(cmp, l.as_ref(), r.as_ref())
+    }
+
+    /// Like [`Evaluator::comparison_holds`], but with one or both operand
+    /// values already computed (the join loop hoists operands that do not
+    /// depend on the binding variable out of the candidate loop). Hoisted
+    /// values are compared by reference — no per-candidate clones.
+    fn comparison_holds_pre(
+        &self,
+        cmp: &Comparison,
+        pre_left: &PreSide,
+        pre_right: &PreSide,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<bool, EvalError> {
+        let l_owned;
+        let l = match pre_left {
+            Some(v) => v.as_ref(),
+            None => {
+                l_owned = self.operand(&cmp.left, env, var_index)?;
+                l_owned.as_ref()
+            }
+        };
+        let r_owned;
+        let r = match pre_right {
+            Some(v) => v.as_ref(),
+            None => {
+                r_owned = self.operand(&cmp.right, env, var_index)?;
+                r_owned.as_ref()
+            }
+        };
+        self.compare_sides(cmp, l, r)
+    }
+
+    fn compare_sides(
+        &self,
+        cmp: &Comparison,
+        l: Option<&AtomicValue>,
+        r: Option<&AtomicValue>,
+    ) -> Result<bool, EvalError> {
+        let (Some(lv), Some(rv)) = (l, r) else {
+            // A filtered-out choice path: no valuation, condition fails.
+            return Ok(false);
+        };
+        match coerced_compare(lv, rv) {
+            Some(ord) => Ok(cmp.op.test(ord)),
+            None => {
+                if cmp.op == CmpOp::Eq {
+                    Ok(false)
+                } else if cmp.op == CmpOp::Ne {
+                    Ok(true)
+                } else {
+                    Err(EvalError::Incomparable(cmp.to_string()))
+                }
+            }
+        }
+    }
+
+    /// Unifies a mapping predicate against one triple, extending `env`.
+    fn unify_pred(
+        &self,
+        p: &MappingPred,
+        t: &PredTriple,
+        env: &Env,
+        var_index: &HashMap<&str, usize>,
+    ) -> Result<Option<Env>, EvalError> {
+        let mut out = env.clone();
+        let slots: [(&Term, AtomicValue); 5] = [
+            (&p.src_db, AtomicValue::Db(t.src.db.clone())),
+            (&p.src_elem, AtomicValue::Elem(t.src.clone())),
+            (&p.mapping, AtomicValue::Map(t.mapping.clone())),
+            (&p.tgt_db, AtomicValue::Db(t.tgt.db.clone())),
+            (&p.tgt_elem, AtomicValue::Elem(t.tgt.clone())),
+        ];
+        for (term, actual) in slots {
+            match term {
+                Term::Const(c) => {
+                    if !meta_matches(c, &actual) {
+                        return Ok(None);
+                    }
+                }
+                Term::Var(v) => {
+                    let slot = *var_index
+                        .get(v.as_str())
+                        .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+                    match &out[slot] {
+                        Some(Val::Atom(existing)) => {
+                            if !meta_matches(existing, &actual) {
+                                return Ok(None);
+                            }
+                        }
+                        Some(Val::Node(..)) => return Ok(None),
+                        None => out[slot] = Some(Val::Atom(actual)),
+                    }
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Compares two atomic values, coercing plain strings against meta values:
+/// MXQL constants are written as quoted strings but denote databases,
+/// mappings and element paths (Section 5's examples).
+pub fn coerced_compare(a: &AtomicValue, b: &AtomicValue) -> Option<std::cmp::Ordering> {
+    if let Some(ord) = a.compare(b) {
+        return Some(ord);
+    }
+    meta_str_compare(a, b).or_else(|| meta_str_compare(b, a).map(std::cmp::Ordering::reverse))
+}
+
+fn meta_str_compare(s: &AtomicValue, m: &AtomicValue) -> Option<std::cmp::Ordering> {
+    let AtomicValue::Str(text) = s else {
+        return None;
+    };
+    match m {
+        AtomicValue::Db(d) => Some(text.as_str().cmp(d.as_str())),
+        AtomicValue::Map(name) => Some(text.as_str().cmp(name.as_str())),
+        AtomicValue::Elem(e) => {
+            let canon = dtr_model::value::canonical_path(text);
+            Some(canon.as_str().cmp(e.path.as_str()))
+        }
+        _ => None,
+    }
+}
+
+/// True when a constant (possibly a plain string) denotes the same meta
+/// value.
+fn meta_matches(c: &AtomicValue, actual: &AtomicValue) -> bool {
+    coerced_compare(c, actual) == Some(std::cmp::Ordering::Equal)
+}
+
+/// Row-independent pre-filter: does the triple agree with the predicate's
+/// constant slots?
+fn pred_constants_match(p: &MappingPred, t: &PredTriple) -> bool {
+    let check = |term: &Term, actual: AtomicValue| match term {
+        Term::Const(c) => meta_matches(c, &actual),
+        Term::Var(_) => true,
+    };
+    check(&p.src_db, AtomicValue::Db(t.src.db.clone()))
+        && check(&p.src_elem, AtomicValue::Elem(t.src.clone()))
+        && check(&p.mapping, AtomicValue::Map(t.mapping.clone()))
+        && check(&p.tgt_db, AtomicValue::Db(t.tgt.db.clone()))
+        && check(&p.tgt_elem, AtomicValue::Elem(t.tgt.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::FunctionRegistry;
+    use crate::parser::parse_query;
+    use dtr_model::instance::Value;
+    use dtr_model::types::{AtomicType, Type};
+
+    fn us_schema() -> Schema {
+        Schema::build(
+            "USdb",
+            vec![(
+                "US",
+                Type::record(vec![
+                    (
+                        "houses",
+                        Type::relation(vec![
+                            ("hid", AtomicType::String),
+                            ("price", AtomicType::Integer),
+                            ("aid", AtomicType::String),
+                        ]),
+                    ),
+                    (
+                        "agents",
+                        Type::set(Type::record(vec![
+                            ("aid", Type::string()),
+                            (
+                                "title",
+                                Type::choice(vec![
+                                    ("name", Type::string()),
+                                    ("firm", Type::string()),
+                                ]),
+                            ),
+                            ("phone", Type::string()),
+                        ])),
+                    ),
+                ]),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn us_instance() -> Instance {
+        let mut inst = Instance::new("USdb");
+        let house = |hid: &str, price: i64, aid: &str| {
+            Value::record(vec![
+                ("hid", Value::str(hid)),
+                ("price", Value::int(price)),
+                ("aid", Value::str(aid)),
+            ])
+        };
+        let agent = |aid: &str, alt: &str, title: &str, phone: &str| {
+            Value::record(vec![
+                ("aid", Value::str(aid)),
+                ("title", Value::choice(alt, Value::str(title))),
+                ("phone", Value::str(phone)),
+            ])
+        };
+        inst.install_root(
+            "US",
+            Value::record(vec![
+                (
+                    "houses",
+                    Value::set(vec![
+                        house("H1", 450_000, "a1"),
+                        house("H2", 750_000, "a2"),
+                        house("H3", 820_000, "a1"),
+                    ]),
+                ),
+                (
+                    "agents",
+                    Value::set(vec![
+                        agent("a1", "name", "Smith", "555-1111"),
+                        agent("a2", "firm", "HomeGain", "555-2222"),
+                    ]),
+                ),
+            ]),
+        );
+        inst
+    }
+
+    fn run(text: &str) -> QueryResult {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(text).unwrap();
+        Evaluator::new(&catalog, &funcs).run(&q).unwrap()
+    }
+
+    #[test]
+    fn selection_with_condition() {
+        let r = run("select h.hid from US.houses h where h.price > 500000");
+        let mut hids: Vec<String> = r.tuples().into_iter().map(|t| t[0].to_string()).collect();
+        hids.sort();
+        assert_eq!(hids, ["H2", "H3"]);
+    }
+
+    #[test]
+    fn join_on_aid() {
+        let r = run("select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid");
+        assert_eq!(r.len(), 3);
+        let t = r.tuples();
+        assert!(t.contains(&vec![AtomicValue::str("H1"), AtomicValue::str("555-1111")]));
+        assert!(t.contains(&vec![AtomicValue::str("H2"), AtomicValue::str("555-2222")]));
+    }
+
+    #[test]
+    fn choice_binding_filters() {
+        // Only agent a1 has a personal name.
+        let r = run("select a.aid, n from US.agents a, a.title->name n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.tuples()[0],
+            vec![AtomicValue::str("a1"), AtomicValue::str("Smith")]
+        );
+        // Only agent a2 is a firm.
+        let r = run("select f from US.agents a, a.title->firm f");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0], vec![AtomicValue::str("HomeGain")]);
+    }
+
+    #[test]
+    fn facts_carry_positions() {
+        let r = run("select h.hid from US.houses h where h.hid = 'H1'");
+        assert_eq!(r.len(), 1);
+        assert!(r.rows[0][0].node.is_some());
+    }
+
+    #[test]
+    fn elem_operator() {
+        let r = run("select h.price@elem from US.houses h where h.hid = 'H1'");
+        assert_eq!(r.len(), 1);
+        match &r.rows[0][0].value {
+            AtomicValue::Elem(e) => {
+                assert_eq!(e.db, "USdb");
+                assert_eq!(e.path, "/US/houses/price");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_operator_over_empty_annotations() {
+        // No mapping annotations in a hand-built instance: @map yields no
+        // bindings, so the result is empty (not an error).
+        let r = run("select h.hid, m from US.houses h, h.price@map m");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn map_operator_with_annotations() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        // Annotate every price with a mapping.
+        let price_elem = schema.resolve_path("/US/houses/price").unwrap();
+        for n in inst.interpretation(price_elem) {
+            inst.add_mapping(n, MappingName::new("m1"));
+        }
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select h.hid, m from US.houses h, h.price@map m").unwrap();
+        let r = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(matches!(&r.rows[0][1].value, AtomicValue::Map(m) if m.as_str() == "m1"));
+    }
+
+    #[test]
+    fn constant_comparisons_and_ne() {
+        let r = run("select h.hid from US.houses h where h.hid != 'H1'");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn cross_product_without_conditions() {
+        let r = run("select h.hid, a.aid from US.houses h, US.agents a");
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn pushdown_and_naive_agree() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid and h.price > 500000",
+        )
+        .unwrap();
+        let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        let naive = Evaluator::new(&catalog, &funcs)
+            .with_options(EvalOptions { pushdown: false })
+            .run(&q)
+            .unwrap();
+        assert_eq!(fast.tuples(), naive.tuples());
+    }
+
+    #[test]
+    fn missing_meta_env_errors() {
+        let schema = us_schema();
+        let inst = us_instance();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select e from where <db:e -> m -> 'Pdb':e2>").unwrap();
+        let err = Evaluator::new(&catalog, &funcs).run(&q).unwrap_err();
+        assert_eq!(err, EvalError::NoMetaEnv);
+    }
+
+    #[test]
+    fn mapping_predicate_with_stub_meta_env() {
+        struct Stub;
+        impl MetaEnv for Stub {
+            fn triples(&self, double: bool) -> Vec<PredTriple> {
+                if double {
+                    return Vec::new();
+                }
+                vec![PredTriple {
+                    src: ElementRef::new("USdb", "/US/houses/price"),
+                    mapping: MappingName::new("m1"),
+                    tgt: ElementRef::new("Pdb", "/Portal/estates/value"),
+                }]
+            }
+        }
+        let schema = us_schema();
+        let inst = us_instance();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select e, m from where <db:e -> m -> 'Pdb':e2>").unwrap();
+        let r = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .run(&q)
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(
+            matches!(&r.rows[0][0].value, AtomicValue::Elem(e) if e.path == "/US/houses/price")
+        );
+        // Constants filter.
+        let q2 = parse_query("select m from where <db:e -> m -> 'Elsewhere':e2>").unwrap();
+        let r2 = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .run(&q2)
+            .unwrap();
+        assert!(r2.is_empty());
+        // Element-path constants match canonically.
+        let q3 = parse_query(
+            "select m from where <db:'/US/houses/price' -> m -> 'Pdb':'Portal/estates/value'>",
+        )
+        .unwrap();
+        let r3 = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .run(&q3)
+            .unwrap();
+        assert_eq!(r3.len(), 1);
+    }
+
+    #[test]
+    fn static_item_prefilter_matches_naive() {
+        // Regression for the constant-side static-item prefilter: a root
+        // binding filtered by a constant condition must agree with the
+        // naive evaluation, including when combined with row-dependent
+        // conditions.
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, a.aid
+             from US.houses h, US.agents a
+             where a.aid = 'a1' and h.aid = a.aid",
+        )
+        .unwrap();
+        let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        let naive = Evaluator::new(&catalog, &funcs)
+            .with_options(EvalOptions { pushdown: false })
+            .run(&q)
+            .unwrap();
+        assert_eq!(fast.tuples(), naive.tuples());
+        assert_eq!(fast.len(), 2); // H1 and H3 belong to a1
+    }
+
+    #[test]
+    fn hoisted_invariant_side_matches_naive() {
+        // The invariant-side hoisting: `h.hid = a.aid`-style conditions
+        // where one side does not mention the new binding variable.
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, a.phone
+             from US.houses h, US.agents a
+             where h.aid = a.aid and h.price > 500000",
+        )
+        .unwrap();
+        let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        let naive = Evaluator::new(&catalog, &funcs)
+            .with_options(EvalOptions { pushdown: false })
+            .run(&q)
+            .unwrap();
+        let sorted = |r: &QueryResult| {
+            let mut t: Vec<String> = r.tuples().iter().map(|row| format!("{row:?}")).collect();
+            t.sort();
+            t
+        };
+        assert_eq!(sorted(&fast), sorted(&naive));
+    }
+
+    #[test]
+    fn ne_on_incomparable_types_is_true() {
+        let r = run("select h.hid from US.houses h where h.price != 'text'");
+        // Int vs Str: incomparable, so != holds for every house.
+        assert_eq!(r.len(), 3);
+        // And = fails for every house.
+        let r = run("select h.hid from US.houses h where h.price = 'text'");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ordering_on_incomparable_types_errors() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select h.hid from US.houses h where h.price < 'text'").unwrap();
+        assert!(matches!(
+            Evaluator::new(&catalog, &funcs).run(&q),
+            Err(EvalError::Incomparable(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_with_prebound_mapping_variable() {
+        // The mapping variable is bound by @map before the predicate runs;
+        // the predicate filters rather than generates.
+        struct Stub;
+        impl MetaEnv for Stub {
+            fn triples(&self, double: bool) -> Vec<PredTriple> {
+                if double {
+                    return Vec::new();
+                }
+                vec![
+                    PredTriple {
+                        src: ElementRef::new("USdb", "/US/houses/price"),
+                        mapping: MappingName::new("m1"),
+                        tgt: ElementRef::new("Pdb", "/Portal/estates/value"),
+                    },
+                    PredTriple {
+                        src: ElementRef::new("USdb", "/US/houses/hid"),
+                        mapping: MappingName::new("m9"),
+                        tgt: ElementRef::new("Pdb", "/Portal/estates/hid"),
+                    },
+                ]
+            }
+        }
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let price_elem = schema.resolve_path("/US/houses/price").unwrap();
+        for n in inst.interpretation(price_elem) {
+            inst.add_mapping(n, MappingName::new("m1"));
+        }
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        // m ranges over {m1} per row; the predicate's m9 triple must not
+        // leak in.
+        let q = parse_query(
+            "select h.hid, m, e from US.houses h, h.price@map m
+             where <db:e -> m -> 'Pdb':e2>",
+        )
+        .unwrap();
+        let r = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .run(&q)
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        for row in r.tuples() {
+            assert_eq!(row[1].to_string(), "m1");
+            assert_eq!(row[2].to_string(), "USdb:/US/houses/price");
+        }
+    }
+
+    #[test]
+    fn order_by_sorts_and_limit_truncates() {
+        let r = run("select h.hid, h.price from US.houses h order by h.price desc");
+        let prices: Vec<i64> = r.tuples().iter().map(|t| t[1].as_int().unwrap()).collect();
+        assert_eq!(prices, vec![820_000, 750_000, 450_000]);
+        let r = run("select h.hid from US.houses h order by h.hid limit 2");
+        assert_eq!(
+            r.tuples()
+                .iter()
+                .map(|t| t[0].to_string())
+                .collect::<Vec<_>>(),
+            vec!["H1", "H2"]
+        );
+        // Order keys need not be selected.
+        let r = run("select h.hid from US.houses h order by h.price");
+        assert_eq!(r.tuples()[0][0].to_string(), "H1");
+        // Limit alone, without ordering.
+        let r = run("select h.hid from US.houses h limit 1");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let r = run("select h.hid, h.price from US.houses h where h.hid = 'H1'");
+        let table = r.to_table();
+        assert!(table.contains("h.hid"));
+        assert!(table.contains("H1"));
+        assert!(table.contains("450000"));
+    }
+
+    #[test]
+    fn select_complex_errors() {
+        let schema = us_schema();
+        let inst = us_instance();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select h from US.houses h").unwrap();
+        assert!(Evaluator::new(&catalog, &funcs).run(&q).is_err());
+    }
+
+    use dtr_model::value::MappingName;
+}

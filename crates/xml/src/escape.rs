@@ -1,0 +1,84 @@
+//! Minimal XML text/attribute escaping.
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Escapes attribute values (adds `"` to the text set).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Reverses both escapings.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let known = [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ];
+        let mut matched = false;
+        for (ent, ch) in known {
+            if let Some(tail) = rest.strip_prefix(ent) {
+                out.push(ch);
+                rest = tail;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let original = r#"a & b < c > d " e"#;
+        let mut esc = String::new();
+        escape_attr(original, &mut esc);
+        assert!(!esc.contains('<'));
+        assert_eq!(unescape(&esc), original);
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes() {
+        let mut esc = String::new();
+        escape_text("say \"hi\"", &mut esc);
+        assert_eq!(esc, "say \"hi\"");
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        assert_eq!(unescape("a &bogus; b"), "a &bogus; b");
+    }
+}

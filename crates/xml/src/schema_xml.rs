@@ -1,0 +1,246 @@
+//! XML serialization of schemas — the flat `Element`-relation encoding of
+//! Figure 5 rendered as XML, used for the Section 8 measurement of how much
+//! space stored schemas (and mappings) add to the integrated instance
+//! (~0.3 MB in the paper's scenario).
+
+use crate::escape::escape_attr;
+use crate::parser::{parse_document, XmlError};
+use dtr_model::schema::{ElementId, ElementKind, Schema, SchemaError};
+use dtr_model::types::Type;
+use std::fmt::Write as _;
+
+/// Serializes a schema as a flat element list:
+///
+/// ```xml
+/// <schema db="Pdb">
+///   <element id="e0" name="Portal" type="Rcd"/>
+///   <element id="e1" name="estates" type="Set" parent="e0"/>
+///   ...
+/// </schema>
+/// ```
+pub fn schema_to_xml(schema: &Schema) -> String {
+    let mut out = String::with_capacity(schema.len() * 48);
+    let _ = write!(out, "<schema db=\"");
+    escape_attr(schema.name(), &mut out);
+    out.push_str("\">\n");
+    for (id, el) in schema.elements() {
+        let _ = write!(out, "  <element id=\"{id}\" name=\"");
+        escape_attr(el.label.as_str(), &mut out);
+        let _ = write!(out, "\" type=\"{}\"", el.kind);
+        if let Some(p) = el.parent {
+            let _ = write!(out, " parent=\"{p}\"");
+        }
+        out.push_str("/>\n");
+    }
+    out.push_str("</schema>\n");
+    out
+}
+
+/// Reconstructs a schema from [`schema_to_xml`] output.
+pub fn schema_from_xml(input: &str) -> Result<Schema, XmlError> {
+    let doc = parse_document(input)?;
+    if doc.name != "schema" {
+        return Err(XmlError {
+            offset: 0,
+            message: format!("expected <schema>, found <{}>", doc.name),
+        });
+    }
+    let db = doc.attr("db").unwrap_or("").to_owned();
+
+    // Recover the element list, then rebuild types bottom-up.
+    struct Row {
+        name: String,
+        kind: ElementKind,
+        parent: Option<usize>,
+        children: Vec<usize>,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(doc.children.len());
+    for el in &doc.children {
+        if el.name != "element" {
+            return Err(XmlError {
+                offset: 0,
+                message: format!("unexpected <{}> in schema", el.name),
+            });
+        }
+        let fail = |m: String| XmlError {
+            offset: 0,
+            message: m,
+        };
+        let id: usize = el
+            .attr("id")
+            .and_then(|s| s.strip_prefix('e'))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| fail("bad element id".into()))?;
+        if id != rows.len() {
+            return Err(fail(format!("non-sequential element id e{id}")));
+        }
+        let kind = el
+            .attr("type")
+            .and_then(ElementKind::parse)
+            .ok_or_else(|| fail("bad element type".into()))?;
+        let parent: Option<usize> = match el.attr("parent") {
+            Some(p) => Some(
+                p.strip_prefix('e')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| fail("bad parent id".into()))?,
+            ),
+            None => None,
+        };
+        rows.push(Row {
+            name: el.attr("name").unwrap_or("").to_owned(),
+            kind,
+            parent,
+            children: Vec::new(),
+        });
+    }
+    for i in 0..rows.len() {
+        if let Some(p) = rows[i].parent {
+            if p >= rows.len() {
+                return Err(XmlError {
+                    offset: 0,
+                    message: format!("dangling parent e{p}"),
+                });
+            }
+            rows[p].children.push(i);
+        }
+    }
+
+    fn type_of(rows: &[Row], i: usize) -> Type {
+        match rows[i].kind {
+            ElementKind::Atomic(a) => Type::Atomic(a),
+            ElementKind::Record => Type::Record(
+                rows[i]
+                    .children
+                    .iter()
+                    .map(|&c| (rows[c].name.as_str().into(), type_of(rows, c)))
+                    .collect(),
+            ),
+            ElementKind::Choice => Type::Choice(
+                rows[i]
+                    .children
+                    .iter()
+                    .map(|&c| (rows[c].name.as_str().into(), type_of(rows, c)))
+                    .collect(),
+            ),
+            ElementKind::Set => {
+                let member = rows[i].children.first().copied().unwrap_or(i);
+                Type::Set(Box::new(type_of(rows, member)))
+            }
+        }
+    }
+
+    let roots: Vec<(String, Type)> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.parent.is_none())
+        .map(|(i, r)| (r.name.clone(), type_of(&rows, i)))
+        .collect();
+    Schema::build(db, roots).map_err(|e: SchemaError| XmlError {
+        offset: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Sanity check that a serialized schema assigns the same ids — true for
+/// every schema produced by [`Schema::build`], whose ids are depth-first.
+pub fn ids_stable(schema: &Schema) -> bool {
+    match schema_from_xml(&schema_to_xml(schema)) {
+        Ok(back) => {
+            back.len() == schema.len()
+                && schema.elements().all(|(id, el)| {
+                    back.get(ElementId(id.0))
+                        .map(|b| b.label == el.label && b.kind == el.kind && b.parent == el.parent)
+                        .unwrap_or(false)
+                })
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_model::types::AtomicType;
+
+    fn eu_schema() -> Schema {
+        Schema::build(
+            "EUdb",
+            vec![(
+                "EU",
+                Type::record(vec![(
+                    "postings",
+                    Type::set(Type::record(vec![
+                        ("hid", Type::string()),
+                        ("levels", Type::string()),
+                        ("totalVal", Type::string()),
+                        (
+                            "agents",
+                            Type::set(Type::record(vec![
+                                ("agentName", Type::string()),
+                                ("agentPhone", Type::string()),
+                            ])),
+                        ),
+                    ])),
+                )]),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_2_eu_schema_round_trip() {
+        let s = eu_schema();
+        // Figure 2 numbers EUdb as e0..e9 - ten elements.
+        assert_eq!(s.len(), 10);
+        let xml = schema_to_xml(&s);
+        assert!(xml.contains("<element id=\"e0\" name=\"EU\" type=\"Rcd\"/>"));
+        let back = schema_from_xml(&xml).unwrap();
+        assert_eq!(back.name(), "EUdb");
+        assert_eq!(back.len(), 10);
+        assert!(ids_stable(&s));
+    }
+
+    #[test]
+    fn choice_schema_round_trip() {
+        let s = Schema::build(
+            "USdb",
+            vec![(
+                "title",
+                Type::choice(vec![("name", Type::string()), ("firm", Type::string())]),
+            )],
+        )
+        .unwrap();
+        assert!(ids_stable(&s));
+        let xml = schema_to_xml(&s);
+        assert!(xml.contains("type=\"Choice\""));
+    }
+
+    #[test]
+    fn atomic_types_preserved() {
+        let s = Schema::build(
+            "X",
+            vec![(
+                "R",
+                Type::relation(vec![
+                    ("a", AtomicType::Integer),
+                    ("b", AtomicType::Float),
+                    ("c", AtomicType::Boolean),
+                ]),
+            )],
+        )
+        .unwrap();
+        let back = schema_from_xml(&schema_to_xml(&s)).unwrap();
+        let a = back.resolve_path("/R/a").unwrap();
+        assert_eq!(
+            back.element(a).kind,
+            ElementKind::Atomic(AtomicType::Integer)
+        );
+        assert!(ids_stable(&s));
+    }
+
+    #[test]
+    fn bad_documents_rejected() {
+        assert!(schema_from_xml("<nope/>").is_err());
+        assert!(schema_from_xml("<schema db=\"x\"><element id=\"e5\"/></schema>").is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The two mapping-debugging sessions of Section 8.
+//!
+//! 1. **housesInNeighborhood** — neighbors sometimes come from different
+//!    cities. The double-arrow query shows `neighborhood` affects the
+//!    element without being copied into it; the metastore reveals the
+//!    self-join joins on neighborhood alone; the fixed mapping joins on
+//!    city, state and neighborhood.
+//! 2. **schoolDistrict** — some houses have identical elementary/middle/
+//!    high districts. The single-arrow query shows all three retrieve
+//!    their values from NK Realtors' single `schoolDistrict` element.
+//!
+//! ```text
+//! cargo run --release --example debug_mappings
+//! ```
+
+use dtr::core::runner::MetaRunner;
+use dtr::core::tagged::TaggedInstance;
+use dtr::portal::scenario::{tagged, ScenarioConfig};
+use dtr::query::eval::Evaluator;
+use dtr::query::parser::parse_query;
+
+fn cross_city_pairs(t: &TaggedInstance) -> (usize, usize) {
+    let all = t
+        .query("select h.hid, h.city from Portal.houses h")
+        .expect("query runs");
+    let mut city_of = std::collections::HashMap::new();
+    for row in all.tuples() {
+        city_of.insert(row[0].to_string(), row[1].to_string());
+    }
+    let pairs = t
+        .query("select h.hid, h.city, b.hid from Portal.houses h, h.housesInNeighborhood b")
+        .expect("query runs");
+    let cross = pairs
+        .tuples()
+        .iter()
+        .filter(|row| {
+            city_of
+                .get(&row[2].to_string())
+                .is_some_and(|c| *c != row[1].to_string())
+        })
+        .count();
+    (pairs.len(), cross)
+}
+
+fn join_elements(t: &TaggedInstance) -> Vec<String> {
+    let runner = MetaRunner::new(t.setting()).expect("metastore builds");
+    let mut catalog = t.catalog();
+    catalog.push(runner.meta_source());
+    let q = parse_query(
+        "select e.name from Mapping m, Condition c, Element e
+         where m.mid = 'hs2' and c.qid = m.forQ and c.eid = e.eid",
+    )
+    .unwrap();
+    let r = Evaluator::new(&catalog, t.functions())
+        .run(&q)
+        .expect("metadata query runs");
+    let mut names: Vec<String> = r.tuples().iter().map(|t| t[0].to_string()).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn main() {
+    println!("=== Case 1: housesInNeighborhood (Section 8) ===\n");
+    let buggy = tagged(ScenarioConfig {
+        listings_per_source: 80,
+        buggy_neighborhood_join: true,
+        ..Default::default()
+    });
+    let (total, cross) = cross_city_pairs(&buggy);
+    println!(
+        "with the original mapping: {total} neighbor pairs, {cross} cross-city \
+         ({:.1} %) — houses 'in the neighborhood' from other states!",
+        100.0 * cross as f64 / total.max(1) as f64
+    );
+
+    // Step 1 — the paper's investigation query: what affects the element?
+    let r = buggy
+        .query(
+            "select db, e from where
+               <db:e => m => 'Portal':'/Portal/houses/housesInNeighborhood/hid'>",
+        )
+        .expect("MXQL runs");
+    println!("\nwhat affects housesInNeighborhood/hid (double arrow)?");
+    for row in r.distinct_tuples() {
+        println!("  {}", row[1]);
+    }
+
+    // Step 2 — which elements are merely *copied* (single arrow)?
+    let r = buggy
+        .query(
+            "select e from where
+               <db:e -> m -> 'Portal':'/Portal/houses/housesInNeighborhood/hid'>",
+        )
+        .expect("MXQL runs");
+    println!("\ncopied into it (single arrow)?");
+    for row in r.distinct_tuples() {
+        println!("  {}", row[0]);
+    }
+
+    // Step 3 — the join condition of the mapping, from the metastore.
+    println!(
+        "\nhs2's self-join condition elements: {:?}",
+        join_elements(&buggy)
+    );
+    println!("  -> the join is on `neighborhood` alone; neighborhoods with the");
+    println!("     same name exist in different cities, generating misleading data.");
+
+    let fixed = tagged(ScenarioConfig {
+        listings_per_source: 80,
+        buggy_neighborhood_join: false,
+        ..Default::default()
+    });
+    let (total, cross) = cross_city_pairs(&fixed);
+    println!(
+        "\nafter fixing the mapping (join on city, state, neighborhood): \
+         {total} pairs, {cross} cross-city"
+    );
+    println!("fixed hs2's join elements: {:?}", join_elements(&fixed));
+
+    println!("\n=== Case 2: schoolDistrict accuracy (Section 8) ===\n");
+    let t = tagged(ScenarioConfig {
+        listings_per_source: 80,
+        ..Default::default()
+    });
+    let equal = t
+        .query(
+            "select h.hid from Portal.houses h
+             where h.schools.elementary = h.schools.middle
+               and h.schools.middle = h.schools.high",
+        )
+        .expect("query runs");
+    let total = t
+        .query("select h.hid from Portal.houses h")
+        .expect("query runs");
+    println!(
+        "houses whose three school districts are identical: {} of {}",
+        equal.len(),
+        total.len()
+    );
+    println!("\nwhere do the three school elements get NK-originated values from?");
+    for target in [
+        "/Portal/houses/schools/elementary",
+        "/Portal/houses/schools/middle",
+        "/Portal/houses/schools/high",
+    ] {
+        let r = t
+            .query(&format!(
+                "select e from where <'NKdb':e -> m -> 'Portal':'{target}'>"
+            ))
+            .expect("MXQL runs");
+        for row in r.distinct_tuples() {
+            println!("  {target}  <-  {}", row[0]);
+        }
+    }
+    println!("\nall three retrieve from the single `schoolDistrict` element — the");
+    println!("NK Realtors source does not separate elementary, middle and high school");
+    println!("districts, exactly the accuracy issue the paper reports.");
+}

@@ -1,0 +1,256 @@
+//! An interactive MXQL shell over a tagged instance.
+//!
+//! ```text
+//! cargo run --release --bin mxql                 # the Figure 1 example
+//! cargo run --release --bin mxql -- --portal 100 # the Section 8 portal
+//! ```
+//!
+//! Enter MXQL queries terminated by `;`. Meta-commands:
+//!
+//! * `.mappings` — list the mappings of the setting;
+//! * `.schema <db>` — print a schema as an element tree;
+//! * `.store` — dump the Figure 5 metastore relations;
+//! * `.translate <query>;` — show the Section 7.3 translation;
+//! * `.mode direct|translated|virtual` — switch the execution engine
+//!   (`virtual` answers plain target queries over the sources, never
+//!   touching the materialized instance);
+//! * `.lint` — run the mapping diagnostics;
+//! * `.whatif <db|mapping,...>` — impact analysis;
+//! * `.save <file>` — write the annotated instance as XML;
+//! * `.help`, `.quit`.
+
+use dtr::core::runner::MetaRunner;
+use dtr::core::tagged::TaggedInstance;
+use dtr::core::testkit;
+use dtr::core::translate::translate;
+use dtr::core::virtualize::answer_virtually;
+use dtr::core::whatif::{impact_of_mappings, impact_of_source};
+use dtr::mapping::lint::lint_mappings;
+use dtr::model::schema::Schema;
+use dtr::model::value::MappingName;
+use dtr::portal::scenario::{tagged as portal_tagged, ScenarioConfig};
+use dtr::query::parser::parse_query;
+use std::io::{BufRead, Write};
+
+enum Mode {
+    Direct,
+    Translated,
+    Virtual,
+}
+
+fn load() -> TaggedInstance {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--portal") => {
+            let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+            eprintln!("building the Section 8 portal ({n} listings per source)...");
+            portal_tagged(ScenarioConfig {
+                listings_per_source: n,
+                ..Default::default()
+            })
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}; loading the Figure 1 example");
+            testkit::figure1()
+        }
+        None => {
+            eprintln!("loading the Figure 1 running example (use --portal N for Section 8)");
+            testkit::figure1()
+        }
+    }
+}
+
+fn help() {
+    println!("enter an MXQL query terminated by `;`, e.g.");
+    println!("  select x.hid, m from Portal.estates x, x.value@map m;");
+    println!("meta commands: .mappings  .schema <db>  .store  .translate <q>;");
+    println!("               .mode direct|translated|virtual  .lint");
+    println!("               .whatif <db|m1,m2,...>  .save <file>  .help  .quit");
+}
+
+fn main() {
+    let tagged = load();
+    let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
+    let mut mode = Mode::Direct;
+    eprintln!(
+        "tagged instance ready: {} target values, {} mappings. Type .help for help.",
+        tagged.target().len(),
+        tagged.setting().mappings().len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print!("mxql> ");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let (cmd, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+            match cmd {
+                ".quit" | ".exit" => break,
+                ".help" => help(),
+                ".mappings" => {
+                    for m in tagged.setting().mappings() {
+                        println!("{m}\n");
+                    }
+                }
+                ".store" => println!("{}", runner.store().render()),
+                ".mode" => {
+                    mode = match rest.trim() {
+                        "translated" => {
+                            println!("executing through the Section 7.3 translation");
+                            Mode::Translated
+                        }
+                        "virtual" => {
+                            println!("answering plain target queries virtually over the sources");
+                            Mode::Virtual
+                        }
+                        _ => {
+                            println!("executing with the direct Section 5 semantics");
+                            Mode::Direct
+                        }
+                    };
+                }
+                ".lint" => {
+                    let schemas: Vec<&Schema> = tagged.setting().source_schemas().iter().collect();
+                    match lint_mappings(
+                        tagged.setting().mappings(),
+                        &schemas,
+                        tagged.setting().target_schema(),
+                    ) {
+                        Ok(lints) => {
+                            for l in &lints {
+                                println!("  - {l}");
+                            }
+                            println!("({} findings)", lints.len());
+                        }
+                        Err(e) => println!("lint error: {e}"),
+                    }
+                }
+                ".whatif" => {
+                    let arg = rest.trim();
+                    let impact = if arg.contains(',')
+                        || tagged.setting().mapping(&MappingName::new(arg)).is_some()
+                    {
+                        let removed: Vec<MappingName> =
+                            arg.split(',').map(|m| MappingName::new(m.trim())).collect();
+                        impact_of_mappings(&tagged, &removed)
+                    } else {
+                        impact_of_source(&tagged, arg)
+                    };
+                    println!(
+                        "lost {} values ({:.1} %), {} survive",
+                        impact.lost_values,
+                        100.0 * impact.lost_fraction(),
+                        impact.surviving_values
+                    );
+                    for (path, n) in impact.lost_by_element.iter().take(8) {
+                        println!("  {path}  ({n})");
+                    }
+                }
+                ".save" => {
+                    let path = rest.trim();
+                    if path.is_empty() {
+                        println!("usage: .save <file.xml>");
+                    } else {
+                        let xml = dtr::xml::writer::instance_to_xml(
+                            tagged.target(),
+                            dtr::xml::writer::WriteOptions::annotated(),
+                        );
+                        match std::fs::write(path, &xml) {
+                            Ok(()) => println!("wrote {} bytes to {path}", xml.len()),
+                            Err(e) => println!("cannot write {path}: {e}"),
+                        }
+                    }
+                }
+                ".schema" => {
+                    let db = rest.trim();
+                    let schema = if tagged.setting().target_schema().name() == db {
+                        Some(tagged.setting().target_schema())
+                    } else {
+                        tagged.setting().source_schema(db)
+                    };
+                    match schema {
+                        Some(s) => {
+                            for (id, el) in s.elements() {
+                                println!(
+                                    "  {id:>5}  {:<28} {:<7} {}",
+                                    s.path(id),
+                                    el.kind.name(),
+                                    el.label
+                                );
+                            }
+                        }
+                        None => println!(
+                            "unknown database `{db}`; try `{}` or a source name",
+                            tagged.setting().target_schema().name()
+                        ),
+                    }
+                }
+                ".translate" => {
+                    let text = rest.trim().trim_end_matches(';');
+                    match parse_query(text) {
+                        Ok(q) => {
+                            let q = tagged.setting().normalize_query(&q);
+                            match translate(&q, tagged.target().db()) {
+                                Ok(branches) => {
+                                    for (i, b) in branches.iter().enumerate() {
+                                        if branches.len() > 1 {
+                                            println!("-- union branch {} --", i + 1);
+                                        }
+                                        println!("{b}\n");
+                                    }
+                                }
+                                Err(e) => println!("translation error: {e}"),
+                            }
+                        }
+                        Err(e) => println!("parse error: {e}"),
+                    }
+                }
+                other => println!("unknown command {other}; try .help"),
+            }
+            print!("mxql> ");
+            let _ = std::io::stdout().flush();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            print!("  ..> ");
+            let _ = std::io::stdout().flush();
+            continue;
+        }
+        let text = buffer.trim().trim_end_matches(';').to_owned();
+        buffer.clear();
+        let t0 = std::time::Instant::now();
+        let result = match mode {
+            Mode::Direct => tagged.query(&text),
+            Mode::Translated => runner.query(&tagged, &text),
+            Mode::Virtual => parse_query(&text)
+                .map_err(dtr::core::tagged::MxqlError::from)
+                .and_then(|q| {
+                    answer_virtually(
+                        tagged.setting(),
+                        tagged.source_instances(),
+                        &q,
+                        tagged.functions(),
+                    )
+                }),
+        };
+        match result {
+            Ok(r) => {
+                print!("{}", r.to_table());
+                println!(
+                    "({} rows in {:.1} ms)",
+                    r.len(),
+                    t0.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        print!("mxql> ");
+        let _ = std::io::stdout().flush();
+    }
+    println!();
+}

@@ -1,0 +1,33 @@
+//! # dtr — Representing and Querying Data Transformations
+//!
+//! An implementation of the system described in *Representing and Querying
+//! Data Transformations* (Velegrakis, Miller, Mylopoulos — ICDE 2005):
+//! schema-level data provenance via **tagged instances** and the **MXQL**
+//! meta-data query language.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — the nested relational data model (schemas, instances,
+//!   annotations, PNF).
+//! * [`query`] — the select-from-where query language of Section 4.2.
+//! * [`mapping`] — GLAV mappings and the annotation-generating data
+//!   exchange engine.
+//! * [`metastore`] — the meta-data storage schema of Section 7.1.
+//! * [`xml`] — XML serialization of schemas and annotated instances.
+//! * [`core`] — tagged instances, MXQL, provenance, and the MXQL→plain
+//!   query translator.
+//! * [`portal`] — the paper's running example (Figure 1) and the Section 8
+//!   real-estate portal scenario generator.
+
+pub use dtr_core as core;
+pub use dtr_mapping as mapping;
+pub use dtr_metastore as metastore;
+pub use dtr_model as model;
+pub use dtr_portal as portal;
+pub use dtr_query as query;
+pub use dtr_xml as xml;
+
+/// The most commonly used names from every crate.
+pub mod prelude {
+    pub use dtr_model::prelude::*;
+}

@@ -1,0 +1,155 @@
+//! Integration tests reproducing the paper's figures on the running
+//! example: the Figure 1 scenario, the Figure 2 schema graphs, the Figure 3
+//! annotated instance and the Figure 5 metastore encoding.
+
+use dtr::core::runner::MetaRunner;
+use dtr::core::testkit;
+use dtr::mapping::satisfy::is_satisfied;
+use dtr::model::value::MappingName;
+use dtr::query::eval::Source;
+use dtr::query::functions::FunctionRegistry;
+
+#[test]
+fn figure_1_setting_validates() {
+    let setting = testkit::figure1_setting();
+    assert_eq!(setting.mappings().len(), 3);
+    assert_eq!(setting.source_schemas().len(), 2);
+    // All three mappings share the exists shape (five positions into
+    // estates and contacts).
+    for m in setting.mappings() {
+        assert_eq!(m.foreach.select.len(), 5);
+        assert_eq!(m.exists.select.len(), 5);
+    }
+}
+
+#[test]
+fn figure_2_schema_graphs() {
+    // EUdb: elements e0..e9; Pdb: eleven elements (e30..e40 in the paper).
+    let eu = testkit::eu_schema();
+    let pdb = testkit::portal_schema();
+    assert_eq!(eu.len(), 10);
+    assert_eq!(pdb.len(), 11);
+    let dot = eu.to_graphviz();
+    // The graph has one node per element and one edge per parent link.
+    assert_eq!(dot.matches("label=").count(), 10);
+    assert_eq!(dot.matches(" -> ").count(), 9);
+    assert!(dot.contains("agentPhone"));
+}
+
+#[test]
+fn figure_3_annotated_instance() {
+    let tagged = testkit::figure1();
+    let schema = tagged.setting().target_schema();
+
+    // The estates set and its annotations.
+    let estates = schema.resolve_path("/Portal/estates").unwrap();
+    let set_node = tagged.target().interpretation(estates)[0];
+    let members = tagged.target().set_members(set_node).unwrap();
+    assert_eq!(members.len(), 3); // H522 (m2), H7 (m1), H2525 (m3)
+
+    // The title "HomeGain" carries {m2, m3} — the union of Figure 3.
+    let title_elem = schema.resolve_path("/Portal/contacts/title").unwrap();
+    let homegain = tagged
+        .target()
+        .interpretation(title_elem)
+        .into_iter()
+        .find(|&n| tagged.target().atomic(n).unwrap().as_str() == Some("HomeGain"))
+        .unwrap();
+    let anns: Vec<&str> = tagged
+        .target()
+        .annotation(homegain)
+        .mappings
+        .iter()
+        .map(|m| m.as_str())
+        .collect();
+    assert_eq!(anns, ["m2", "m3"]);
+
+    // Every node has an element annotation (f_el is total).
+    for n in tagged.target().walk() {
+        assert!(
+            tagged.target().annotation(n).element.is_some(),
+            "node without element annotation"
+        );
+    }
+
+    // The root Portal record carries every mapping that fired.
+    let root = tagged.target().root("Portal").unwrap();
+    let anns: Vec<&str> = tagged
+        .target()
+        .annotation(root)
+        .mappings
+        .iter()
+        .map(|m| m.as_str())
+        .collect();
+    assert_eq!(anns, ["m1", "m2", "m3"]);
+}
+
+#[test]
+fn all_mappings_satisfied_after_exchange() {
+    let tagged = testkit::figure1();
+    let funcs = FunctionRegistry::with_builtins();
+    let sources: Vec<Source<'_>> = tagged
+        .setting()
+        .source_schemas()
+        .iter()
+        .zip(tagged.source_instances())
+        .map(|(schema, instance)| Source { schema, instance })
+        .collect();
+    let target = Source {
+        schema: tagged.setting().target_schema(),
+        instance: tagged.target(),
+    };
+    for m in tagged.setting().mappings() {
+        assert!(
+            is_satisfied(m, &sources, target, &funcs).unwrap(),
+            "{} not satisfied",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn figure_5_metastore_rows() {
+    let tagged = testkit::figure1();
+    let runner = MetaRunner::new(tagged.setting()).unwrap();
+    let store = runner.store();
+    // Two source schemas + the portal: 3 Db rows; m1..m3 with two queries
+    // each.
+    assert_eq!(store.dbs.len(), 3);
+    assert_eq!(store.mappings.len(), 3);
+    assert_eq!(store.queries.len(), 6);
+    // Five correspondences per mapping (Figure 5 shows m3's five rows).
+    assert_eq!(store.correspondences.len(), 15);
+    // m3's first correspondence: binding p, EU hid element.
+    let m3_rows: Vec<_> = store
+        .correspondences
+        .iter()
+        .filter(|c| c.mid == "m3")
+        .collect();
+    assert_eq!(m3_rows[0].for_bid, "p");
+    let hid = store.element_by_path("EUdb", "/EU/postings/hid").unwrap();
+    assert_eq!(m3_rows[0].for_eid, hid.eid);
+    // Each exists query has its e.contact = c.title condition.
+    assert_eq!(store.conditions.len(), 3 + 2); // 3 exists joins + m1/m2 foreach joins
+}
+
+#[test]
+fn interpretation_by_mapping_partition() {
+    // I[e]_m subsets partition by generating mapping for value elements
+    // created by a single mapping each.
+    let tagged = testkit::figure1();
+    let schema = tagged.setting().target_schema();
+    let value_elem = schema.resolve_path("/Portal/estates/value").unwrap();
+    let all = tagged.target().interpretation(value_elem);
+    let by_m: usize = ["m1", "m2", "m3"]
+        .iter()
+        .map(|m| {
+            tagged
+                .target()
+                .interpretation_by(value_elem, &MappingName::new(*m))
+                .len()
+        })
+        .sum();
+    assert_eq!(all.len(), 3);
+    assert_eq!(by_m, 3);
+}
