@@ -35,6 +35,9 @@ impl MetaRunner {
     /// Encodes the setting's schemas and mappings (Section 7.1) and builds
     /// the queryable view.
     pub fn new(setting: &MappingSetting) -> Result<Self, MxqlError> {
+        let _span = dtr_obs::span("mxql.metastore_build")
+            .field("schemas", setting.source_schemas().len() + 1)
+            .field("mappings", setting.mappings().len());
         let mut store = MetaStore::new();
         for s in setting.source_schemas() {
             store
@@ -91,6 +94,7 @@ impl MetaRunner {
             key_columns.push((col, k.descending));
         }
         let branches = translate(&q, tagged.target().db())?;
+        let span = dtr_obs::span("mxql.run_translated").field("branches", branches.len());
         let mut catalog = tagged.catalog();
         catalog.push(self.meta_source());
         let mut out = QueryResult::default();
@@ -100,6 +104,9 @@ impl MetaRunner {
             if i == 0 {
                 out.columns = r.columns.clone();
             }
+            out.stats.tuples_scanned += r.stats.tuples_scanned;
+            out.stats.bindings_enumerated += r.stats.bindings_enumerated;
+            out.stats.predicate_triples_tested += r.stats.predicate_triples_tested;
             for row in r.rows {
                 let key = row
                     .iter()
@@ -127,6 +134,7 @@ impl MetaRunner {
         if let Some(n) = q.limit {
             out.rows.truncate(n);
         }
+        span.record("rows_out", out.rows.len());
         Ok(out)
     }
 

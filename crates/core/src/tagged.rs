@@ -289,6 +289,9 @@ impl TaggedInstance {
         setting: MappingSetting,
         mut source_instances: Vec<Instance>,
     ) -> Result<Self, MxqlError> {
+        let span = dtr_obs::span("exchange.tagged_instance")
+            .field("sources", source_instances.len())
+            .field("mappings", setting.mappings.len());
         if source_instances.len() != setting.source_schemas.len() {
             return Err(MxqlError::Other(format!(
                 "{} source instances for {} source schemas",
@@ -314,6 +317,7 @@ impl TaggedInstance {
             &setting.mappings,
             &functions,
         )?;
+        span.record("target_nodes", target.len());
         Ok(TaggedInstance {
             setting,
             source_instances,

@@ -103,6 +103,7 @@ struct PredPlan {
 /// of the tagged (annotated) instance — needed to constrain `@elem`
 /// comparisons.
 pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateError> {
+    let span = dtr_obs::span("mxql.translate").field("conditions", q.conditions.len());
     let mut ctx = Ctx {
         roles: HashMap::new(),
         target_db: target_db.to_owned(),
@@ -195,6 +196,10 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
         branches = next;
     }
 
+    dtr_obs::counters()
+        .translate_branches
+        .add(branches.len() as u64);
+    span.record("branches", branches.len());
     Ok(branches
         .into_iter()
         .map(|(bs, cs)| {

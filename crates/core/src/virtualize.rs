@@ -355,11 +355,14 @@ pub fn answer_virtually(
     );
     let mut out = QueryResult {
         columns: q.select.iter().map(|e| e.to_string()).collect(),
-        rows: Vec::new(),
+        ..QueryResult::default()
     };
     let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     for r in &rewritings {
         let res = Evaluator::new(&catalog, functions).run(r)?;
+        out.stats.tuples_scanned += res.stats.tuples_scanned;
+        out.stats.bindings_enumerated += res.stats.bindings_enumerated;
+        out.stats.predicate_triples_tested += res.stats.predicate_triples_tested;
         for row in res.rows {
             let key = row
                 .iter()

@@ -70,11 +70,61 @@ impl From<EvalError> for ExchangeError {
     }
 }
 
+/// Per-mapping exchange statistics, collected unconditionally (plain
+/// integer bumps on the engine's own loop) so reports and the E2 experiment
+/// can attribute overhead to individual mappings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MappingStats {
+    /// The mapping these numbers describe.
+    pub mapping: dtr_model::value::MappingName,
+    /// Tuples retrieved by the mapping's foreach query.
+    pub tuples: usize,
+    /// Exists-clause member bindings instantiated (one merge decision
+    /// each); always equals `rows_inserted + rows_merged`.
+    pub bindings: usize,
+    /// Fresh target set members materialized.
+    pub rows_inserted: usize,
+    /// Bindings folded into an existing member by PNF merging.
+    pub rows_merged: usize,
+    /// `f_mp` annotations newly written onto target nodes.
+    pub annotations_written: usize,
+    /// Annotation writes that were no-ops (name already present).
+    pub annotations_suppressed: usize,
+    /// Wall time spent running this mapping (foreach eval + insertion).
+    pub wall_ns: u64,
+}
+
 /// Statistics of one exchange run.
 #[derive(Clone, Debug, Default)]
 pub struct ExchangeReport {
-    /// `(mapping, tuples retrieved by its foreach query)`.
+    /// `(mapping, tuples retrieved by its foreach query)`. Kept as the
+    /// stable summary shape; `per_mapping` carries the full breakdown.
     pub tuples: Vec<(dtr_model::value::MappingName, usize)>,
+    /// Full per-mapping row/merge/annotation counts, in execution order.
+    pub per_mapping: Vec<MappingStats>,
+}
+
+impl ExchangeReport {
+    /// The breakdown for one mapping, if it ran.
+    pub fn stats_for(&self, name: &str) -> Option<&MappingStats> {
+        self.per_mapping.iter().find(|s| s.mapping.as_str() == name)
+    }
+
+    /// Totals across all mappings, in `MappingStats` form (the `mapping`
+    /// field keeps its default value).
+    pub fn totals(&self) -> MappingStats {
+        let mut out = MappingStats::default();
+        for s in &self.per_mapping {
+            out.tuples += s.tuples;
+            out.bindings += s.bindings;
+            out.rows_inserted += s.rows_inserted;
+            out.rows_merged += s.rows_merged;
+            out.annotations_written += s.annotations_written;
+            out.annotations_suppressed += s.annotations_suppressed;
+            out.wall_ns += s.wall_ns;
+        }
+        out
+    }
 }
 
 /// Where a target binding's set lives.
@@ -446,11 +496,18 @@ impl<'a> Exchange<'a> {
     /// Executes one mapping: evaluates its foreach query over the sources
     /// and inserts every tuple into the target.
     pub fn run_mapping(&mut self, m: &Mapping) -> Result<(), ExchangeError> {
+        let span = dtr_obs::span("exchange.run_mapping").field("mapping", &m.name);
+        let started = std::time::Instant::now();
+        let mut stats = MappingStats {
+            mapping: m.name.clone(),
+            ..MappingStats::default()
+        };
         let plan = plan_exists(m, self.target_schema)?;
         let catalog = Catalog::new(self.sources.clone());
         let rows = Evaluator::new(&catalog, self.functions)
             .run(&m.foreach)?
             .tuples();
+        stats.tuples = rows.len();
         self.report.tuples.push((m.name.clone(), rows.len()));
         if plan.select_classes.len() != m.foreach.select.len() {
             return Err(ExchangeError::Unsupported(format!(
@@ -459,8 +516,22 @@ impl<'a> Exchange<'a> {
             )));
         }
         for row in rows {
-            self.insert_row(m, &plan, &row)?;
+            self.insert_row(m, &plan, &row, &mut stats)?;
         }
+        stats.wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let counters = dtr_obs::counters();
+        counters.rows_inserted.add(stats.rows_inserted as u64);
+        counters.rows_merged.add(stats.rows_merged as u64);
+        counters
+            .annotations_written
+            .add(stats.annotations_written as u64);
+        counters
+            .annotations_suppressed
+            .add(stats.annotations_suppressed as u64);
+        span.record("tuples", stats.tuples);
+        span.record("rows_inserted", stats.rows_inserted);
+        span.record("rows_merged", stats.rows_merged);
+        self.report.per_mapping.push(stats);
         Ok(())
     }
 
@@ -469,7 +540,9 @@ impl<'a> Exchange<'a> {
         m: &Mapping,
         plan: &Plan,
         row: &[AtomicValue],
+        stats: &mut MappingStats,
     ) -> Result<(), ExchangeError> {
+        let _span = dtr_obs::span("exchange.insert_row");
         // Assign slot-class values from the select positions.
         let mut class_values: Vec<Option<AtomicValue>> = vec![None; plan.n_classes];
         for (i, &c) in plan.select_classes.iter().enumerate() {
@@ -488,11 +561,12 @@ impl<'a> Exchange<'a> {
         // Insert bindings in order; remember each binding's member node.
         let mut member_nodes: Vec<NodeId> = Vec::with_capacity(plan.bindings.len());
         for b in &plan.bindings {
+            stats.bindings += 1;
             let set_node = match &b.parent {
-                Parent::Root(root, steps) => self.skeleton_set(m, root, steps)?,
+                Parent::Root(root, steps) => self.skeleton_set(m, root, steps, stats)?,
                 Parent::Var(idx, steps) => {
                     let base = member_nodes[*idx];
-                    self.nested_set(m, base, b.member_elem, steps)?
+                    self.nested_set(m, base, b.member_elem, steps, stats)?
                 }
             };
             let fields: Vec<(&[Step], AtomicValue)> = b
@@ -510,13 +584,15 @@ impl<'a> Exchange<'a> {
             let fp = h.finish();
             let member = match self.merge_index.get(&(set_node, fp)) {
                 Some(&existing) => {
-                    self.annotate_subtree(existing, m);
+                    stats.rows_merged += 1;
+                    self.annotate_subtree(existing, m, stats);
                     existing
                 }
                 None => {
+                    stats.rows_inserted += 1;
                     let node = self.target.push_set_member(set_node, value);
                     self.merge_index.insert((set_node, fp), node);
-                    self.annotate_subtree(node, m);
+                    self.annotate_subtree(node, m, stats);
                     node
                 }
             };
@@ -532,6 +608,7 @@ impl<'a> Exchange<'a> {
         m: &Mapping,
         root: &Label,
         steps: &[Label],
+        stats: &mut MappingStats,
     ) -> Result<NodeId, ExchangeError> {
         let mut elem = self.target_schema.root(root).ok_or_else(|| {
             ExchangeError::Unsupported(format!("target schema has no root `{root}`"))
@@ -543,7 +620,7 @@ impl<'a> Exchange<'a> {
                 self.target.push_raw(root.clone(), None, data, true)
             }
         };
-        self.target.add_mapping(node, m.name.clone());
+        record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
         for label in steps {
             elem = self.target_schema.child(elem, label).ok_or_else(|| {
                 ExchangeError::Unsupported(format!("no element `{label}` in skeleton path"))
@@ -557,7 +634,7 @@ impl<'a> Exchange<'a> {
                     child
                 }
             };
-            self.target.add_mapping(node, m.name.clone());
+            record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
         }
         if !matches!(self.target_schema.element(elem).kind, ElementKind::Set) {
             return Err(ExchangeError::Unsupported(format!(
@@ -576,6 +653,7 @@ impl<'a> Exchange<'a> {
         base: NodeId,
         member_elem: ElementId,
         steps: &[Label],
+        stats: &mut MappingStats,
     ) -> Result<NodeId, ExchangeError> {
         // The set element is the parent of its member element; the base
         // member's element sits `steps.len()` levels above it.
@@ -604,16 +682,16 @@ impl<'a> Exchange<'a> {
                     child
                 }
             };
-            self.target.add_mapping(node, m.name.clone());
+            record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
         }
         Ok(node)
     }
 
     /// Adds the mapping annotation to a whole member subtree.
-    fn annotate_subtree(&mut self, node: NodeId, m: &Mapping) {
+    fn annotate_subtree(&mut self, node: NodeId, m: &Mapping, stats: &mut MappingStats) {
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
-            self.target.add_mapping(n, m.name.clone());
+            record_annotation(self.target.add_mapping(n, m.name.clone()), stats);
             stack.extend_from_slice(self.target.children(n));
         }
     }
@@ -622,10 +700,21 @@ impl<'a> Exchange<'a> {
     /// check included) and returns the annotated target instance plus a
     /// report.
     pub fn finish(mut self) -> Result<(Instance, ExchangeReport), ExchangeError> {
+        let span = dtr_obs::span("exchange.annotate_elements").field("nodes", self.target.len());
         self.target
             .annotate_elements(self.target_schema)
             .map_err(|e| ExchangeError::Conformance(e.to_string()))?;
+        drop(span);
         Ok((self.target, self.report))
+    }
+}
+
+/// Folds one `Instance::add_mapping` outcome into the per-mapping stats.
+fn record_annotation(newly_written: bool, stats: &mut MappingStats) {
+    if newly_written {
+        stats.annotations_written += 1;
+    } else {
+        stats.annotations_suppressed += 1;
     }
 }
 
@@ -652,6 +741,7 @@ pub fn execute_mappings(
     mappings: &[Mapping],
     functions: &FunctionRegistry,
 ) -> Result<(Instance, ExchangeReport), ExchangeError> {
+    let _span = dtr_obs::span("exchange.execute_mappings").field("mappings", mappings.len());
     let mut engine = Exchange::new(sources.to_vec(), target_schema, functions);
     for m in mappings {
         engine.run_mapping(m)?;

@@ -178,9 +178,22 @@ impl MetaStore {
         Self::default()
     }
 
+    /// Total rows across the seven storage relations.
+    pub fn total_rows(&self) -> usize {
+        self.dbs.len()
+            + self.elements.len()
+            + self.queries.len()
+            + self.bindings.len()
+            + self.conditions.len()
+            + self.mappings.len()
+            + self.correspondences.len()
+    }
+
     /// Stores a schema: one `Db` row plus one `Element` row per schema
     /// element, with globally unique `eN` ids.
     pub fn add_schema(&mut self, schema: &Schema) -> Result<(), StoreError> {
+        let span = dtr_obs::span("metastore.add_schema").field("db", schema.name());
+        let before = self.total_rows();
         if self.dbs.iter().any(|d| d.name == schema.name()) {
             return Err(StoreError::DuplicateDb(schema.name().to_owned()));
         }
@@ -202,6 +215,9 @@ impl MetaStore {
                 path: schema.path(id),
             });
         }
+        let encoded = self.total_rows() - before;
+        dtr_obs::counters().meta_tuples_encoded.add(encoded as u64);
+        span.record("rows_encoded", encoded);
         Ok(())
     }
 
@@ -226,6 +242,8 @@ impl MetaStore {
         source_schemas: &[&Schema],
         target_schema: &Schema,
     ) -> Result<(), StoreError> {
+        let span = dtr_obs::span("metastore.add_mapping").field("mid", &m.name);
+        let before = self.total_rows();
         let src = check_query(&m.foreach, SchemaCatalog::new(source_schemas.to_vec()))?;
         let tgt = check_query(&m.exists, SchemaCatalog::new(vec![target_schema]))?;
 
@@ -251,6 +269,9 @@ impl MetaStore {
                 });
             }
         }
+        let encoded = self.total_rows() - before;
+        dtr_obs::counters().meta_tuples_encoded.add(encoded as u64);
+        span.record("rows_encoded", encoded);
         Ok(())
     }
 

@@ -87,6 +87,7 @@ fn opt(v: &Option<String>) -> Value {
 /// element annotations computed (so MXQL queries may even ask for the
 /// provenance of meta-data).
 pub fn meta_instance(store: &MetaStore, schema: &Schema) -> Instance {
+    let span = dtr_obs::span("metastore.meta_instance").field("store_rows", store.total_rows());
     let mut inst = Instance::new(META_DB);
     inst.install_root(
         "Db",
@@ -199,6 +200,7 @@ pub fn meta_instance(store: &MetaStore, schema: &Schema) -> Instance {
     );
     inst.annotate_elements(schema)
         .expect("meta instance conforms to meta schema by construction");
+    span.record("nodes", inst.len());
     inst
 }
 

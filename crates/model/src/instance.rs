@@ -72,9 +72,15 @@ pub struct Annotation {
 
 impl Annotation {
     /// Adds a mapping to the annotation set, preserving order/uniqueness.
-    pub fn add_mapping(&mut self, m: MappingName) {
-        if let Err(pos) = self.mappings.binary_search(&m) {
-            self.mappings.insert(pos, m);
+    /// Returns `true` if the name was newly written, `false` if it was
+    /// already present (a *suppressed* annotation in profiling terms).
+    pub fn add_mapping(&mut self, m: MappingName) -> bool {
+        match self.mappings.binary_search(&m) {
+            Err(pos) => {
+                self.mappings.insert(pos, m);
+                true
+            }
+            Ok(_) => false,
         }
     }
 
@@ -256,9 +262,10 @@ impl Instance {
         self.annots[id.index()].element = Some(e);
     }
 
-    /// Adds `m` to the mapping annotation (`f_mp`).
-    pub fn add_mapping(&mut self, id: NodeId, m: MappingName) {
-        self.annots[id.index()].add_mapping(m);
+    /// Adds `m` to the mapping annotation (`f_mp`). Returns `true` if the
+    /// name was newly written, `false` if already present.
+    pub fn add_mapping(&mut self, id: NodeId, m: MappingName) -> bool {
+        self.annots[id.index()].add_mapping(m)
     }
 
     /// Children of a node: record fields, set members, or the selected

@@ -92,11 +92,13 @@ pub fn is_pnf(inst: &Instance) -> bool {
 /// assert_eq!(norm.set_members(root).unwrap().len(), 1);
 /// ```
 pub fn to_pnf(inst: &Instance) -> Instance {
+    let span = dtr_obs::span("model.to_pnf").field("nodes_in", inst.len());
     let mut dst = Instance::new(inst.db().to_string());
     for &root in inst.roots() {
         let label = inst.node(root).label.clone();
         merge_group(inst, &[root], &mut dst, label, None, true);
     }
+    span.record("nodes_out", dst.len());
     dst
 }
 

@@ -11,7 +11,7 @@ use std::hash::{Hash, Hasher};
 
 /// The identity of a mapping, e.g. `m1` in Figure 1. Mapping names are
 /// unique within a mapping setting.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MappingName(pub String);
 
 impl MappingName {

@@ -1,0 +1,207 @@
+//! The counter/histogram registry: a fixed set of named atomic counters
+//! covering every pipeline stage. No global sampler, no locks — counters
+//! are plain relaxed atomics, gated on [`crate::enabled`] so the disabled
+//! cost is one load + branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single named monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    cell: AtomicU64,
+}
+
+impl Counter {
+    const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name, e.g. `"exchange.rows_merged"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n`; a no-op while profiling is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one; a no-op while profiling is disabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`] (covers 1 ns .. ~137 s).
+pub const HISTOGRAM_BUCKETS: usize = 38;
+
+/// A lock-free log₂-bucketed histogram (bucket *i* counts values `v` with
+/// `floor(log2(v)) == i`; zero lands in bucket 0).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A plain-data copy of a [`Histogram`].
+pub type HistogramSnapshot = [u64; HISTOGRAM_BUCKETS];
+
+impl Histogram {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [Self::ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Record one observation (typically nanoseconds); a no-op while
+    /// profiling is disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if crate::enabled() {
+            let bucket = (63 - value.max(1).leading_zeros()) as usize;
+            let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+            self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The global registry: one field per pipeline metric.
+#[derive(Debug)]
+pub struct Counters {
+    /// Source tuples visited during query evaluation / binding enumeration.
+    pub tuples_scanned: Counter,
+    /// Candidate variable bindings produced by the evaluator's `from` loop.
+    pub bindings_enumerated: Counter,
+    /// Plain + MXQL queries evaluated end to end.
+    pub queries_evaluated: Counter,
+    /// Exchange: fresh target rows materialized.
+    pub rows_inserted: Counter,
+    /// Exchange: rows folded into an existing member by PNF merging.
+    pub rows_merged: Counter,
+    /// Exchange: `f_mp` annotations newly written onto target nodes.
+    pub annotations_written: Counter,
+    /// Exchange: annotation writes that were no-ops (name already present —
+    /// the PNF-merge sharing the paper's Section 8 optimization relies on).
+    pub annotations_suppressed: Counter,
+    /// Metastore: rows encoded into the seven storage relations.
+    pub meta_tuples_encoded: Counter,
+    /// MXQL→plain translation: union branches produced.
+    pub translate_branches: Counter,
+    /// XML writer: annotation attributes emitted.
+    pub xml_annotations_written: Counter,
+    /// XML writer: annotation attributes suppressed by PNF sharing.
+    pub xml_annotations_suppressed: Counter,
+    /// Distribution of span durations (ns) across all stages.
+    pub span_duration_ns: Histogram,
+}
+
+static COUNTERS: Counters = Counters {
+    tuples_scanned: Counter::new("eval.tuples_scanned"),
+    bindings_enumerated: Counter::new("eval.bindings_enumerated"),
+    queries_evaluated: Counter::new("eval.queries_evaluated"),
+    rows_inserted: Counter::new("exchange.rows_inserted"),
+    rows_merged: Counter::new("exchange.rows_merged"),
+    annotations_written: Counter::new("exchange.annotations_written"),
+    annotations_suppressed: Counter::new("exchange.annotations_suppressed"),
+    meta_tuples_encoded: Counter::new("metastore.tuples_encoded"),
+    translate_branches: Counter::new("translate.branches"),
+    xml_annotations_written: Counter::new("xml.annotations_written"),
+    xml_annotations_suppressed: Counter::new("xml.annotations_suppressed"),
+    span_duration_ns: Histogram::new(),
+};
+
+/// The global counter registry.
+pub fn counters() -> &'static Counters {
+    &COUNTERS
+}
+
+impl Counters {
+    fn all(&self) -> [&Counter; 11] {
+        [
+            &self.tuples_scanned,
+            &self.bindings_enumerated,
+            &self.queries_evaluated,
+            &self.rows_inserted,
+            &self.rows_merged,
+            &self.annotations_written,
+            &self.annotations_suppressed,
+            &self.meta_tuples_encoded,
+            &self.translate_branches,
+            &self.xml_annotations_written,
+            &self.xml_annotations_suppressed,
+        ]
+    }
+
+    /// Current value of every counter, in declaration order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.all()
+            .iter()
+            .map(|c| (c.name().to_string(), c.get()))
+            .collect()
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in self.all() {
+            c.reset();
+        }
+        self.span_duration_ns.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let _guard = crate::test_guard();
+        let h = Histogram::new();
+        crate::set_enabled(true);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        h.record(u64::MAX); // clamped to last bucket
+        crate::set_enabled(false);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2);
+        assert_eq!(snap[1], 2);
+        assert_eq!(snap[10], 1);
+        assert_eq!(snap[HISTOGRAM_BUCKETS - 1], 1);
+    }
+}

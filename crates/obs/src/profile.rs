@@ -1,0 +1,297 @@
+//! [`PipelineProfile`]: the exported, plain-data form of a profiling run —
+//! the aggregated span tree plus the counter registry — with an
+//! EXPLAIN-style text rendering and lossless JSON round-tripping.
+
+use serde_json::{json, Map, Value};
+
+/// One aggregated span in the profile tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Stage name, e.g. `"exchange.run_mapping"`.
+    pub name: String,
+    /// How many times this span executed at this tree position.
+    pub count: u64,
+    /// Total wall time across all executions.
+    pub total_ns: u64,
+    /// Fastest single execution.
+    pub min_ns: u64,
+    /// Slowest single execution.
+    pub max_ns: u64,
+    /// Key fields (last write wins), e.g. `("mapping", "m5")`.
+    pub fields: Vec<(String, String)>,
+    /// Nested stages.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A named counter reading.
+pub type CounterValue = (String, u64);
+
+/// A complete profile: per-stage wall-time tree plus pipeline counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineProfile {
+    pub stages: Vec<ProfileNode>,
+    pub counters: Vec<CounterValue>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl ProfileNode {
+    fn render_into(&self, out: &mut String, prefix: &str, last: bool) {
+        let branch = if last { "└─ " } else { "├─ " };
+        let mut line = format!("{prefix}{branch}{:<32}", self.name);
+        line.push_str(&format!(
+            " {:>8} call{} {:>12}",
+            self.count,
+            if self.count == 1 { " " } else { "s" },
+            fmt_ns(self.total_ns),
+        ));
+        if self.count > 1 {
+            line.push_str(&format!(
+                "  (min {}, max {})",
+                fmt_ns(self.min_ns),
+                fmt_ns(self.max_ns)
+            ));
+        }
+        if !self.fields.is_empty() {
+            let fields: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            line.push_str(&format!("  {{{}}}", fields.join(", ")));
+        }
+        out.push_str(&line);
+        out.push('\n');
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(out, &child_prefix, i + 1 == self.children.len());
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("name", Value::from(self.name.as_str()));
+        obj.insert("count", Value::from(self.count));
+        obj.insert("total_ns", Value::from(self.total_ns));
+        obj.insert("min_ns", Value::from(self.min_ns));
+        obj.insert("max_ns", Value::from(self.max_ns));
+        if !self.fields.is_empty() {
+            let mut fields = Map::new();
+            for (k, v) in &self.fields {
+                fields.insert(k.clone(), Value::from(v.as_str()));
+            }
+            obj.insert("fields", Value::Object(fields));
+        }
+        if !self.children.is_empty() {
+            obj.insert(
+                "children",
+                Value::Array(self.children.iter().map(ProfileNode::to_json).collect()),
+            );
+        }
+        Value::Object(obj)
+    }
+
+    fn from_json(value: &Value) -> Result<Self, String> {
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("profile node: missing integer field '{key}'"))
+        };
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("profile node: missing 'name'")?
+            .to_string();
+        let mut fields = Vec::new();
+        if let Some(obj) = value.get("fields").and_then(Value::as_object) {
+            for (k, v) in obj.iter() {
+                let v = v.as_str().ok_or("profile node: field values are strings")?;
+                fields.push((k.clone(), v.to_string()));
+            }
+        }
+        let mut children = Vec::new();
+        if let Some(items) = value.get("children").and_then(Value::as_array) {
+            for item in items {
+                children.push(ProfileNode::from_json(item)?);
+            }
+        }
+        Ok(ProfileNode {
+            name,
+            count: get_u64("count")?,
+            total_ns: get_u64("total_ns")?,
+            min_ns: get_u64("min_ns")?,
+            max_ns: get_u64("max_ns")?,
+            fields,
+            children,
+        })
+    }
+}
+
+impl PipelineProfile {
+    /// Look up a counter by registry name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Total wall time of a top-level stage (summed over same-named roots).
+    pub fn stage_total_ns(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// EXPLAIN-style human-readable rendering: the stage tree with call
+    /// counts and wall times, followed by the counter table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("PIPELINE PROFILE\n");
+        if self.stages.is_empty() {
+            out.push_str("└─ (no spans recorded — is profiling enabled?)\n");
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            stage.render_into(&mut out, "", i + 1 == self.stages.len());
+        }
+        out.push_str("counters:\n");
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<width$} {value:>12}\n"));
+        }
+        out
+    }
+
+    /// Structured JSON form (see [`PipelineProfile::from_json`] for the
+    /// inverse).
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (name, value) in &self.counters {
+            counters.insert(name.clone(), Value::from(*value));
+        }
+        json!({
+            "stages": self.stages.iter().map(ProfileNode::to_json).collect::<Vec<_>>(),
+            "counters": Value::Object(counters),
+        })
+    }
+
+    /// Compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse the structure produced by [`PipelineProfile::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let mut stages = Vec::new();
+        if let Some(items) = value.get("stages").and_then(Value::as_array) {
+            for item in items {
+                stages.push(ProfileNode::from_json(item)?);
+            }
+        } else {
+            return Err("profile: missing 'stages' array".to_string());
+        }
+        let mut counters = Vec::new();
+        let obj = value
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or("profile: missing 'counters' object")?;
+        for (name, v) in obj.iter() {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("profile: counter '{name}' is not an integer"))?;
+            counters.push((name.clone(), v));
+        }
+        Ok(PipelineProfile { stages, counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineProfile {
+        PipelineProfile {
+            stages: vec![ProfileNode {
+                name: "exchange.run_mapping".into(),
+                count: 5,
+                total_ns: 1_234_567,
+                min_ns: 100_000,
+                max_ns: 400_000,
+                fields: vec![("mapping".into(), "m5".into())],
+                children: vec![
+                    ProfileNode {
+                        name: "query.eval".into(),
+                        count: 5,
+                        total_ns: 800_000,
+                        min_ns: 90_000,
+                        max_ns: 300_000,
+                        fields: vec![],
+                        children: vec![],
+                    },
+                    ProfileNode {
+                        name: "exchange.insert_row".into(),
+                        count: 240,
+                        total_ns: 300_000,
+                        min_ns: 500,
+                        max_ns: 9_000,
+                        fields: vec![],
+                        children: vec![],
+                    },
+                ],
+            }],
+            counters: vec![
+                ("eval.tuples_scanned".into(), 4_200),
+                ("exchange.rows_inserted".into(), 200),
+                ("exchange.rows_merged".into(), 40),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let profile = sample();
+        let text = serde_json::to_string_pretty(&profile.to_json()).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(PipelineProfile::from_json(&parsed).unwrap(), profile);
+    }
+
+    #[test]
+    fn render_shows_tree_and_counters() {
+        let text = sample().render();
+        assert!(text.contains("PIPELINE PROFILE"));
+        assert!(text.contains("├─ query.eval"));
+        assert!(text.contains("└─ exchange.insert_row"));
+        assert!(text.contains("240 calls"));
+        assert!(text.contains("eval.tuples_scanned"));
+        assert!(text.contains("4200"));
+        assert!(text.contains("{mapping=m5}"));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(PipelineProfile::from_json(&json!({})).is_err());
+        assert!(
+            PipelineProfile::from_json(&json!({"stages": [], "counters": {"x": "nan"}})).is_err()
+        );
+        assert!(
+            PipelineProfile::from_json(&json!({"stages": [{"count": 1}], "counters": {}})).is_err()
+        );
+    }
+}

@@ -333,7 +333,7 @@ impl ListingGenerator {
             state: state.to_owned(),
             zip: format!("{zip3}{:02}", rng.gen_range(0..100)),
             neighborhood: neighborhood.to_owned(),
-            price: rng.gen_range(120..1600) * 1000,
+            price: rng.gen_range(120i64..1600) * 1000,
             beds: rng.gen_range(1..=6),
             baths: rng.gen_range(1..=4),
             sqft: rng.gen_range(600..5200),

@@ -89,6 +89,9 @@ impl Scenario {
 
 /// Builds the scenario (schemas, mappings, generated source instances).
 pub fn build(config: ScenarioConfig) -> Scenario {
+    let span = dtr_obs::span("portal.build")
+        .field("listings_per_source", config.listings_per_source)
+        .field("seed", config.seed);
     let n = config.listings_per_source;
     let pool = if config.agent_pool == 0 {
         (n / 25).clamp(4, 400)
@@ -147,6 +150,7 @@ pub fn build(config: ScenarioConfig) -> Scenario {
     )
     .expect("the portal setting validates");
 
+    span.record("distinct_listings", 5 * n - 3 * k);
     Scenario {
         setting,
         sources,

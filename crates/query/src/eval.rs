@@ -128,6 +128,20 @@ pub struct OutValue {
     pub node: Option<(usize, NodeId)>,
 }
 
+/// Work counters collected by a single [`Evaluator::run`] call. Always
+/// filled (the increments are plain integer adds on the evaluator's own
+/// loop variables), independent of the global `dtr-obs` profiling gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Candidate items visited while enumerating `from`-clause bindings.
+    pub tuples_scanned: u64,
+    /// Variable bindings that survived each enumeration stage (including
+    /// mapping-predicate unification).
+    pub bindings_enumerated: u64,
+    /// Mapping-predicate triples tested against candidate rows.
+    pub predicate_triples_tested: u64,
+}
+
 /// The result of evaluating a query.
 #[derive(Clone, Debug, Default)]
 pub struct QueryResult {
@@ -135,6 +149,8 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     /// Result rows.
     pub rows: Vec<Vec<OutValue>>,
+    /// Work counters for this evaluation (see [`EvalStats`]).
+    pub stats: EvalStats,
 }
 
 impl QueryResult {
@@ -328,6 +344,11 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates a query.
     pub fn run(&self, q: &Query) -> Result<QueryResult, EvalError> {
+        let span = dtr_obs::span("query.eval")
+            .field("from_len", q.from.len())
+            .field("conditions", q.conditions.len());
+        dtr_obs::counters().queries_evaluated.incr();
+        let mut stats = EvalStats::default();
         // Variable slots: declared vars first, then implicit ones.
         let mut var_index: HashMap<&str, usize> = HashMap::new();
         for b in &q.from {
@@ -460,6 +481,7 @@ impl<'a> Evaluator<'a> {
                     Some(cached) => cached.clone(),
                     None => self.binding_items(&b.source, &env, &var_index)?,
                 };
+                stats.tuples_scanned += items.len() as u64;
                 let mut pre: Vec<(PreSide, PreSide)> = Vec::with_capacity(ready.len());
                 for (k, &ci) in ready.iter().enumerate() {
                     let cmp = comparisons[ci];
@@ -496,6 +518,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             rows = next_rows;
+            stats.bindings_enumerated += rows.len() as u64;
             if rows.is_empty() {
                 break;
             }
@@ -516,6 +539,7 @@ impl<'a> Evaluator<'a> {
                 .collect();
             let mut next_rows = Vec::new();
             for env in &rows {
+                stats.predicate_triples_tested += triples.len() as u64;
                 for t in &triples {
                     if let Some(e2) = self.unify_pred(p, t, env, &var_index)? {
                         next_rows.push(e2);
@@ -523,6 +547,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             rows = next_rows;
+            stats.bindings_enumerated += rows.len() as u64;
             if self.opts.pushdown {
                 self.apply_ready_comparisons(&comparisons, &mut cmp_done, &var_index, &mut rows)?;
             }
@@ -546,6 +571,7 @@ impl<'a> Evaluator<'a> {
         let mut out = QueryResult {
             columns: q.select.iter().map(|e| e.to_string()).collect(),
             rows: Vec::with_capacity(rows.len()),
+            stats: EvalStats::default(),
         };
         let mut sort_keys: Vec<Vec<Option<AtomicValue>>> = Vec::new();
         'rows: for env in &rows {
@@ -603,6 +629,13 @@ impl<'a> Evaluator<'a> {
         if let Some(n) = q.limit {
             out.rows.truncate(n);
         }
+        out.stats = stats;
+        let counters = dtr_obs::counters();
+        counters.tuples_scanned.add(stats.tuples_scanned);
+        counters.bindings_enumerated.add(stats.bindings_enumerated);
+        span.record("tuples_scanned", stats.tuples_scanned);
+        span.record("bindings", stats.bindings_enumerated);
+        span.record("rows_out", out.rows.len());
         Ok(out)
     }
 

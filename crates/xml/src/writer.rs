@@ -90,8 +90,18 @@ impl Default for WriteOptions {
     }
 }
 
+/// Written vs PNF-suppressed mapping-annotation attributes of one
+/// serialization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct WriteStats {
+    written: u64,
+    suppressed: u64,
+}
+
 /// Serializes an instance to XML.
 pub fn instance_to_xml(inst: &Instance, opts: WriteOptions) -> String {
+    let span = dtr_obs::span("xml.write").field("nodes", inst.len());
+    let mut stats = WriteStats::default();
     let mut out = String::with_capacity(inst.len() * 24);
     let _ = writeln!(out, "<?xml version=\"1.0\"?>");
     let _ = write!(out, "<instance db=\"");
@@ -101,10 +111,15 @@ pub fn instance_to_xml(inst: &Instance, opts: WriteOptions) -> String {
         out.push('\n');
     }
     for &root in inst.roots() {
-        write_node(inst, root, None, opts, 1, &mut out);
+        write_node(inst, root, None, opts, 1, &mut out, &mut stats);
     }
     out.push_str("</instance>");
     out.push('\n');
+    let c = dtr_obs::counters();
+    c.xml_annotations_written.add(stats.written);
+    c.xml_annotations_suppressed.add(stats.suppressed);
+    span.record("annotations_written", stats.written);
+    span.record("annotations_suppressed", stats.suppressed);
     out
 }
 
@@ -115,6 +130,7 @@ fn write_node(
     opts: WriteOptions,
     depth: usize,
     out: &mut String,
+    stats: &mut WriteStats,
 ) {
     if opts.indent {
         for _ in 0..depth {
@@ -139,7 +155,10 @@ fn write_node(
     if opts.mapping_annotations && !annot.mappings.is_empty() {
         let suppress =
             opts.pnf_suppression && parent_maps.is_some_and(|pm| pm == annot.mappings.as_slice());
-        if !suppress {
+        if suppress {
+            stats.suppressed += 1;
+        } else {
+            stats.written += 1;
             out.push_str(" map=\"");
             for (i, m) in annot.mappings.iter().enumerate() {
                 if i > 0 {
@@ -169,7 +188,7 @@ fn write_node(
                     out.push('\n');
                 }
                 for &c in kids {
-                    write_node(inst, c, Some(&annot.mappings), opts, depth + 1, out);
+                    write_node(inst, c, Some(&annot.mappings), opts, depth + 1, out, stats);
                 }
                 if opts.indent {
                     for _ in 0..depth {

@@ -9,7 +9,12 @@
 //! cargo run --release --bin experiments -- --quick --all    # 1/10 scale
 //! cargo run --release --bin experiments -- --e2 --e5        # selected experiments
 //! cargo run --release --bin experiments -- --json out.json  # also dump JSON
+//! cargo run --release --bin experiments -- --all --profile  # EXPLAIN-style profile
 //! ```
+//!
+//! `--profile` (or `DTR_PROFILE=1`) enables the `dtr-obs` span collector and
+//! counter registry; the harness then prints the aggregated profile tree and,
+//! with `--json`, embeds it under the `"profile"` key.
 
 use dtr_core::runner::MetaRunner;
 use dtr_core::tagged::TaggedInstance;
@@ -27,6 +32,7 @@ struct Args {
     run: Vec<&'static str>,
     listings_per_source: usize,
     json_path: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +40,7 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut json_path = None;
     let mut listings = 2000usize;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,6 +62,7 @@ fn parse_args() -> Args {
                     .expect("--scale takes a number");
             }
             "--json" => json_path = it.next(),
+            "--profile" => profile = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -68,6 +76,7 @@ fn parse_args() -> Args {
         run,
         listings_per_source: if quick { listings / 10 } else { listings },
         json_path,
+        profile,
     }
 }
 
@@ -450,6 +459,12 @@ fn e9(tagged: &TaggedInstance) -> Json {
 
 fn main() {
     let args = parse_args();
+    if args.profile {
+        dtr_obs::set_enabled(true);
+    }
+    if dtr_obs::enabled() {
+        dtr_obs::profile_reset();
+    }
     println!(
         "Section 8 experiment harness — {} listings per source ({} total)",
         args.listings_per_source,
@@ -492,7 +507,18 @@ fn main() {
         results.insert((*e).to_string(), value);
     }
 
+    let profile = if dtr_obs::enabled() {
+        let p = dtr_obs::profile_snapshot();
+        println!("\n{}", p.render());
+        Some(p)
+    } else {
+        None
+    };
+
     if let Some(path) = args.json_path {
+        if let Some(p) = &profile {
+            results.insert("profile".to_string(), p.to_json());
+        }
         std::fs::write(
             &path,
             serde_json::to_string_pretty(&Json::Object(results)).expect("serializable"),

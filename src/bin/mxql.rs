@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --bin mxql                 # the Figure 1 example
 //! cargo run --release --bin mxql -- --portal 100 # the Section 8 portal
+//! cargo run --release --bin mxql -- --profile    # per-query EXPLAIN profile
 //! ```
 //!
 //! Enter MXQL queries terminated by `;`. Meta-commands:
@@ -17,6 +18,8 @@
 //! * `.lint` — run the mapping diagnostics;
 //! * `.whatif <db|mapping,...>` — impact analysis;
 //! * `.save <file>` — write the annotated instance as XML;
+//! * `.profile [on|off|json]` — toggle or dump the `dtr-obs` profile
+//!   (also enabled by `--profile` or `DTR_PROFILE=1`);
 //! * `.help`, `.quit`.
 
 use dtr::core::runner::MetaRunner;
@@ -39,19 +42,24 @@ enum Mode {
 }
 
 fn load() -> TaggedInstance {
+    let mut portal: Option<usize> = None;
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("--portal") => {
-            let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--portal" => {
+                portal = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or(100));
+            }
+            "--profile" => dtr_obs::set_enabled(true),
+            other => eprintln!("unknown flag {other} (ignored)"),
+        }
+    }
+    match portal {
+        Some(n) => {
             eprintln!("building the Section 8 portal ({n} listings per source)...");
             portal_tagged(ScenarioConfig {
                 listings_per_source: n,
                 ..Default::default()
             })
-        }
-        Some(other) => {
-            eprintln!("unknown flag {other}; loading the Figure 1 example");
-            testkit::figure1()
         }
         None => {
             eprintln!("loading the Figure 1 running example (use --portal N for Section 8)");
@@ -65,7 +73,8 @@ fn help() {
     println!("  select x.hid, m from Portal.estates x, x.value@map m;");
     println!("meta commands: .mappings  .schema <db>  .store  .translate <q>;");
     println!("               .mode direct|translated|virtual  .lint");
-    println!("               .whatif <db|m1,m2,...>  .save <file>  .help  .quit");
+    println!("               .whatif <db|m1,m2,...>  .save <file>");
+    println!("               .profile [on|off|json]  .help  .quit");
 }
 
 fn main() {
@@ -96,6 +105,19 @@ fn main() {
                     }
                 }
                 ".store" => println!("{}", runner.store().render()),
+                ".profile" => match rest.trim() {
+                    "on" => {
+                        dtr_obs::set_enabled(true);
+                        dtr_obs::profile_reset();
+                        println!("profiling on");
+                    }
+                    "off" => {
+                        dtr_obs::set_enabled(false);
+                        println!("profiling off");
+                    }
+                    "json" => println!("{}", dtr_obs::profile_snapshot().to_json_string()),
+                    _ => println!("{}", dtr_obs::profile_snapshot().render()),
+                },
                 ".mode" => {
                     mode = match rest.trim() {
                         "translated" => {
@@ -223,6 +245,9 @@ fn main() {
         }
         let text = buffer.trim().trim_end_matches(';').to_owned();
         buffer.clear();
+        if dtr_obs::enabled() {
+            dtr_obs::profile_reset();
+        }
         let t0 = std::time::Instant::now();
         let result = match mode {
             Mode::Direct => tagged.query(&text),
@@ -246,6 +271,9 @@ fn main() {
                     r.len(),
                     t0.elapsed().as_secs_f64() * 1e3
                 );
+                if dtr_obs::enabled() {
+                    println!("{}", dtr_obs::profile_snapshot().render());
+                }
             }
             Err(e) => println!("error: {e}"),
         }

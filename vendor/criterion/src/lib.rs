@@ -1,0 +1,241 @@
+//! Offline drop-in replacement for the subset of `criterion` this workspace
+//! uses: `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — warm up once, time `sample_size`
+//! runs, report min/median/mean — which is enough for the relative
+//! comparisons EXPERIMENTS.md makes. No plotting, no outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized. Accepted for API compatibility; the stub
+/// always runs one batch of one input per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure the benchmark hands it.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_samples(sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> Vec<Duration> {
+    // Warm-up run, discarded.
+    let mut warmup = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed);
+    }
+    samples
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    println!(
+        "{name:<50} time: [min {} | median {} | mean {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = run_samples(self.sample_size, f);
+        report(&full, &mut samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = run_samples(self.sample_size, |b| f(b, input));
+        report(&full, &mut samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle passed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = id.to_string();
+        let mut samples = run_samples(self.sample_size, f);
+        report(&full, &mut samples);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+        g.bench_with_input(BenchmarkId::new("sized", 42), &42u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

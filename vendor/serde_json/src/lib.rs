@@ -1,0 +1,795 @@
+//! Offline drop-in replacement for the subset of `serde_json` this workspace
+//! uses: the [`Value`] tree, an insertion-ordered [`Map`], the [`json!`]
+//! macro, compact/pretty printers and a strict JSON parser ([`from_str`]).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the handful of third-party API surfaces it needs as
+//! small local crates. This one is behaviour-compatible for the operations
+//! the repo performs (construct → print → parse → compare); it does not
+//! implement serde's `Serialize`/`Deserialize` traits.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact so counters round-trip losslessly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// Anything with a fractional part or exponent.
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    // Mirror serde_json: floats always carry a decimal point
+                    // or exponent so they re-parse as floats.
+                    if x == x.trunc() && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // serde_json prints non-finite floats as null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string→value map (like serde_json's `preserve_order`
+/// feature, which this repo's output formatting relies on).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert, replacing any existing entry with the same key in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `value["key"]`-style lookup without panicking; returns `None` on any
+    /// type mismatch.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::Float(f as f64))
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                Value::Number(Number::PosInt(n as u64))
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n as i64))
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] from JSON-ish syntax, mirroring `serde_json::json!`.
+///
+/// Supports nested objects/arrays, `null`, and arbitrary Rust expressions in
+/// value position (anything with `Into<Value>`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::json_array_internal!([] $($tt)+) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_object_internal!(object () $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: accumulate array elements (top-level commas separate elements;
+/// commas nested in `()`/`[]`/`{}` token trees are untouched).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Finished accumulating every element.
+    ([ $($elems:expr,)* ]) => {
+        $crate::Value::Array(vec![ $($elems,)* ])
+    };
+    // Trailing comma already folded in; done.
+    ([ $($elems:expr,)* ] ,) => {
+        $crate::Value::Array(vec![ $($elems,)* ])
+    };
+    // Next element is `null`.
+    ([ $($elems:expr,)* ] null $($rest:tt)*) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!(null), ] $($rest)*)
+    };
+    // Next element is an array.
+    ([ $($elems:expr,)* ] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    // Next element is an object.
+    ([ $($elems:expr,)* ] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    ([ $($elems:expr,)* ] $next:expr, $($rest:tt)*) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!($next), ] $($rest)*)
+    };
+    // Last element: an expression with nothing after it.
+    ([ $($elems:expr,)* ] $last:expr) => {
+        $crate::Value::Array(vec![ $($elems,)* $crate::json!($last) ])
+    };
+    // Comma after a bracketed element.
+    ([ $($elems:expr,)* ] , $($rest:tt)*) => {
+        $crate::json_array_internal!([ $($elems,)* ] $($rest)*)
+    };
+}
+
+/// Internal: accumulate object entries. The value is munched token-by-token
+/// until a top-level comma (or end of input), then recursed through `json!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Done.
+    ($object:ident ()) => {};
+    // Key found: start munching its value.
+    ($object:ident () $key:tt : $($rest:tt)*) => {
+        $crate::json_object_internal!(@value $object $key () $($rest)*)
+    };
+    // Value complete at a top-level comma: insert and continue.
+    (@value $object:ident $key:tt ($($value:tt)+) , $($rest:tt)*) => {
+        $object.insert(($key).to_string(), $crate::json!($($value)+));
+        $crate::json_object_internal!($object () $($rest)*)
+    };
+    // Value complete at end of input: insert and stop.
+    (@value $object:ident $key:tt ($($value:tt)+)) => {
+        $object.insert(($key).to_string(), $crate::json!($($value)+));
+    };
+    // Otherwise: move one token into the value accumulator.
+    (@value $object:ident $key:tt ($($value:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(@value $object $key ($($value)* $next) $($rest)*)
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+/// Serialize a value as compact JSON. Infallible for `Value` input; the
+/// `Result` mirrors the serde_json signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Serialize a value as human-indented JSON.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// A parse error with byte position context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            msg: msg.into(),
+            pos: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("invalid \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our printer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let Some(chunk) = self.bytes.get(start..end) else {
+                        return self.err("truncated UTF-8");
+                    };
+                    let Ok(s) = std::str::from_utf8(chunk) else {
+                        return self.err("invalid UTF-8");
+                    };
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::Float(f))),
+            Err(_) => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let scale = 3usize;
+        let v = json!({
+            "name": "e1",
+            "ratio": 100.0 * 2.0 / 4.0,
+            "scale": scale,
+            "nested": { "ok": true, "none": null },
+            "list": [1, 2.5, "three", [4], {"five": 5}],
+        });
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("e1"));
+        assert_eq!(v.get("ratio").and_then(Value::as_f64), Some(50.0));
+        assert_eq!(v.get("scale").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("ok"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            v.get("list").and_then(Value::as_array).map(Vec::len),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let v = json!({
+            "counters": {"rows": 12345678901u64, "neg": -42, "f": 0.25},
+            "stages": [{"name": "exchange", "ms": 1.5}, {"name": "eval", "ms": 0.5}],
+            "text": "quote \" backslash \\ newline \n tab \t unicode é",
+        });
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2,,]").is_err());
+        assert!(from_str("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a", json!(1));
+        m.insert("b", json!(2));
+        assert_eq!(m.insert("a", json!(3)), Some(json!(1)));
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(m.get("a"), Some(&json!(3)));
+    }
+}
