@@ -1,0 +1,70 @@
+//! Measures the cost of the `dtr-journal` event stream: the same exchange
+//! workload with the journal disabled (the default — every event site
+//! reduces to one relaxed atomic load and a branch) and with the journal
+//! capturing (events are built, fingerprinted, and pushed into the ring
+//! buffer under its mutex).
+//!
+//! The acceptance bar is that the disabled path stays within noise of the
+//! un-instrumented baseline; comparing `off` vs `on` bounds how much work
+//! the gate skips per insert/merge/annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_obs::journal;
+use dtr_portal::scenario::{build, ScenarioConfig};
+use std::hint::black_box;
+
+fn config() -> ScenarioConfig {
+    ScenarioConfig {
+        listings_per_source: 50,
+        ..Default::default()
+    }
+}
+
+fn exchange_journal_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("journal_overhead/exchange");
+    g.sample_size(10);
+    for (label, enabled) in [("off", false), ("on", true)] {
+        g.bench_function(label, |b| {
+            dtr_obs::set_enabled(false);
+            journal::set_enabled(enabled);
+            journal::reset();
+            b.iter_batched(
+                || build(config()),
+                |scenario| black_box(scenario.exchange().unwrap().target().len()),
+                criterion::BatchSize::LargeInput,
+            );
+            journal::set_enabled(false);
+            journal::reset();
+        });
+    }
+    g.finish();
+}
+
+fn lineage_lookup(c: &mut Criterion) {
+    // Capture one exchange worth of events, then measure index lookups.
+    dtr_obs::set_enabled(false);
+    journal::set_enabled(true);
+    journal::reset();
+    let tagged = build(config()).exchange().unwrap();
+    journal::set_enabled(false);
+    let targets: Vec<u64> = journal::events().iter().filter_map(|e| e.target).collect();
+    assert!(!targets.is_empty(), "the exchange journaled insert events");
+    let _ = tagged;
+
+    let mut g = c.benchmark_group("journal_overhead/lineage");
+    g.sample_size(10);
+    g.bench_function("lineage_of", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &t in &targets {
+                hits += journal::lineage_of(black_box(t)).len();
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+    journal::reset();
+}
+
+criterion_group!(benches, exchange_journal_overhead, lineage_lookup);
+criterion_main!(benches);

@@ -52,7 +52,7 @@ pub mod prelude {
     };
     pub use crate::runner::{canonical_rows, MetaRunner};
     pub use crate::tagged::{MappingSetting, MxqlError, TaggedInstance};
-    pub use crate::translate::{translate, TranslateError};
+    pub use crate::translate::{translate, translate_explained, TranslateError};
     pub use crate::virtualize::{answer_virtually, virtualize};
     pub use crate::whatif::{impact_of_mappings, impact_of_source, Impact};
 }

@@ -27,6 +27,7 @@
 //!   results are concatenated and de-duplicated.
 
 use dtr_model::value::{canonical_path, AtomicValue};
+use dtr_obs::ExplainTrace;
 use dtr_query::ast::{
     Binding, CmpOp, Comparison, Condition, Expr, MappingPred, PathExpr, Query, Term,
 };
@@ -97,13 +98,39 @@ struct PredPlan {
     double: bool,
 }
 
+/// Appends one rewrite step to the EXPLAIN trace and mirrors it into the
+/// event journal (stage `mxql.translate`).
+fn explain_step(trace: &mut ExplainTrace, rule: &'static str, input: String, output: String) {
+    if dtr_obs::journal::enabled() {
+        dtr_obs::journal::record(
+            dtr_obs::journal::event(
+                "mxql.translate",
+                dtr_obs::journal::Outcome::TranslateStep { rule },
+            )
+            .detail(format!("{input} => {output}")),
+        );
+    }
+    trace.step(rule, input, output);
+}
+
 /// Translates an MXQL query into a union of plain queries over the data
 /// instance plus the metastore view (`Element`, `Mapping`,
 /// `Correspondence`, `Condition` roots). `target_db` is the database name
 /// of the tagged (annotated) instance — needed to constrain `@elem`
 /// comparisons.
 pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateError> {
+    translate_explained(q, target_db).map(|(queries, _)| queries)
+}
+
+/// [`translate`], additionally returning the EXPLAIN trace of every rewrite
+/// step (Section 7.3's four steps, one [`dtr_obs::ExplainStep`] per fired
+/// rule). The `.explain` REPL meta-command renders this trace.
+pub fn translate_explained(
+    q: &Query,
+    target_db: &str,
+) -> Result<(Vec<Query>, ExplainTrace), TranslateError> {
     let span = dtr_obs::span("mxql.translate").field("conditions", q.conditions.len());
+    let mut trace = ExplainTrace::default();
     let mut ctx = Ctx {
         roles: HashMap::new(),
         target_db: target_db.to_owned(),
@@ -111,10 +138,31 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
     };
 
     // ---- Plan the mapping predicates (steps 2 + 3). ----
+    let mut preds: Vec<&MappingPred> = Vec::new();
     let mut plans: Vec<PredPlan> = Vec::new();
     for c in &q.conditions {
         let Condition::MapPred(p) = c else { continue };
-        plans.push(plan_pred(p, &mut ctx)?);
+        let plan = plan_pred(p, &mut ctx)?;
+        let shared = if plan.shared_conds.is_empty() {
+            "no constant constraints".to_string()
+        } else {
+            plan.shared_conds
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" and ")
+        };
+        explain_step(
+            &mut trace,
+            "plan-predicate",
+            p.to_string(),
+            format!(
+                "Element vars `{}`/`{}`, Mapping var `{}`; {shared}",
+                plan.src_elem, plan.tgt_elem, plan.map_var
+            ),
+        );
+        preds.push(p);
+        plans.push(plan);
     }
 
     // ---- Rewrite the from clause (step 1). ----
@@ -137,6 +185,14 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
         } else {
             b.var.clone()
         };
+        if matches!(&b.source, Expr::MapOf(_)) {
+            explain_step(
+                &mut trace,
+                "annotation-accessor",
+                b.to_string(),
+                format!("{source} {var}"),
+            );
+        }
         data_from.push(Binding { var, source });
     }
     // Bind predicate variables to the storage relations. These (small)
@@ -173,7 +229,16 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
         match c {
             Condition::MapPred(_) => {}
             Condition::Cmp(cmp) => {
-                conditions.extend(rewrite_cmp(cmp, &ctx, &renames)?);
+                let rewritten = rewrite_cmp(cmp, &ctx, &renames)?;
+                let out_text = rewritten
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" and ");
+                if out_text != cmp.to_string() {
+                    explain_step(&mut trace, "rewrite-comparison", cmp.to_string(), out_text);
+                }
+                conditions.extend(rewritten);
             }
         }
     }
@@ -182,14 +247,47 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
     // double-arrow disjunction. ----
     let mut branches: Vec<(Vec<Binding>, Vec<Condition>)> = vec![(Vec::new(), Vec::new())];
     for (i, plan) in plans.iter().enumerate() {
+        let variants = pred_variants(plan, i, &mut ctx);
+        let variant_text = variants
+            .iter()
+            .map(|(bs, cs)| {
+                format!(
+                    "[from {} where {}]",
+                    bs.iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    cs.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" and "),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" or ");
+        explain_step(
+            &mut trace,
+            "expand-predicate",
+            preds[i].to_string(),
+            format!(
+                "{} {} join variant{}: {variant_text}",
+                variants.len(),
+                if plan.double {
+                    "double-arrow"
+                } else {
+                    "single-arrow"
+                },
+                if variants.len() == 1 { "" } else { "s" },
+            ),
+        );
         let mut next = Vec::new();
         for (bs, cs) in &branches {
-            for variant in pred_variants(plan, i, &mut ctx) {
+            for variant in &variants {
                 let mut bs2 = bs.clone();
                 let mut cs2 = cs.clone();
-                bs2.extend(variant.0);
+                bs2.extend(variant.0.iter().cloned());
                 cs2.extend(plan.shared_conds.iter().cloned());
-                cs2.extend(variant.1);
+                cs2.extend(variant.1.iter().cloned());
                 next.push((bs2, cs2));
             }
         }
@@ -200,7 +298,19 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
         .translate_branches
         .add(branches.len() as u64);
     span.record("branches", branches.len());
-    Ok(branches
+    if !plans.is_empty() {
+        explain_step(
+            &mut trace,
+            "union",
+            format!("{} mapping predicate(s)", plans.len()),
+            format!(
+                "{} plain conjunctive quer{} over the metastore relations",
+                branches.len(),
+                if branches.len() == 1 { "y" } else { "ies" },
+            ),
+        );
+    }
+    let queries: Vec<Query> = branches
         .into_iter()
         .map(|(bs, cs)| {
             let mut out = Query {
@@ -217,7 +327,8 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
             out.conditions.extend(cs);
             out
         })
-        .collect())
+        .collect();
+    Ok((queries, trace))
 }
 
 fn sorted_roles(roles: &HashMap<String, Role>) -> Vec<(String, Role)> {

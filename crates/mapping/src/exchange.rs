@@ -92,6 +92,20 @@ pub struct MappingStats {
     pub annotations_suppressed: usize,
     /// Wall time spent running this mapping (foreach eval + insertion).
     pub wall_ns: u64,
+    /// Journal offset when this mapping started (0 when journaling is off).
+    pub started_at_event: u64,
+    /// Journal offset when this mapping finished (0 when journaling is off).
+    pub ended_at_event: u64,
+}
+
+impl MappingStats {
+    /// The journal event window `[started_at_event, ended_at_event)` of this
+    /// mapping's run, if the journal captured one. Slice the buffer with
+    /// `dtr_obs::journal::events_in` instead of scanning all events.
+    pub fn event_window(&self) -> Option<(u64, u64)> {
+        (self.ended_at_event > self.started_at_event)
+            .then_some((self.started_at_event, self.ended_at_event))
+    }
 }
 
 /// Statistics of one exchange run.
@@ -111,7 +125,7 @@ impl ExchangeReport {
     }
 
     /// Totals across all mappings, in `MappingStats` form (the `mapping`
-    /// field keeps its default value).
+    /// field keeps its default value; the event window spans the whole run).
     pub fn totals(&self) -> MappingStats {
         let mut out = MappingStats::default();
         for s in &self.per_mapping {
@@ -123,7 +137,24 @@ impl ExchangeReport {
             out.annotations_suppressed += s.annotations_suppressed;
             out.wall_ns += s.wall_ns;
         }
+        if let Some((start, end)) = self.event_window() {
+            out.started_at_event = start;
+            out.ended_at_event = end;
+        }
         out
+    }
+
+    /// The journal event window covering every mapping in this report, if
+    /// the journal captured one.
+    pub fn event_window(&self) -> Option<(u64, u64)> {
+        let windows: Vec<(u64, u64)> = self
+            .per_mapping
+            .iter()
+            .filter_map(MappingStats::event_window)
+            .collect();
+        let start = windows.iter().map(|&(s, _)| s).min()?;
+        let end = windows.iter().map(|&(_, e)| e).max()?;
+        Some((start, end))
     }
 }
 
@@ -431,6 +462,18 @@ fn build_member(
     }
 }
 
+/// Fingerprint of one source binding (a foreach tuple) — the identity the
+/// journal records per insert/merge event, and the key the `.trace`
+/// cross-check re-derives by replaying the foreach query.
+pub fn row_fingerprint(row: &[AtomicValue]) -> u64 {
+    let mut h = DefaultHasher::new();
+    row.len().hash(&mut h);
+    for v in row {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
 fn value_fingerprint(v: &Value, h: &mut DefaultHasher) {
     match v {
         Value::Atomic(a) => {
@@ -500,6 +543,7 @@ impl<'a> Exchange<'a> {
         let started = std::time::Instant::now();
         let mut stats = MappingStats {
             mapping: m.name.clone(),
+            started_at_event: dtr_obs::journal::next_event_id(),
             ..MappingStats::default()
         };
         let plan = plan_exists(m, self.target_schema)?;
@@ -519,6 +563,7 @@ impl<'a> Exchange<'a> {
             self.insert_row(m, &plan, &row, &mut stats)?;
         }
         stats.wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.ended_at_event = dtr_obs::journal::next_event_id();
         let counters = dtr_obs::counters();
         counters.rows_inserted.add(stats.rows_inserted as u64);
         counters.rows_merged.add(stats.rows_merged as u64);
@@ -543,6 +588,9 @@ impl<'a> Exchange<'a> {
         stats: &mut MappingStats,
     ) -> Result<(), ExchangeError> {
         let _span = dtr_obs::span("exchange.insert_row");
+        // One source-binding fingerprint per foreach tuple; only computed
+        // when the journal is capturing.
+        let row_fp = dtr_obs::journal::enabled().then(|| row_fingerprint(row));
         // Assign slot-class values from the select positions.
         let mut class_values: Vec<Option<AtomicValue>> = vec![None; plan.n_classes];
         for (i, &c) in plan.select_classes.iter().enumerate() {
@@ -585,6 +633,19 @@ impl<'a> Exchange<'a> {
             let member = match self.merge_index.get(&(set_node, fp)) {
                 Some(&existing) => {
                     stats.rows_merged += 1;
+                    if let Some(binding_fp) = row_fp {
+                        dtr_obs::journal::record(
+                            dtr_obs::journal::event(
+                                "exchange.insert_row",
+                                dtr_obs::journal::Outcome::PnfMerged {
+                                    into: u64::from(existing.0),
+                                },
+                            )
+                            .mapping(&m.name)
+                            .binding(binding_fp)
+                            .target(u64::from(existing.0)),
+                        );
+                    }
                     self.annotate_subtree(existing, m, stats);
                     existing
                 }
@@ -592,6 +653,17 @@ impl<'a> Exchange<'a> {
                     stats.rows_inserted += 1;
                     let node = self.target.push_set_member(set_node, value);
                     self.merge_index.insert((set_node, fp), node);
+                    if let Some(binding_fp) = row_fp {
+                        dtr_obs::journal::record(
+                            dtr_obs::journal::event(
+                                "exchange.insert_row",
+                                dtr_obs::journal::Outcome::Inserted,
+                            )
+                            .mapping(&m.name)
+                            .binding(binding_fp)
+                            .target(u64::from(node.0)),
+                        );
+                    }
                     self.annotate_subtree(node, m, stats);
                     node
                 }
@@ -620,7 +692,12 @@ impl<'a> Exchange<'a> {
                 self.target.push_raw(root.clone(), None, data, true)
             }
         };
-        record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
+        record_annotation(
+            self.target.add_mapping(node, m.name.clone()),
+            node,
+            m,
+            stats,
+        );
         for label in steps {
             elem = self.target_schema.child(elem, label).ok_or_else(|| {
                 ExchangeError::Unsupported(format!("no element `{label}` in skeleton path"))
@@ -634,7 +711,12 @@ impl<'a> Exchange<'a> {
                     child
                 }
             };
-            record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
+            record_annotation(
+                self.target.add_mapping(node, m.name.clone()),
+                node,
+                m,
+                stats,
+            );
         }
         if !matches!(self.target_schema.element(elem).kind, ElementKind::Set) {
             return Err(ExchangeError::Unsupported(format!(
@@ -682,7 +764,12 @@ impl<'a> Exchange<'a> {
                     child
                 }
             };
-            record_annotation(self.target.add_mapping(node, m.name.clone()), stats);
+            record_annotation(
+                self.target.add_mapping(node, m.name.clone()),
+                node,
+                m,
+                stats,
+            );
         }
         Ok(node)
     }
@@ -691,7 +778,7 @@ impl<'a> Exchange<'a> {
     fn annotate_subtree(&mut self, node: NodeId, m: &Mapping, stats: &mut MappingStats) {
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
-            record_annotation(self.target.add_mapping(n, m.name.clone()), stats);
+            record_annotation(self.target.add_mapping(n, m.name.clone()), n, m, stats);
             stack.extend_from_slice(self.target.children(n));
         }
     }
@@ -709,12 +796,27 @@ impl<'a> Exchange<'a> {
     }
 }
 
-/// Folds one `Instance::add_mapping` outcome into the per-mapping stats.
-fn record_annotation(newly_written: bool, stats: &mut MappingStats) {
+/// Folds one `Instance::add_mapping` outcome into the per-mapping stats and
+/// journals the annotation decision against the target node.
+fn record_annotation(newly_written: bool, node: NodeId, m: &Mapping, stats: &mut MappingStats) {
     if newly_written {
         stats.annotations_written += 1;
     } else {
         stats.annotations_suppressed += 1;
+    }
+    if dtr_obs::journal::enabled() {
+        let outcome = if newly_written {
+            dtr_obs::journal::Outcome::AnnotationWritten
+        } else {
+            dtr_obs::journal::Outcome::AnnotationSuppressed {
+                reason: "already-present",
+            }
+        };
+        dtr_obs::journal::record(
+            dtr_obs::journal::event("exchange.annotate", outcome)
+                .mapping(&m.name)
+                .target(u64::from(node.0)),
+        );
     }
 }
 

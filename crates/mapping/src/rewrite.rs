@@ -46,10 +46,25 @@ pub fn rewrite_with_annotations(
         out.exists
             .select
             .push(Expr::Call("getMapAnnot".into(), vec![expr.clone()]));
-        out.foreach.select.push(Expr::Const(elem_const));
+        out.foreach.select.push(Expr::Const(elem_const.clone()));
         out.foreach
             .select
             .push(Expr::Const(AtomicValue::Map(m.name.clone())));
+        if dtr_obs::journal::enabled() {
+            dtr_obs::journal::record(
+                dtr_obs::journal::event(
+                    "mapping.rewrite",
+                    dtr_obs::journal::Outcome::TranslateStep {
+                        rule: "append-annotations",
+                    },
+                )
+                .mapping(&m.name)
+                .detail(format!(
+                    "{expr} -> getElAnnot/getMapAnnot + constants ({elem_const}, '{}')",
+                    m.name
+                )),
+            );
+        }
     }
     Ok(out)
 }

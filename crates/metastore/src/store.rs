@@ -218,6 +218,17 @@ impl MetaStore {
         let encoded = self.total_rows() - before;
         dtr_obs::counters().meta_tuples_encoded.add(encoded as u64);
         span.record("rows_encoded", encoded);
+        if dtr_obs::journal::enabled() {
+            dtr_obs::journal::record(
+                dtr_obs::journal::event(
+                    "metastore.add_schema",
+                    dtr_obs::journal::Outcome::MetaEncoded {
+                        relation: "Element",
+                    },
+                )
+                .detail(format!("schema {}: {encoded} rows", schema.name())),
+            );
+        }
         Ok(())
     }
 
@@ -272,6 +283,18 @@ impl MetaStore {
         let encoded = self.total_rows() - before;
         dtr_obs::counters().meta_tuples_encoded.add(encoded as u64);
         span.record("rows_encoded", encoded);
+        if dtr_obs::journal::enabled() {
+            dtr_obs::journal::record(
+                dtr_obs::journal::event(
+                    "metastore.add_mapping",
+                    dtr_obs::journal::Outcome::MetaEncoded {
+                        relation: "Mapping",
+                    },
+                )
+                .mapping(&m.name)
+                .detail(format!("{encoded} rows")),
+            );
+        }
         Ok(())
     }
 

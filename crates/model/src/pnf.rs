@@ -162,15 +162,22 @@ fn merge_group(
                 }
             }
             let mut new_kids = Vec::with_capacity(buckets.len());
-            for (_, bucket) in buckets {
-                new_kids.push(merge_group(
-                    src,
-                    &bucket,
-                    dst,
-                    Label::star(),
-                    Some(id),
-                    false,
-                ));
+            for (f, bucket) in buckets {
+                let merged = merge_group(src, &bucket, dst, Label::star(), Some(id), false);
+                if bucket.len() > 1 && dtr_obs::journal::enabled() {
+                    dtr_obs::journal::record(
+                        dtr_obs::journal::event(
+                            "model.pnf.merge",
+                            dtr_obs::journal::Outcome::PnfMerged {
+                                into: u64::from(merged.0),
+                            },
+                        )
+                        .binding(f)
+                        .target(u64::from(merged.0))
+                        .detail(format!("{} copies share one fingerprint", bucket.len())),
+                    );
+                }
+                new_kids.push(merged);
             }
             set_children(dst, id, new_kids);
             id

@@ -1,0 +1,112 @@
+//! [`ExplainTrace`]: the step-by-step record of one MXQL→plain-query
+//! translation, built by `dtr-core`'s translator and rendered by the
+//! `.explain` REPL meta-command.
+//!
+//! Each [`ExplainStep`] names the rewrite rule that fired, the input
+//! fragment it consumed (e.g. a mapping predicate) and the output it
+//! emitted (e.g. the conjuncts added to a union branch). The trace is
+//! deliberately plain data — the translator stays the single source of
+//! truth for the rewrite logic, and the trace only narrates it.
+
+use serde_json::{Map, Value};
+
+/// One rewrite step in a translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplainStep {
+    /// The rewrite rule that fired, e.g. `"expand-predicate"`.
+    pub rule: &'static str,
+    /// The input fragment the rule consumed.
+    pub input: String,
+    /// What the rule emitted.
+    pub output: String,
+}
+
+/// The ordered steps of one MXQL→plain translation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExplainTrace {
+    pub steps: Vec<ExplainStep>,
+}
+
+impl ExplainTrace {
+    /// Append a step.
+    pub fn step(
+        &mut self,
+        rule: &'static str,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) {
+        self.steps.push(ExplainStep {
+            rule,
+            input: input.into(),
+            output: output.into(),
+        });
+    }
+
+    /// Human-readable rendering (the body of `.explain` output).
+    pub fn render(&self) -> String {
+        let mut out = String::from("TRANSLATION STEPS\n");
+        if self.steps.is_empty() {
+            out.push_str("└─ (no rewrite steps recorded)\n");
+            return out;
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let last = i + 1 == self.steps.len();
+            let branch = if last { "└─ " } else { "├─ " };
+            let pad = if last { "   " } else { "│  " };
+            out.push_str(&format!("{branch}[{}] {}\n", i + 1, step.rule));
+            out.push_str(&format!("{pad}   in:  {}\n", step.input));
+            out.push_str(&format!("{pad}   out: {}\n", step.output));
+        }
+        out
+    }
+
+    /// Structured JSON form: an array of `{rule, input, output}` objects.
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.steps
+                .iter()
+                .map(|s| {
+                    let mut obj = Map::new();
+                    obj.insert("rule", Value::from(s.rule));
+                    obj.insert("input", Value::from(s.input.as_str()));
+                    obj.insert("output", Value::from(s.output.as_str()));
+                    Value::Object(obj)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_numbers_steps_in_order() {
+        let mut trace = ExplainTrace::default();
+        trace.step(
+            "expand-predicate",
+            "<us:affiliations.affiliation -> m2 -> portal:orgs.org>",
+            "3 branches via Correspondence/Element joins",
+        );
+        trace.step("union", "2 predicate(s)", "3 plain queries");
+        let text = trace.render();
+        assert!(text.contains("[1] expand-predicate"));
+        assert!(text.contains("[2] union"));
+        assert!(text.contains("in:  <us:affiliations.affiliation"));
+        assert!(text.contains("out: 3 plain queries"));
+    }
+
+    #[test]
+    fn json_form_is_an_array_of_steps() {
+        let mut trace = ExplainTrace::default();
+        trace.step("plan-predicate", "p", "q");
+        let json = trace.to_json();
+        let steps = json.as_array().unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(
+            steps[0].get("rule").and_then(Value::as_str),
+            Some("plan-predicate")
+        );
+    }
+}

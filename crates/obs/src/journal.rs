@@ -1,0 +1,620 @@
+//! `dtr-journal`: a gated, bounded, structured provenance event stream.
+//!
+//! Where the profile ([`crate::PipelineProfile`]) answers *how many* rows
+//! merged, the journal answers *which* row came from *which* mapping
+//! binding: every exchange decision (insert vs. PNF merge, annotation write
+//! vs. suppression), every PNF merge target, every metastore encoding step
+//! and every MXQL→plain rewrite step is recorded as one [`Event`] with a
+//! global sequence number.
+//!
+//! ## Design
+//!
+//! * **Gated.** Everything funnels through [`enabled`] — one relaxed atomic
+//!   load per event site when off (`DTR_JOURNAL=1` or
+//!   [`set_enabled`] turn it on). Callers must not compute event payloads
+//!   without checking the gate first.
+//! * **Bounded.** Events live in a ring buffer of
+//!   [`default cap 65536`](DEFAULT_CAP) slots (`DTR_JOURNAL_CAP` overrides),
+//!   so always-on capture in a long-lived shell stays safe; evicted events
+//!   bump a `dropped` counter and vanish from the lineage index.
+//! * **Indexed.** A lineage index (`target NodeId → Vec<EventId>`) is
+//!   maintained incrementally so `.trace`-style queries need not scan the
+//!   whole buffer.
+//! * **Exportable.** Every event renders as one JSON line ([`to_jsonl`]);
+//!   the schema is documented in `docs/QUERY_LANGUAGE.md`.
+
+use serde_json::{Map, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Global event sequence number (monotonic since the last [`reset`]).
+pub type EventId = u64;
+
+/// Default ring-buffer capacity (events retained) when `DTR_JOURNAL_CAP`
+/// is unset.
+pub const DEFAULT_CAP: usize = 65_536;
+
+/// What happened at an event site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The exchange materialized a fresh target set member.
+    Inserted,
+    /// A binding folded into an existing member by PNF merging.
+    PnfMerged {
+        /// The surviving member node.
+        into: u64,
+    },
+    /// An `f_mp` annotation was newly written onto a target node.
+    AnnotationWritten,
+    /// An annotation write was a no-op.
+    AnnotationSuppressed {
+        /// Why the write was suppressed (e.g. `"already-present"`).
+        reason: &'static str,
+    },
+    /// One MXQL→plain rewrite step fired (see the `detail` field for the
+    /// input predicate / emitted conjuncts).
+    TranslateStep {
+        /// The rewrite rule that fired (e.g. `"expand-predicate"`).
+        rule: &'static str,
+    },
+    /// Rows were encoded into a metastore storage relation.
+    MetaEncoded {
+        /// The storage relation (e.g. `"Element"`, `"Correspondence"`).
+        relation: &'static str,
+    },
+}
+
+impl Outcome {
+    /// Stable snake_case tag used in JSONL and in summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Inserted => "inserted",
+            Outcome::PnfMerged { .. } => "pnf_merged",
+            Outcome::AnnotationWritten => "annotation_written",
+            Outcome::AnnotationSuppressed { .. } => "annotation_suppressed",
+            Outcome::TranslateStep { .. } => "translate_step",
+            Outcome::MetaEncoded { .. } => "meta_encoded",
+        }
+    }
+}
+
+/// One journal entry: a pipeline decision with its full context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global sequence number.
+    pub id: EventId,
+    /// The pipeline stage that emitted the event
+    /// (e.g. `"exchange.insert_row"`).
+    pub stage: &'static str,
+    /// The mapping in whose context the event fired, if any.
+    pub mapping: Option<String>,
+    /// Fingerprint of the source binding (the foreach tuple) that drove
+    /// the decision, if any.
+    pub binding_fp: Option<u64>,
+    /// The target node the event is about (raw `NodeId` index), if any.
+    pub target: Option<u64>,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Free-form context (e.g. a translate step's input → output).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// The event as a JSON object (one JSONL line when printed compactly).
+    pub fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("id", Value::from(self.id));
+        obj.insert("stage", Value::from(self.stage));
+        if let Some(m) = &self.mapping {
+            obj.insert("mapping", Value::from(m.as_str()));
+        }
+        if let Some(fp) = self.binding_fp {
+            obj.insert("binding_fp", Value::from(format!("{fp:016x}")));
+        }
+        if let Some(t) = self.target {
+            obj.insert("target", Value::from(t));
+        }
+        obj.insert("outcome", Value::from(self.outcome.kind()));
+        match &self.outcome {
+            Outcome::PnfMerged { into } => {
+                obj.insert("into", Value::from(*into));
+            }
+            Outcome::AnnotationSuppressed { reason } => {
+                obj.insert("reason", Value::from(*reason));
+            }
+            Outcome::TranslateStep { rule } => {
+                obj.insert("rule", Value::from(*rule));
+            }
+            Outcome::MetaEncoded { relation } => {
+                obj.insert("relation", Value::from(*relation));
+            }
+            Outcome::Inserted | Outcome::AnnotationWritten => {}
+        }
+        if let Some(d) = &self.detail {
+            obj.insert("detail", Value::from(d.as_str()));
+        }
+        Value::Object(obj)
+    }
+
+    /// One-line human rendering (used by `.trace`).
+    pub fn render(&self) -> String {
+        let mut line = format!("#{:<6} {:<24}", self.id, self.stage);
+        if let Some(m) = &self.mapping {
+            line.push_str(&format!(" {m:<6}"));
+        }
+        if let Some(fp) = self.binding_fp {
+            line.push_str(&format!(" binding {fp:016x}"));
+        }
+        if let Some(t) = self.target {
+            line.push_str(&format!(" -> node {t}"));
+        }
+        match &self.outcome {
+            Outcome::Inserted => line.push_str("  inserted"),
+            Outcome::PnfMerged { into } => line.push_str(&format!("  pnf-merged into {into}")),
+            Outcome::AnnotationWritten => line.push_str("  annotation written"),
+            Outcome::AnnotationSuppressed { reason } => {
+                line.push_str(&format!("  annotation suppressed ({reason})"))
+            }
+            Outcome::TranslateStep { rule } => line.push_str(&format!("  rule {rule}")),
+            Outcome::MetaEncoded { relation } => line.push_str(&format!("  encoded {relation}")),
+        }
+        if let Some(d) = &self.detail {
+            line.push_str(&format!("  {d}"));
+        }
+        line
+    }
+}
+
+/// Aggregate view of the journal, embedded in
+/// [`crate::PipelineProfile::journal`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Events recorded since the last reset (including dropped ones).
+    pub recorded: u64,
+    /// Events currently retained in the ring buffer.
+    pub retained: u64,
+    /// Events evicted by the ring bound.
+    pub dropped: u64,
+    /// Ring-buffer capacity.
+    pub cap: u64,
+    /// Retained events per outcome kind, sorted by kind.
+    pub by_outcome: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Structured JSON form (inverse of [`Summary::from_json`]).
+    pub fn to_json(&self) -> Value {
+        let mut by = Map::new();
+        for (k, v) in &self.by_outcome {
+            by.insert(k.clone(), Value::from(*v));
+        }
+        let mut obj = Map::new();
+        obj.insert("recorded", Value::from(self.recorded));
+        obj.insert("retained", Value::from(self.retained));
+        obj.insert("dropped", Value::from(self.dropped));
+        obj.insert("cap", Value::from(self.cap));
+        obj.insert("by_outcome", Value::Object(by));
+        Value::Object(obj)
+    }
+
+    /// Parse the structure produced by [`Summary::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let get = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("journal summary: missing integer field '{key}'"))
+        };
+        let mut by_outcome = Vec::new();
+        if let Some(obj) = value.get("by_outcome").and_then(Value::as_object) {
+            for (k, v) in obj.iter() {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("journal summary: outcome '{k}' is not an integer"))?;
+                by_outcome.push((k.clone(), v));
+            }
+        }
+        by_outcome.sort();
+        Ok(Summary {
+            recorded: get("recorded")?,
+            retained: get("retained")?,
+            dropped: get("dropped")?,
+            cap: get("cap")?,
+            by_outcome,
+        })
+    }
+}
+
+// ---- The gate (mirrors the profile gate in crate::enabled). ----
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+/// Is journal capture enabled? First call consults `DTR_JOURNAL` (values
+/// `1`, `true`, `on`, case-insensitive); afterwards this is a single
+/// relaxed atomic load — the *entire* hot-path cost of a disabled event
+/// site, provided callers gate payload construction on it.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("DTR_JOURNAL")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+        })
+        .unwrap_or(false);
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Force journal capture on or off, overriding `DTR_JOURNAL`.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// ---- The ring buffer. ----
+
+#[derive(Debug)]
+struct Journal {
+    cap: usize,
+    buf: VecDeque<Event>,
+    next_id: EventId,
+    dropped: u64,
+    /// `target node → event ids`, pruned on eviction.
+    lineage: HashMap<u64, Vec<EventId>>,
+}
+
+impl Journal {
+    fn new(cap: usize) -> Self {
+        Journal {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            next_id: 0,
+            dropped: 0,
+            lineage: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, mut event: Event) -> EventId {
+        if self.buf.len() >= self.cap {
+            if let Some(evicted) = self.buf.pop_front() {
+                self.dropped += 1;
+                if let Some(t) = evicted.target {
+                    if let Some(ids) = self.lineage.get_mut(&t) {
+                        ids.retain(|&id| id != evicted.id);
+                        if ids.is_empty() {
+                            self.lineage.remove(&t);
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        event.id = id;
+        if let Some(t) = event.target {
+            self.lineage.entry(t).or_default().push(id);
+        }
+        self.buf.push_back(event);
+        id
+    }
+
+    fn summary(&self) -> Summary {
+        let mut by: HashMap<&'static str, u64> = HashMap::new();
+        for e in &self.buf {
+            *by.entry(e.outcome.kind()).or_insert(0) += 1;
+        }
+        let mut by_outcome: Vec<(String, u64)> =
+            by.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        by_outcome.sort();
+        Summary {
+            recorded: self.next_id,
+            retained: self.buf.len() as u64,
+            dropped: self.dropped,
+            cap: self.cap as u64,
+            by_outcome,
+        }
+    }
+}
+
+fn cap_from_env() -> usize {
+    std::env::var("DTR_JOURNAL_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_CAP)
+}
+
+fn with_journal<R>(f: impl FnOnce(&mut Journal) -> R) -> R {
+    static JOURNAL: Mutex<Option<Journal>> = Mutex::new(None);
+    let mut guard = JOURNAL.lock().unwrap_or_else(|p| p.into_inner());
+    let journal = guard.get_or_insert_with(|| Journal::new(cap_from_env()));
+    f(journal)
+}
+
+// ---- Public recording / query API. ----
+
+/// Record one event (the `id` field is assigned by the journal). A no-op
+/// returning 0 while capture is disabled — but callers should check
+/// [`enabled`] *before* building the event to keep the disabled path at one
+/// atomic load.
+pub fn record(event: Event) -> EventId {
+    if !enabled() {
+        return 0;
+    }
+    with_journal(|j| j.record(event))
+}
+
+/// The id the *next* recorded event will receive. Reports store this before
+/// and after a pipeline stage to slice their own event window without
+/// scanning the whole buffer.
+pub fn next_event_id() -> EventId {
+    if !enabled() {
+        return 0;
+    }
+    with_journal(|j| j.next_id)
+}
+
+/// Clear all events and restart the sequence; the capacity is re-read from
+/// `DTR_JOURNAL_CAP`.
+pub fn reset() {
+    with_journal(|j| *j = Journal::new(cap_from_env()));
+}
+
+/// Override the ring-buffer capacity (truncating oldest events if needed).
+pub fn set_cap(cap: usize) {
+    with_journal(|j| {
+        j.cap = cap.max(1);
+        while j.buf.len() > j.cap {
+            if let Some(evicted) = j.buf.pop_front() {
+                j.dropped += 1;
+                if let Some(t) = evicted.target {
+                    if let Some(ids) = j.lineage.get_mut(&t) {
+                        ids.retain(|&id| id != evicted.id);
+                        if ids.is_empty() {
+                            j.lineage.remove(&t);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// All retained events, oldest first.
+pub fn events() -> Vec<Event> {
+    with_journal(|j| j.buf.iter().cloned().collect())
+}
+
+/// Retained events with `start <= id < end` — a report's event window.
+pub fn events_in(start: EventId, end: EventId) -> Vec<Event> {
+    with_journal(|j| {
+        j.buf
+            .iter()
+            .filter(|e| e.id >= start && e.id < end)
+            .cloned()
+            .collect()
+    })
+}
+
+/// The lineage index entry of a target node: ids of every retained event
+/// that targets it, oldest first.
+pub fn lineage_of(target: u64) -> Vec<EventId> {
+    with_journal(|j| j.lineage.get(&target).cloned().unwrap_or_default())
+}
+
+/// Retained events targeting a node, oldest first (index-backed).
+pub fn events_for(target: u64) -> Vec<Event> {
+    with_journal(|j| {
+        let Some(ids) = j.lineage.get(&target) else {
+            return Vec::new();
+        };
+        j.buf
+            .iter()
+            .filter(|e| ids.contains(&e.id))
+            .cloned()
+            .collect()
+    })
+}
+
+/// Aggregate counts for the profile embedding.
+pub fn summary() -> Summary {
+    with_journal(|j| j.summary())
+}
+
+/// Every retained event as one compact JSON line (the exportable form).
+pub fn to_jsonl() -> String {
+    let mut out = String::new();
+    for e in events() {
+        out.push_str(&e.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience constructor so call sites stay one expression.
+pub fn event(stage: &'static str, outcome: Outcome) -> Event {
+    Event {
+        id: 0,
+        stage,
+        mapping: None,
+        binding_fp: None,
+        target: None,
+        outcome,
+        detail: None,
+    }
+}
+
+impl Event {
+    /// Builder: attach the mapping context.
+    pub fn mapping(mut self, name: impl std::fmt::Display) -> Self {
+        self.mapping = Some(name.to_string());
+        self
+    }
+
+    /// Builder: attach the source binding fingerprint.
+    pub fn binding(mut self, fp: u64) -> Self {
+        self.binding_fp = Some(fp);
+        self
+    }
+
+    /// Builder: attach the target node.
+    pub fn target(mut self, node: u64) -> Self {
+        self.target = Some(node);
+        self
+    }
+
+    /// Builder: attach free-form detail.
+    pub fn detail(mut self, d: impl Into<String>) -> Self {
+        self.detail = Some(d.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        crate::test_guard()
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let _guard = guard();
+        set_enabled(false);
+        reset();
+        record(event("exchange.insert_row", Outcome::Inserted).target(7));
+        assert!(events().is_empty());
+        assert_eq!(next_event_id(), 0);
+        assert!(lineage_of(7).is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_prunes_lineage() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        set_cap(4);
+        for i in 0..10u64 {
+            record(event("exchange.insert_row", Outcome::Inserted).target(i % 2));
+        }
+        set_enabled(false);
+        let evs = events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs.first().unwrap().id, 6);
+        assert_eq!(evs.last().unwrap().id, 9);
+        // Evicted events left the index; retained ones are findable.
+        assert_eq!(lineage_of(0), vec![6, 8]);
+        assert_eq!(lineage_of(1), vec![7, 9]);
+        let s = summary();
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.retained, 4);
+        assert_eq!(s.dropped, 6);
+        assert_eq!(s.cap, 4);
+        assert_eq!(s.by_outcome, vec![("inserted".to_string(), 4)]);
+    }
+
+    #[test]
+    fn event_windows_slice_without_scanning() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        let start = next_event_id();
+        record(event("exchange.insert_row", Outcome::Inserted).mapping("m1"));
+        record(
+            event("exchange.insert_row", Outcome::PnfMerged { into: 3 })
+                .mapping("m1")
+                .target(3),
+        );
+        let end = next_event_id();
+        record(event("exchange.insert_row", Outcome::Inserted).mapping("m2"));
+        set_enabled(false);
+        let window = events_in(start, end);
+        assert_eq!(window.len(), 2);
+        assert!(window.iter().all(|e| e.mapping.as_deref() == Some("m1")));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_the_schema() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        record(
+            event("exchange.insert_row", Outcome::Inserted)
+                .mapping("m2")
+                .binding(0xdead_beef)
+                .target(42),
+        );
+        record(event(
+            "exchange.annotate",
+            Outcome::AnnotationSuppressed {
+                reason: "already-present",
+            },
+        ));
+        record(
+            event(
+                "mxql.translate",
+                Outcome::TranslateStep {
+                    rule: "expand-predicate",
+                },
+            )
+            .detail("<e -> m -> e'> => Correspondence join"),
+        );
+        set_enabled(false);
+        let jsonl = to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(
+            first.get("stage").and_then(Value::as_str),
+            Some("exchange.insert_row")
+        );
+        assert_eq!(first.get("mapping").and_then(Value::as_str), Some("m2"));
+        assert_eq!(
+            first.get("binding_fp").and_then(Value::as_str),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(first.get("target").and_then(Value::as_u64), Some(42));
+        assert_eq!(
+            first.get("outcome").and_then(Value::as_str),
+            Some("inserted")
+        );
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(
+            second.get("reason").and_then(Value::as_str),
+            Some("already-present")
+        );
+        let third: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(
+            third.get("rule").and_then(Value::as_str),
+            Some("expand-predicate")
+        );
+        assert!(third.get("detail").is_some());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = Summary {
+            recorded: 100,
+            retained: 64,
+            dropped: 36,
+            cap: 64,
+            by_outcome: vec![("inserted".to_string(), 40), ("pnf_merged".to_string(), 24)],
+        };
+        let round = Summary::from_json(&s.to_json()).unwrap();
+        assert_eq!(round, s);
+        assert!(Summary::from_json(&serde_json::json!({})).is_err());
+    }
+}

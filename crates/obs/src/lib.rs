@@ -39,10 +39,16 @@
 //! code change; the `experiments` and `mxql` binaries also accept
 //! `--profile`.
 
+mod explain;
+pub mod journal;
 mod metrics;
 mod profile;
 mod trace;
 
+pub use explain::{ExplainStep, ExplainTrace};
+pub use journal::{
+    Event as JournalEvent, EventId, Outcome as JournalOutcome, Summary as JournalSummary,
+};
 pub use metrics::{counters, Counter, Counters, Histogram, HistogramSnapshot};
 pub use profile::{CounterValue, PipelineProfile, ProfileNode};
 pub use trace::{span, SpanGuard};
@@ -92,11 +98,13 @@ pub fn profile_reset() {
 }
 
 /// Snapshot the profile collected since the last [`profile_reset`]: the
-/// span tree of the *current* thread plus the global counter registry.
+/// span tree of the *current* thread plus the global counter registry. If
+/// the event journal is enabled, its [`JournalSummary`] is embedded too.
 pub fn profile_snapshot() -> PipelineProfile {
     PipelineProfile {
         stages: trace::snapshot_current_thread(),
         counters: counters().snapshot(),
+        journal: journal::enabled().then(journal::summary),
     }
 }
 

@@ -166,12 +166,16 @@ impl Counters {
         ]
     }
 
-    /// Current value of every counter, in declaration order.
+    /// Current value of every counter, sorted by name so snapshots (and
+    /// the JSON they serialize into) are stable across runs.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        self.all()
+        let mut values: Vec<(String, u64)> = self
+            .all()
             .iter()
             .map(|c| (c.name().to_string(), c.get()))
-            .collect()
+            .collect();
+        values.sort();
+        values
     }
 
     pub(crate) fn reset(&self) {

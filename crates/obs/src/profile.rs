@@ -1,8 +1,11 @@
 //! [`PipelineProfile`]: the exported, plain-data form of a profiling run —
-//! the aggregated span tree plus the counter registry — with an
-//! EXPLAIN-style text rendering and lossless JSON round-tripping.
+//! the aggregated span tree plus the counter registry (and, when the event
+//! journal is on, its summary) — with an EXPLAIN-style text rendering and
+//! lossless JSON round-tripping. Counter and span-field keys are sorted
+//! before serialization so `--json` output diffs are stable across runs.
 
-use serde_json::{json, Map, Value};
+use crate::journal::Summary as JournalSummary;
+use serde_json::{Map, Value};
 
 /// One aggregated span in the profile tree.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -26,11 +29,13 @@ pub struct ProfileNode {
 /// A named counter reading.
 pub type CounterValue = (String, u64);
 
-/// A complete profile: per-stage wall-time tree plus pipeline counters.
+/// A complete profile: per-stage wall-time tree plus pipeline counters,
+/// plus the event-journal summary when journaling is enabled.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineProfile {
     pub stages: Vec<ProfileNode>,
     pub counters: Vec<CounterValue>,
+    pub journal: Option<JournalSummary>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -86,8 +91,10 @@ impl ProfileNode {
         obj.insert("min_ns", Value::from(self.min_ns));
         obj.insert("max_ns", Value::from(self.max_ns));
         if !self.fields.is_empty() {
+            let mut sorted: Vec<&(String, String)> = self.fields.iter().collect();
+            sorted.sort();
             let mut fields = Map::new();
-            for (k, v) in &self.fields {
+            for (k, v) in sorted {
                 fields.insert(k.clone(), Value::from(v.as_str()));
             }
             obj.insert("fields", Value::Object(fields));
@@ -120,6 +127,7 @@ impl ProfileNode {
                 fields.push((k.clone(), v.to_string()));
             }
         }
+        fields.sort();
         let mut children = Vec::new();
         if let Some(items) = value.get("children").and_then(Value::as_array) {
             for item in items {
@@ -176,20 +184,38 @@ impl PipelineProfile {
         for (name, value) in &self.counters {
             out.push_str(&format!("  {name:<width$} {value:>12}\n"));
         }
+        if let Some(j) = &self.journal {
+            out.push_str(&format!(
+                "journal: {} recorded, {} retained, {} dropped (cap {})\n",
+                j.recorded, j.retained, j.dropped, j.cap
+            ));
+            for (kind, count) in &j.by_outcome {
+                out.push_str(&format!("  {kind:<width$} {count:>12}\n"));
+            }
+        }
         out
     }
 
     /// Structured JSON form (see [`PipelineProfile::from_json`] for the
-    /// inverse).
+    /// inverse). Counter keys are emitted in sorted order so the output is
+    /// byte-stable across runs.
     pub fn to_json(&self) -> Value {
+        let mut sorted: Vec<&CounterValue> = self.counters.iter().collect();
+        sorted.sort();
         let mut counters = Map::new();
-        for (name, value) in &self.counters {
+        for (name, value) in sorted {
             counters.insert(name.clone(), Value::from(*value));
         }
-        json!({
-            "stages": self.stages.iter().map(ProfileNode::to_json).collect::<Vec<_>>(),
-            "counters": Value::Object(counters),
-        })
+        let mut obj = Map::new();
+        obj.insert(
+            "stages",
+            Value::Array(self.stages.iter().map(ProfileNode::to_json).collect()),
+        );
+        obj.insert("counters", Value::Object(counters));
+        if let Some(journal) = &self.journal {
+            obj.insert("journal", journal.to_json());
+        }
+        Value::Object(obj)
     }
 
     /// Compact JSON text.
@@ -218,13 +244,23 @@ impl PipelineProfile {
                 .ok_or_else(|| format!("profile: counter '{name}' is not an integer"))?;
             counters.push((name.clone(), v));
         }
-        Ok(PipelineProfile { stages, counters })
+        counters.sort();
+        let journal = match value.get("journal") {
+            Some(j) => Some(JournalSummary::from_json(j)?),
+            None => None,
+        };
+        Ok(PipelineProfile {
+            stages,
+            counters,
+            journal,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde_json::json;
 
     fn sample() -> PipelineProfile {
         PipelineProfile {
@@ -261,6 +297,7 @@ mod tests {
                 ("exchange.rows_inserted".into(), 200),
                 ("exchange.rows_merged".into(), 40),
             ],
+            journal: None,
         }
     }
 
@@ -270,6 +307,44 @@ mod tests {
         let text = serde_json::to_string_pretty(&profile.to_json()).unwrap();
         let parsed = serde_json::from_str(&text).unwrap();
         assert_eq!(PipelineProfile::from_json(&parsed).unwrap(), profile);
+    }
+
+    #[test]
+    fn json_round_trip_keeps_journal_summary() {
+        let mut profile = sample();
+        profile.journal = Some(JournalSummary {
+            recorded: 12,
+            retained: 12,
+            dropped: 0,
+            cap: 65_536,
+            by_outcome: vec![("inserted".to_string(), 8), ("pnf_merged".to_string(), 4)],
+        });
+        let text = profile.to_json_string();
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(PipelineProfile::from_json(&parsed).unwrap(), profile);
+        let rendered = profile.render();
+        assert!(rendered.contains("journal: 12 recorded"));
+        assert!(rendered.contains("pnf_merged"));
+    }
+
+    #[test]
+    fn json_counters_and_fields_serialize_sorted() {
+        let profile = PipelineProfile {
+            stages: vec![ProfileNode {
+                name: "s".into(),
+                count: 1,
+                total_ns: 1,
+                min_ns: 1,
+                max_ns: 1,
+                fields: vec![("zeta".into(), "1".into()), ("alpha".into(), "2".into())],
+                children: vec![],
+            }],
+            counters: vec![("z.last".into(), 1), ("a.first".into(), 2)],
+            journal: None,
+        };
+        let text = profile.to_json_string();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
     }
 
     #[test]

@@ -102,17 +102,20 @@ impl Collector {
 
     fn export(&self, index: usize) -> ProfileNode {
         let node = &self.nodes[index];
+        let mut fields: Vec<(String, String)> = node
+            .fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        // Sorted so exported profiles (and their JSON) are run-stable.
+        fields.sort();
         ProfileNode {
             name: node.name.to_string(),
             count: node.count,
             total_ns: node.total_ns,
             min_ns: if node.count == 0 { 0 } else { node.min_ns },
             max_ns: node.max_ns,
-            fields: node
-                .fields
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
-                .collect(),
+            fields,
             children: node.children.iter().map(|&c| self.export(c)).collect(),
         }
     }

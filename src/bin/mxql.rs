@@ -20,12 +20,21 @@
 //! * `.save <file>` — write the annotated instance as XML;
 //! * `.profile [on|off|json]` — toggle or dump the `dtr-obs` profile
 //!   (also enabled by `--profile` or `DTR_PROFILE=1`);
+//! * `.explain <query>;` — translation EXPLAIN: every Section 7.3 rewrite
+//!   step plus the final plain quer(ies);
+//! * `.trace <path> [value]` — replay a target value's journal lineage
+//!   (mapping → source binding → insert/merge events), cross-checked
+//!   against the Section 6 where-provenance query;
+//! * `.journal [on|off|json|export <file>]` — inspect or export the
+//!   provenance event journal (on by default in this shell; bounded by
+//!   `DTR_JOURNAL_CAP`, default 64k events);
 //! * `.help`, `.quit`.
 
+use dtr::core::provenance::{provenance_of, ProvenanceKind};
 use dtr::core::runner::MetaRunner;
 use dtr::core::tagged::TaggedInstance;
 use dtr::core::testkit;
-use dtr::core::translate::translate;
+use dtr::core::translate::{translate, translate_explained};
 use dtr::core::virtualize::answer_virtually;
 use dtr::core::whatif::{impact_of_mappings, impact_of_source};
 use dtr::mapping::lint::lint_mappings;
@@ -42,6 +51,13 @@ enum Mode {
 }
 
 fn load() -> TaggedInstance {
+    // The journal is on by default in this interactive shell (ring-bounded,
+    // so always-on capture stays safe): enabling it *before* the exchange
+    // runs is what gives `.trace` its lineage. `DTR_JOURNAL=0` or
+    // `.journal off` disable it.
+    if std::env::var("DTR_JOURNAL").is_err() {
+        dtr_obs::journal::set_enabled(true);
+    }
     let mut portal: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +66,7 @@ fn load() -> TaggedInstance {
                 portal = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or(100));
             }
             "--profile" => dtr_obs::set_enabled(true),
+            "--no-journal" => dtr_obs::journal::set_enabled(false),
             other => eprintln!("unknown flag {other} (ignored)"),
         }
     }
@@ -72,9 +89,123 @@ fn help() {
     println!("enter an MXQL query terminated by `;`, e.g.");
     println!("  select x.hid, m from Portal.estates x, x.value@map m;");
     println!("meta commands: .mappings  .schema <db>  .store  .translate <q>;");
+    println!("               .explain <q>;  .trace <path> [value]");
+    println!("               .journal [on|off|json|export <file>]");
     println!("               .mode direct|translated|virtual  .lint");
     println!("               .whatif <db|m1,m2,...>  .save <file>");
     println!("               .profile [on|off|json]  .help  .quit");
+}
+
+/// `.trace`: resolve the target values at `path` (optionally filtered to one
+/// value), replay each one's journal lineage along its ancestor chain, and
+/// cross-check the journaled mappings against the Section 6 where-provenance
+/// query.
+fn trace_values(tagged: &TaggedInstance, path: &str, filter: Option<&str>) {
+    use dtr_obs::journal::Outcome;
+    let mut values = tagged.target_values(path);
+    if let Some(f) = filter {
+        values.retain(|(_, v)| v.as_str() == Some(f) || v.to_string() == f);
+    }
+    if values.is_empty() {
+        match filter {
+            Some(f) => println!("no target value `{f}` at `{path}`"),
+            None => println!("no target values at `{path}` (expects a canonical element path)"),
+        }
+        return;
+    }
+    const LIMIT: usize = 3;
+    for (node, value) in values.iter().take(LIMIT) {
+        let elem = tagged
+            .element_of(*node)
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "?".into());
+        println!("target node {} = {value}  ({elem})", node.0);
+        let mappings = tagged.mappings_of(*node);
+        let names: Vec<&str> = mappings.iter().map(|m| m.as_str()).collect();
+        println!("  f_mp annotations: {{{}}}", names.join(", "));
+
+        // Journal events along the ancestor chain (leaf up to the root):
+        // inserts/merges land on set members, annotations on every node.
+        let mut chain = vec![*node];
+        let mut cur = *node;
+        while let Some(p) = tagged.target().parent(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        let mut events: Vec<dtr_obs::JournalEvent> = Vec::new();
+        for n in &chain {
+            events.extend(dtr_obs::journal::events_for(u64::from(n.0)));
+        }
+        events.sort_by_key(|e| e.id);
+        let key_events: Vec<&dtr_obs::JournalEvent> = events
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::Inserted | Outcome::PnfMerged { .. }))
+            .collect();
+        let ann_written = events
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::AnnotationWritten))
+            .count();
+        let ann_suppressed = events
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::AnnotationSuppressed { .. }))
+            .count();
+        if events.is_empty() {
+            println!("  lineage: no journal events — was the journal on during the exchange?");
+            println!("           (restart without --no-journal / DTR_JOURNAL=0)");
+            continue;
+        }
+        println!(
+            "  lineage: {} insert/merge event(s), {ann_written} annotation write(s), \
+             {ann_suppressed} suppressed",
+            key_events.len()
+        );
+        for e in key_events.iter().take(8) {
+            println!("    {}", e.render());
+        }
+
+        // Cross-check: every annotating mapping must (a) have journal events
+        // on the chain and (b) reach this value by where-provenance.
+        let journaled: std::collections::BTreeSet<&str> =
+            events.iter().filter_map(|e| e.mapping.as_deref()).collect();
+        let mut agree = true;
+        for m in mappings {
+            let in_journal = journaled.contains(m.as_str());
+            match provenance_of(tagged, ProvenanceKind::Where, m, *node) {
+                Ok(p) => {
+                    println!(
+                        "  where-provenance via {m}: {} fact(s){}",
+                        p.facts.len(),
+                        if in_journal {
+                            ", journaled"
+                        } else {
+                            ", NOT journaled"
+                        }
+                    );
+                    if p.facts.is_empty() || !in_journal {
+                        agree = false;
+                    }
+                }
+                Err(e) => {
+                    println!("  where-provenance via {m}: {e}");
+                    agree = false;
+                }
+            }
+        }
+        println!(
+            "  => lineage {} where-provenance",
+            if agree {
+                "agrees with"
+            } else {
+                "DISAGREES with"
+            }
+        );
+    }
+    if values.len() > LIMIT {
+        println!(
+            "... and {} more value(s); narrow with `.trace {path} <value>`",
+            values.len() - LIMIT
+        );
+    }
 }
 
 fn main() {
@@ -228,6 +359,78 @@ fn main() {
                             }
                         }
                         Err(e) => println!("parse error: {e}"),
+                    }
+                }
+                ".explain" => {
+                    let text = rest.trim().trim_end_matches(';');
+                    match parse_query(text) {
+                        Ok(q) => {
+                            let q = tagged.setting().normalize_query(&q);
+                            match translate_explained(&q, tagged.target().db()) {
+                                Ok((branches, trace)) => {
+                                    print!("{}", trace.render());
+                                    println!(
+                                        "PLAIN QUER{} ({} union branch{}):",
+                                        if branches.len() == 1 { "Y" } else { "IES" },
+                                        branches.len(),
+                                        if branches.len() == 1 { "" } else { "es" },
+                                    );
+                                    for (i, b) in branches.iter().enumerate() {
+                                        if branches.len() > 1 {
+                                            println!("-- union branch {} --", i + 1);
+                                        }
+                                        println!("{b}\n");
+                                    }
+                                }
+                                Err(e) => println!("translation error: {e}"),
+                            }
+                        }
+                        Err(e) => println!("parse error: {e}"),
+                    }
+                }
+                ".trace" => {
+                    let mut parts = rest.split_whitespace();
+                    let path = parts.next().unwrap_or("");
+                    let filter: Option<&str> = parts.next();
+                    if path.is_empty() {
+                        println!("usage: .trace <element-path> [value]");
+                    } else {
+                        trace_values(&tagged, path, filter);
+                    }
+                }
+                ".journal" => {
+                    let args: Vec<&str> = rest.split_whitespace().collect();
+                    match args.as_slice() {
+                        ["on"] => {
+                            dtr_obs::journal::set_enabled(true);
+                            println!("journal on (reload to capture the exchange itself)");
+                        }
+                        ["off"] => {
+                            dtr_obs::journal::set_enabled(false);
+                            println!("journal off");
+                        }
+                        ["json"] => print!("{}", dtr_obs::journal::to_jsonl()),
+                        ["export", file] => {
+                            let jsonl = dtr_obs::journal::to_jsonl();
+                            match std::fs::write(file, &jsonl) {
+                                Ok(()) => println!(
+                                    "wrote {} events ({} bytes) to {file}",
+                                    jsonl.lines().count(),
+                                    jsonl.len()
+                                ),
+                                Err(e) => println!("cannot write {file}: {e}"),
+                            }
+                        }
+                        _ => {
+                            let s = dtr_obs::journal::summary();
+                            println!(
+                                "journal: {} recorded, {} retained, {} dropped (cap {})",
+                                s.recorded, s.retained, s.dropped, s.cap
+                            );
+                            for (kind, n) in &s.by_outcome {
+                                println!("  {kind:<24} {n:>8}");
+                            }
+                        }
                     }
                 }
                 other => println!("unknown command {other}; try .help"),
