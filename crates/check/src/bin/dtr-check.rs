@@ -1,0 +1,69 @@
+//! Deterministic conformance soak runner.
+//!
+//! ```text
+//! dtr-check [--cases N] [--seed S] [--verbose]
+//! ```
+//!
+//! Runs `N` conformance cases starting at base seed `S`; case `i` uses seed
+//! `S + i`, so a failure at seed `s` is reproduced exactly by
+//! `dtr-check --cases 1 --seed s` regardless of the original `N`/`S`.
+//! Exits non-zero on the first failing case after printing the one-line
+//! repro command.
+
+use dtr_check::{repro_command, run_case, GenConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cases: u64 = 100;
+    let mut seed: u64 = 0;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cases = n,
+                None => return usage("--cases takes a number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed takes a number"),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: dtr-check [--cases N] [--seed S] [--verbose]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let cfg = GenConfig::default();
+    let start = std::time::Instant::now();
+    for i in 0..cases {
+        let case_seed = seed.wrapping_add(i);
+        if let Err(e) = run_case(case_seed, &cfg) {
+            eprintln!("FAIL seed {case_seed} (case {i} of {cases}):");
+            eprintln!("  {e}");
+            eprintln!("reproduce with:");
+            eprintln!("  {}", repro_command(case_seed));
+            return ExitCode::FAILURE;
+        }
+        if verbose {
+            println!("ok seed {case_seed}");
+        } else if (i + 1) % 100 == 0 {
+            println!("... {} / {cases} cases ok", i + 1);
+        }
+    }
+    println!(
+        "dtr-check: {cases} cases ok (seeds {seed}..={}) in {:.2?}",
+        seed.wrapping_add(cases.saturating_sub(1)),
+        start.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dtr-check: {msg}");
+    eprintln!("usage: dtr-check [--cases N] [--seed S] [--verbose]");
+    ExitCode::FAILURE
+}

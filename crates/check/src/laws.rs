@@ -1,0 +1,523 @@
+//! The conformance laws: differential tests against the reference oracle
+//! and metamorphic properties drawn from the paper's theorems.
+//!
+//! Every law takes generated artifacts and returns `Err(description)` on
+//! violation; the [`crate::run_case`] driver strings them together under a
+//! single deterministic seed.
+
+use crate::generators::{self, GenConfig, Scenario};
+use crate::oracle;
+use dtr_core::prelude::*;
+use dtr_core::provenance::{positions_for, provenance_of, ProvenanceKind};
+use dtr_mapping::glav::Mapping;
+use dtr_mapping::satisfy::is_satisfied;
+use dtr_model::instance::{Instance, NodeData, NodeId};
+use dtr_model::pnf::{is_pnf, to_pnf};
+use dtr_model::value::MappingName;
+use dtr_query::ast::Query;
+use dtr_query::check::{check_query, SchemaCatalog};
+use dtr_query::eval::{Catalog, EvalOptions, Evaluator, MetaEnv};
+use dtr_query::functions::FunctionRegistry;
+use dtr_query::parser::parse_query;
+use dtr_xml::parser::instance_from_xml;
+use dtr_xml::writer::{instance_to_xml, WriteOptions};
+use proptest::test_runner::TestRng;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Canonical rendering and structural copies (PNF laws)
+// ---------------------------------------------------------------------------
+
+/// Renders an instance into a canonical string: labels, atomic values,
+/// element/mapping annotations, with set members sorted so the rendering is
+/// order-insensitive. Two instances are "the same nested value" (Def 4.2
+/// plus annotations) iff their renderings agree.
+pub fn canon(inst: &Instance) -> String {
+    let mut roots: Vec<String> = inst.roots().iter().map(|&r| canon_node(inst, r)).collect();
+    roots.sort();
+    roots.join("\n")
+}
+
+fn canon_node(inst: &Instance, id: NodeId) -> String {
+    let ann = inst.annotation(id);
+    let elem = ann
+        .element
+        .map(|e| e.index().to_string())
+        .unwrap_or_default();
+    let maps = ann
+        .mappings
+        .iter()
+        .map(|m| m.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    let head = format!("{}⟨e{};{}⟩", inst.label(id), elem, maps);
+    match &inst.node(id).data {
+        NodeData::Atomic(v) => format!("{head}={v:?}"),
+        NodeData::Record(kids) => {
+            let body: Vec<String> = kids.iter().map(|&k| canon_node(inst, k)).collect();
+            format!("{head}{{{}}}", body.join(","))
+        }
+        NodeData::Choice(kid) => match kid {
+            Some(k) => format!("{head}({})", canon_node(inst, *k)),
+            None => format!("{head}()"),
+        },
+        NodeData::Set(kids) => {
+            let mut body: Vec<String> = kids.iter().map(|&k| canon_node(inst, k)).collect();
+            body.sort();
+            format!("{head}[{}]", body.join(";"))
+        }
+    }
+}
+
+/// How a structural copy treats set members.
+#[derive(Clone, Copy)]
+enum SetMode {
+    /// Reverse their order (tests merge commutativity).
+    Reverse,
+    /// Append a second copy of every member (tests merge associativity /
+    /// union absorption: `pnf(x ∪ x) = pnf(x)`).
+    Double,
+}
+
+/// An annotation-preserving deep copy with a set-member policy.
+fn copy_with(inst: &Instance, mode: SetMode) -> Instance {
+    let mut dst = Instance::new(inst.db());
+    for &root in inst.roots() {
+        copy_node(inst, root, &mut dst, None, true, mode);
+    }
+    dst
+}
+
+fn copy_node(
+    src: &Instance,
+    id: NodeId,
+    dst: &mut Instance,
+    parent: Option<NodeId>,
+    is_root: bool,
+    mode: SetMode,
+) -> NodeId {
+    let shell = match &src.node(id).data {
+        NodeData::Atomic(v) => NodeData::Atomic(v.clone()),
+        NodeData::Record(_) => NodeData::Record(Vec::new()),
+        NodeData::Choice(_) => NodeData::Choice(None),
+        NodeData::Set(_) => NodeData::Set(Vec::new()),
+    };
+    let nid = dst.push_raw(src.label(id).clone(), parent, shell, is_root);
+    let mut order: Vec<NodeId> = src.children(id).to_vec();
+    if matches!(src.node(id).data, NodeData::Set(_)) {
+        match mode {
+            SetMode::Reverse => order.reverse(),
+            SetMode::Double => {
+                let again = order.clone();
+                order.extend(again);
+            }
+        }
+    }
+    let kids: Vec<NodeId> = order
+        .into_iter()
+        .map(|k| copy_node(src, k, dst, Some(nid), false, mode))
+        .collect();
+    if !kids.is_empty() {
+        dst.replace_children(nid, kids);
+    }
+    let ann = src.annotation(id);
+    if let Some(e) = ann.element {
+        dst.set_element(nid, e);
+    }
+    for m in &ann.mappings {
+        dst.add_mapping(nid, m.clone());
+    }
+    nid
+}
+
+/// PNF laws (Section 5.2): normalisation is idempotent, insensitive to set
+/// member order, and absorbs duplicated members (self-union), with mapping
+/// annotations unioned across merged copies.
+pub fn law_pnf(rng: &mut TestRng, cfg: &GenConfig) -> Result<(), String> {
+    let schema = generators::gen_schema(rng, "P", "P", cfg);
+    let mut inst = generators::gen_instance(rng, &schema, cfg);
+    // Random mapping annotations exercise the annotation-union side of
+    // merging.
+    for node in inst.walk() {
+        if rng.below(4) == 0 {
+            let m = MappingName::new(format!("m{}", rng.below(3) + 1));
+            inst.add_mapping(node, m);
+        }
+    }
+    let normal = to_pnf(&inst);
+    if !is_pnf(&normal) {
+        return Err("pnf: to_pnf output is not in PNF".into());
+    }
+    let base = canon(&normal);
+    let twice = canon(&to_pnf(&normal));
+    if twice != base {
+        return Err(format!(
+            "pnf idempotence violated:\n first: {base}\nsecond: {twice}"
+        ));
+    }
+    let reversed = canon(&to_pnf(&copy_with(&inst, SetMode::Reverse)));
+    if reversed != base {
+        return Err(format!(
+            "pnf merge commutativity violated:\n forward: {base}\nreversed: {reversed}"
+        ));
+    }
+    let doubled = canon(&to_pnf(&copy_with(&inst, SetMode::Double)));
+    if doubled != base {
+        return Err(format!(
+            "pnf union absorption violated:\n once: {base}\ndoubled: {doubled}"
+        ));
+    }
+    let staged = canon(&to_pnf(&copy_with(&normal, SetMode::Double)));
+    if staged != base {
+        return Err(format!(
+            "pnf staged normalisation violated:\n direct: {base}\nstaged: {staged}"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Differential: oracle vs engine
+// ---------------------------------------------------------------------------
+
+/// One query, three evaluators: the naive oracle, the engine with predicate
+/// pushdown, and the engine with the pushdown ablation off. All three must
+/// produce the same bag of rows.
+fn differential(
+    catalog: &Catalog,
+    functions: &FunctionRegistry,
+    meta: Option<&dyn MetaEnv>,
+    q: &Query,
+    context: &str,
+) -> Result<(), String> {
+    let expected = oracle::canonical_multiset(&oracle::eval(catalog, q, meta)?);
+    for (name, pushdown) in [("pushdown", true), ("naive", false)] {
+        let mut eval = Evaluator::new(catalog, functions).with_options(EvalOptions { pushdown });
+        if let Some(meta) = meta {
+            eval = eval.with_meta(meta);
+        }
+        let result = eval
+            .run(q)
+            .map_err(|e| format!("{context}: engine ({name}) failed on `{q}`: {e}"))?;
+        let got = oracle::canonical_multiset(&result.tuples());
+        if got != expected {
+            return Err(format!(
+                "{context}: oracle disagrees with engine ({name}) on `{q}`\noracle: {expected:?}\nengine: {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Differential testing of plain conjunctive queries over every generated
+/// source instance (nested schemas, choice selections, correlated
+/// bindings).
+pub fn law_source_queries(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    cfg: &GenConfig,
+) -> Result<(), String> {
+    let functions = FunctionRegistry::with_builtins();
+    let catalog = oracle::catalog_of(&scen.sources);
+    for (schema, _) in &scen.sources {
+        for _ in 0..cfg.queries_per_case {
+            let q = generators::gen_query(rng, schema, cfg);
+            check_query(&q, SchemaCatalog::new(vec![schema]))
+                .map_err(|e| format!("generated query `{q}` fails check: {e}"))?;
+            roundtrip_query(&q)?;
+            differential(&catalog, &functions, None, &q, "source query")?;
+        }
+    }
+    Ok(())
+}
+
+/// Differential + translation-equivalence testing of MXQL over the
+/// exchanged target: the oracle, the direct engine (both pushdown modes)
+/// and the Section 7.3 translation must all agree.
+pub fn law_mxql_queries(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    tagged: &dtr_core::tagged::TaggedInstance,
+    cfg: &GenConfig,
+) -> Result<(), String> {
+    let runner = MetaRunner::new(tagged.setting()).map_err(|e| format!("metastore: {e}"))?;
+    let catalog = tagged.catalog();
+    let mut schemas: Vec<&dtr_model::schema::Schema> = vec![&scen.target];
+    schemas.extend(scen.sources.iter().map(|(s, _)| s));
+    for _ in 0..cfg.queries_per_case {
+        let q = generators::gen_mxql_query(rng, scen, cfg);
+        check_query(&q, SchemaCatalog::new(schemas.clone()))
+            .map_err(|e| format!("generated MXQL query `{q}` fails check: {e}"))?;
+        roundtrip_query(&q)?;
+        differential(
+            &catalog,
+            tagged.functions(),
+            Some(tagged.setting()),
+            &q,
+            "mxql query",
+        )?;
+        // §7.3: translated evaluation produces the same distinct rows.
+        let direct = tagged
+            .run(&q)
+            .map_err(|e| format!("direct MXQL run failed on `{q}`: {e}"))?;
+        let translated = runner
+            .run(tagged, &q)
+            .map_err(|e| format!("translated MXQL run failed on `{q}`: {e}"))?;
+        if canonical_rows(&direct) != canonical_rows(&translated) {
+            return Err(format!(
+                "translation equivalence violated on `{q}`\ndirect: {:?}\ntranslated: {:?}",
+                canonical_rows(&direct),
+                canonical_rows(&translated)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `Display` → parse must reproduce the query AST exactly.
+fn roundtrip_query(q: &Query) -> Result<(), String> {
+    let text = q.to_string();
+    let back =
+        parse_query(&text).map_err(|e| format!("printed query `{text}` fails to parse: {e}"))?;
+    if &back != q {
+        return Err(format!(
+            "query display/parse round-trip changed the AST for `{text}`"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mapping laws
+// ---------------------------------------------------------------------------
+
+/// Generated mappings validate, their text form round-trips through
+/// [`Mapping::parse`], and the exchanged target satisfies every mapping
+/// (Section 4.3's satisfaction check).
+pub fn law_mappings(
+    scen: &Scenario,
+    tagged: &dtr_core::tagged::TaggedInstance,
+) -> Result<(), String> {
+    let schema_refs: Vec<&dtr_model::schema::Schema> =
+        scen.sources.iter().map(|(s, _)| s).collect();
+    let source_catalog = tagged.source_catalog();
+    let target = dtr_query::eval::Source {
+        schema: tagged.setting().target_schema(),
+        instance: tagged.target(),
+    };
+    for m in &scen.mappings {
+        m.validate(&schema_refs, &scen.target)
+            .map_err(|e| format!("generated mapping `{}` fails validation: {e}", m.name))?;
+        let text = format!("foreach {} exists {}", m.foreach, m.exists);
+        let back = Mapping::parse(m.name.as_str(), &text)
+            .map_err(|e| format!("printed mapping `{text}` fails to parse: {e}"))?;
+        if &back != m {
+            return Err(format!(
+                "mapping display/parse round-trip changed `{}`",
+                m.name
+            ));
+        }
+        let sat = is_satisfied(m, source_catalog.sources(), target, tagged.functions())
+            .map_err(|e| format!("satisfaction check failed for `{}`: {e}", m.name))?;
+        if !sat {
+            return Err(format!(
+                "exchange output does not satisfy mapping `{}`",
+                m.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Provenance laws (Section 6)
+// ---------------------------------------------------------------------------
+
+/// Theorems 6.1/6.4 hold exhaustively, and for sampled target values the
+/// provenance chain is ordered: `q_where ⊑ q_what ⊑ q_why` as queries and
+/// the fact footprints nest the same way.
+pub fn law_provenance(tagged: &dtr_core::tagged::TaggedInstance) -> Result<(), String> {
+    let setting = tagged.setting();
+    let target_schema = setting.target_schema();
+    for m in setting.mappings() {
+        let name = m.name.clone();
+        if let Some((es, et)) = check_theorem_6_1(tagged, &name).map_err(|e| e.to_string())? {
+            return Err(format!("theorem 6.1 fails for `{name}` at {es} → {et}"));
+        }
+        if let Some((es, et)) = check_theorem_6_4(tagged, &name).map_err(|e| e.to_string())? {
+            return Err(format!("theorem 6.4 fails for `{name}` at {es} ⇒ {et}"));
+        }
+        for e in target_schema.atomic_elements() {
+            let et = dtr_model::value::ElementRef::new(target_schema.name(), target_schema.path(e));
+            if positions_for(m, target_schema, &et).is_empty() {
+                continue;
+            }
+            // Up to three values per (mapping, element) keep the law cheap.
+            for node in tagged
+                .target()
+                .interpretation_by(e, &name)
+                .into_iter()
+                .take(3)
+            {
+                provenance_chain(tagged, &name, node)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn provenance_chain(
+    tagged: &dtr_core::tagged::TaggedInstance,
+    m: &MappingName,
+    node: NodeId,
+) -> Result<(), String> {
+    let ctx = |kind: &str, e: &MxqlError| format!("{kind}-provenance of node via `{m}`: {e}");
+    let w = provenance_of(tagged, ProvenanceKind::Where, m, node).map_err(|e| ctx("where", &e))?;
+    let what = provenance_of(tagged, ProvenanceKind::What, m, node).map_err(|e| ctx("what", &e))?;
+    let why = provenance_of(tagged, ProvenanceKind::Why, m, node).map_err(|e| ctx("why", &e))?;
+    if !element_included(&w.query, &what.query) {
+        return Err(format!(
+            "provenance containment q_where ⊑ q_what fails for `{m}`"
+        ));
+    }
+    if !element_included(&what.query, &why.query) {
+        return Err(format!(
+            "provenance containment q_what ⊑ q_why fails for `{m}`"
+        ));
+    }
+    let we: HashSet<_> = w.fact_elements(tagged);
+    let whate: HashSet<_> = what.fact_elements(tagged);
+    let whye: HashSet<_> = why.fact_elements(tagged);
+    if !we.is_subset(&whate) || !whate.is_subset(&whye) {
+        return Err(format!(
+            "provenance fact footprints do not nest for `{m}`: where={we:?} what={whate:?} why={whye:?}"
+        ));
+    }
+    if w.facts.is_empty() {
+        return Err(format!(
+            "where-provenance of an exchanged value via `{m}` has no facts\n\
+             node: {} = {:?}\nquery: {}",
+            tagged.target().node_path(node),
+            tagged.target().atomic(node),
+            w.query
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Metastore laws (Section 7)
+// ---------------------------------------------------------------------------
+
+/// Encode → view round-trip: the queryable meta instance exposes exactly
+/// the schemas' elements and the setting's mappings, and the store's id
+/// maps are mutually consistent.
+pub fn law_metastore(tagged: &dtr_core::tagged::TaggedInstance) -> Result<(), String> {
+    let setting = tagged.setting();
+    let runner = MetaRunner::new(setting).map_err(|e| format!("metastore build: {e}"))?;
+    let store = runner.store();
+    let meta_catalog = Catalog::new(vec![runner.meta_source()]);
+
+    // Element paths, read back *through the queryable view* by the oracle.
+    let q = parse_query("select e.db, e.path from Element e").expect("static query parses");
+    let rows = oracle::eval(&meta_catalog, &q, None)?;
+    let mut got: Vec<String> = rows.iter().map(|r| format!("{}:{}", r[0], r[1])).collect();
+    got.sort();
+    got.dedup();
+    let mut want: Vec<String> = Vec::new();
+    for s in setting
+        .source_schemas()
+        .iter()
+        .chain(std::iter::once(setting.target_schema()))
+    {
+        for (e, _) in s.elements() {
+            want.push(format!("{}:{}", s.name(), s.path(e)));
+        }
+    }
+    want.sort();
+    want.dedup();
+    if got != want {
+        return Err(format!(
+            "metastore element view round-trip mismatch\n view: {got:?}\nschemas: {want:?}"
+        ));
+    }
+
+    // Mapping rows, read back through the view.
+    let q = parse_query("select m.mid from Mapping m").expect("static query parses");
+    let rows = oracle::eval(&meta_catalog, &q, None)?;
+    let mut got: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+    got.sort();
+    let mut want: Vec<String> = store
+        .mapping_names()
+        .iter()
+        .map(|m| m.as_str().to_string())
+        .collect();
+    want.sort();
+    if got != want {
+        return Err(format!(
+            "metastore mapping view round-trip mismatch\n view: {got:?}\nstore: {want:?}"
+        ));
+    }
+
+    // eid / path indexes agree in both directions.
+    for s in setting
+        .source_schemas()
+        .iter()
+        .chain(std::iter::once(setting.target_schema()))
+    {
+        for (e, _) in s.elements() {
+            let path = s.path(e);
+            let eid = store
+                .eid(s.name(), e)
+                .ok_or_else(|| format!("metastore has no eid for {}:{path}", s.name()))?;
+            // A set and its `*` member share a canonical path, so resolve
+            // by path and require the element's eid among the candidates.
+            let candidates: Vec<&str> = store
+                .elements
+                .iter()
+                .filter(|r| r.db == s.name() && r.path == path)
+                .map(|r| r.eid.as_str())
+                .collect();
+            if !candidates.contains(&eid) {
+                return Err(format!(
+                    "metastore eid/path indexes disagree for {}:{path} ({eid} not in {candidates:?})",
+                    s.name(),
+                ));
+            }
+            if store.element_by_path(s.name(), &path).is_none() {
+                return Err(format!("metastore cannot resolve {}:{path}", s.name()));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// XML round-trip
+// ---------------------------------------------------------------------------
+
+/// Annotated write → parse reproduces every instance of the scenario
+/// byte-for-byte in the canonical rendering (values, structure, element and
+/// mapping annotations).
+pub fn law_xml_roundtrip(
+    scen: &Scenario,
+    tagged: &dtr_core::tagged::TaggedInstance,
+) -> Result<(), String> {
+    let mut pairs: Vec<(&dtr_model::schema::Schema, &Instance)> =
+        scen.sources.iter().map(|(s, i)| (s, i)).collect();
+    pairs.push((tagged.setting().target_schema(), tagged.target()));
+    for (schema, inst) in pairs {
+        let xml = instance_to_xml(inst, WriteOptions::annotated());
+        let back = instance_from_xml(&xml, schema)
+            .map_err(|e| format!("xml for `{}` fails to parse back: {e}", inst.db()))?;
+        if canon(inst) != canon(&back) {
+            return Err(format!(
+                "xml round-trip changed instance `{}`\nbefore: {}\n after: {}",
+                inst.db(),
+                canon(inst),
+                canon(&back)
+            ));
+        }
+    }
+    Ok(())
+}

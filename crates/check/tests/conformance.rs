@@ -1,0 +1,51 @@
+//! The conformance suite: random seeds through [`dtr_check::run_case`]
+//! plus a committed regression corpus.
+//!
+//! `PROPTEST_CASES` scales the random suite (CI keeps it small; local soak
+//! runs go deep). Any failure prints the deterministic repro command.
+
+use dtr_check::{repro_command, run_case, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every law holds on randomly drawn seeds.
+    #[test]
+    fn conformance_holds_on_random_seeds(seed in 0u64..1_000_000_000) {
+        let cfg = GenConfig::default();
+        if let Err(e) = run_case(seed, &cfg) {
+            panic!("seed {seed}: {e}\nreproduce with: {}", repro_command(seed));
+        }
+    }
+}
+
+/// Seeds that once found a bug (or cover known-tricky shapes) stay green
+/// forever. Add the seed from a failing repro command here when fixing a
+/// bug the harness caught.
+#[test]
+fn regression_corpus_stays_green() {
+    let corpus = include_str!("../corpus/seeds.txt");
+    let cfg = GenConfig::default();
+    let mut ran = 0usize;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line
+            .parse()
+            .unwrap_or_else(|_| panic!("corpus line `{line}` is not a seed"));
+        run_case(seed, &cfg).unwrap_or_else(|e| {
+            panic!(
+                "corpus seed {seed}: {e}\nreproduce with: {}",
+                repro_command(seed)
+            )
+        });
+        ran += 1;
+    }
+    assert!(
+        ran >= 16,
+        "regression corpus unexpectedly small ({ran} seeds)"
+    );
+}

@@ -774,12 +774,19 @@ impl<'a> Exchange<'a> {
         Ok(node)
     }
 
-    /// Adds the mapping annotation to a whole member subtree.
+    /// Adds the mapping annotation to a member subtree — the part this
+    /// mapping actually generated (Definition 5.2). Nested *set containers*
+    /// are annotated but their members are not: when a row merges into an
+    /// existing member, the existing nested-set members were generated by
+    /// other rows or mappings, and this mapping's own inner members are
+    /// annotated when its nested bindings insert them.
     fn annotate_subtree(&mut self, node: NodeId, m: &Mapping, stats: &mut MappingStats) {
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
             record_annotation(self.target.add_mapping(n, m.name.clone()), n, m, stats);
-            stack.extend_from_slice(self.target.children(n));
+            if self.target.set_members(n).is_none() {
+                stack.extend_from_slice(self.target.children(n));
+            }
         }
     }
 

@@ -814,8 +814,9 @@ impl<'a> Evaluator<'a> {
                     .collect())
             }
             Expr::Call(name, args) => match self.call_function(name, args, env, var_index)? {
-                FunctionValue::One(v) => Ok(vec![Val::Atom(v)]),
-                FunctionValue::Many(vs) => Ok(vs.into_iter().map(Val::Atom).collect()),
+                Some(FunctionValue::One(v)) => Ok(vec![Val::Atom(v)]),
+                Some(FunctionValue::Many(vs)) => Ok(vs.into_iter().map(Val::Atom).collect()),
+                None => Ok(Vec::new()),
             },
             other => Err(EvalError::NotIterable(other.to_string())),
         }
@@ -827,17 +828,26 @@ impl<'a> Evaluator<'a> {
         args: &[Expr],
         env: &Env,
         var_index: &HashMap<&str, usize>,
-    ) -> Result<FunctionValue, EvalError> {
+    ) -> Result<Option<FunctionValue>, EvalError> {
         let mut arg_vals = Vec::with_capacity(args.len());
         for a in args {
             let out = self.out_value_opt(a, env, var_index)?;
+            if out.value.is_none() && out.node.is_none() {
+                // A choice step filtered a path argument out: the call has
+                // no valuation for this row, like any other expression over
+                // a filtered path. This keeps the §7.3 translation (which
+                // rewrites `@map`/`@elem` into `getMapAnnot`/`getElAnnot`
+                // calls) equivalent to the direct semantics on
+                // choice-crossing paths.
+                return Ok(None);
+            }
             arg_vals.push(out);
         }
         let f = self
             .functions
             .get(name)
             .ok_or_else(|| EvalError::UnknownFunction(name.to_string()))?;
-        f(&arg_vals, self.catalog)
+        f(&arg_vals, self.catalog).map(Some)
     }
 
     /// Evaluates an expression to an [`ArgValue`] (value + optional node).
@@ -898,13 +908,17 @@ impl<'a> Evaluator<'a> {
                 "`{e}` is set-valued; bind it in the from clause"
             ))),
             Expr::Call(name, args) => match self.call_function(name, args, env, var_index)? {
-                FunctionValue::One(v) => Ok(ArgValue {
+                Some(FunctionValue::One(v)) => Ok(ArgValue {
                     value: Some(v),
                     node: None,
                 }),
-                FunctionValue::Many(_) => Err(EvalError::ComplexValue(format!(
+                Some(FunctionValue::Many(_)) => Err(EvalError::ComplexValue(format!(
                     "`{e}` is set-valued; bind it in the from clause"
                 ))),
+                None => Ok(ArgValue {
+                    value: None,
+                    node: None,
+                }),
             },
         }
     }

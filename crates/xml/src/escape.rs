@@ -60,6 +60,7 @@ pub fn unescape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn escape_round_trip() {
@@ -68,6 +69,60 @@ mod tests {
         escape_attr(original, &mut esc);
         assert!(!esc.contains('<'));
         assert_eq!(unescape(&esc), original);
+    }
+
+    #[test]
+    fn control_chars_round_trip() {
+        // The escaper passes control characters through untouched; the
+        // round trip must still be lossless.
+        let original = "line1\nline2\ttab\u{1}end\r";
+        for esc_fn in [escape_text, escape_attr] {
+            let mut esc = String::new();
+            esc_fn(original, &mut esc);
+            assert_eq!(unescape(&esc), original);
+        }
+    }
+
+    #[test]
+    fn non_ascii_round_trip() {
+        let original = "café 日本語 🗺 straße — ± <&> \"quoted\"";
+        let mut esc = String::new();
+        escape_attr(original, &mut esc);
+        assert!(!esc.contains('<') && !esc.contains('"'));
+        assert_eq!(unescape(&esc), original);
+        let mut text = String::new();
+        escape_text(original, &mut text);
+        assert_eq!(unescape(&text), original);
+    }
+
+    #[test]
+    fn apostrophe_entity_unescapes() {
+        assert_eq!(unescape("it&apos;s"), "it's");
+    }
+
+    // A pool mixing markup characters, entity-prefix fragments, controls
+    // and multi-byte sequences: the adversarial inputs for an escaper.
+    const POOL: &[&str] = &[
+        "&", "<", ">", "\"", "'", "&amp", "&#38;", ";", "a", " ", "\n", "\t", "\u{1}", "é", "日",
+        "🦀",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn escape_unescape_is_identity(
+            picks in prop::collection::vec(0usize..POOL.len(), 0..24)
+        ) {
+            let original: String = picks.iter().map(|&i| POOL[i]).collect();
+            let mut text = String::new();
+            escape_text(&original, &mut text);
+            prop_assert_eq!(unescape(&text), original.clone());
+            let mut attr = String::new();
+            escape_attr(&original, &mut attr);
+            prop_assert!(!attr.contains('<') && !attr.contains('"'));
+            prop_assert_eq!(unescape(&attr), original);
+        }
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Error-path coverage for schema validation (`Schema::build`) and query
+//! well-formedness checking (`dtr_query::check`): the rejection paths the
+//! happy-path suites never reach.
+
+use dtr::model::schema::{Schema, SchemaError};
+use dtr::model::types::{AtomicType, Type, TypeError};
+use dtr::query::check::{check_query, CheckError, SchemaCatalog};
+use dtr::query::parser::parse_query;
+
+fn nested_schema() -> Schema {
+    // S { R: Set of { name: Str, addr: Choice(home: Str, office: { city: Str }),
+    //                 kids: Set of { age: Int } } }
+    Schema::build(
+        "S",
+        vec![(
+            "R",
+            Type::set(Type::record(vec![
+                ("name", Type::string()),
+                (
+                    "addr",
+                    Type::choice(vec![
+                        ("home", Type::string()),
+                        ("office", Type::record(vec![("city", Type::string())])),
+                    ]),
+                ),
+                (
+                    "kids",
+                    Type::set(Type::record(vec![("age", Type::integer())])),
+                ),
+            ])),
+        )],
+    )
+    .expect("the fixture schema is valid")
+}
+
+fn check(text: &str) -> Result<(), CheckError> {
+    let schema = nested_schema();
+    let q = parse_query(text).expect("fixture query parses");
+    check_query(&q, SchemaCatalog::new(vec![&schema])).map(|_| ())
+}
+
+// ---------------------------------------------------------------------------
+// Schema::build validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_roots_rejected() {
+    let err = Schema::build(
+        "S",
+        vec![
+            ("R", Type::relation(vec![("a", AtomicType::String)])),
+            ("R", Type::relation(vec![("b", AtomicType::String)])),
+        ],
+    )
+    .unwrap_err();
+    assert!(matches!(err, SchemaError::DuplicateRoot(l) if l.as_str() == "R"));
+}
+
+#[test]
+fn duplicate_record_attribute_rejected() {
+    let err = Schema::build(
+        "S",
+        vec![(
+            "R",
+            Type::set(Type::record(vec![
+                ("a", Type::string()),
+                ("a", Type::integer()),
+            ])),
+        )],
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SchemaError::Type(TypeError::DuplicateAttribute(l)) if l.as_str() == "a"
+    ));
+}
+
+#[test]
+fn duplicate_choice_alternative_rejected() {
+    let err = Schema::build(
+        "S",
+        vec![(
+            "C",
+            Type::choice(vec![("x", Type::string()), ("x", Type::string())]),
+        )],
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SchemaError::Type(TypeError::DuplicateAttribute(_))
+    ));
+}
+
+#[test]
+fn star_attribute_rejected() {
+    let err =
+        Schema::build("S", vec![("R", Type::record(vec![("*", Type::string())]))]).unwrap_err();
+    assert!(matches!(err, SchemaError::Type(TypeError::StarAttribute)));
+}
+
+#[test]
+fn atomic_set_element_rejected() {
+    let err = Schema::build("S", vec![("R", Type::set(Type::string()))]).unwrap_err();
+    assert!(matches!(
+        err,
+        SchemaError::Type(TypeError::AtomicSetElement)
+    ));
+}
+
+#[test]
+fn nested_invalid_type_rejected() {
+    // The validation must recurse: a bad record deep below a valid shell.
+    let err = Schema::build(
+        "S",
+        vec![(
+            "R",
+            Type::set(Type::record(vec![(
+                "inner",
+                Type::record(vec![("d", Type::string()), ("d", Type::string())]),
+            )])),
+        )],
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SchemaError::Type(TypeError::DuplicateAttribute(_))
+    ));
+}
+
+#[test]
+fn resolve_path_rejects_unknown_segments() {
+    let schema = nested_schema();
+    assert!(schema.resolve_path("/R/name").is_some());
+    assert!(schema.resolve_path("/R/nope").is_none());
+    assert!(schema.resolve_path("/Nope").is_none());
+    assert!(schema.resolve_path("/R/name/deeper").is_none());
+}
+
+// ---------------------------------------------------------------------------
+// dtr-query::check rejections
+// ---------------------------------------------------------------------------
+
+#[test]
+fn project_on_non_record_rejected() {
+    // `name` is atomic: projecting through it is not a record step.
+    let err = check("select r.name.x from R r").unwrap_err();
+    assert!(
+        matches!(err, CheckError::ProjectOnNonRecord { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn project_on_choice_rejected() {
+    // `addr` is a choice: it requires `->`, not `.`.
+    let err = check("select r.addr.home from R r").unwrap_err();
+    assert!(
+        matches!(err, CheckError::ProjectOnNonRecord { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn choice_selection_on_non_choice_rejected() {
+    // `->` on a record-typed attribute.
+    let err = check("select k.age from R r, r.kids->age k").unwrap_err();
+    assert!(
+        matches!(err, CheckError::ChoiceOnNonChoice { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn unknown_choice_alternative_rejected() {
+    let err = check("select r.name from R r where r.addr->street = 'v'").unwrap_err();
+    assert!(
+        matches!(err, CheckError::UnknownAttribute { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn unbound_variable_in_binding_rejected() {
+    // `z` is never declared; a bare base name falls back to root lookup,
+    // so the failure surfaces as an unknown root.
+    let err = check("select k.age from z.kids k").unwrap_err();
+    assert!(
+        matches!(err, CheckError::UnknownRoot(r) if r == "z"),
+        "got a different error"
+    );
+}
+
+#[test]
+fn unbound_variable_in_condition_rejected() {
+    // The parser rewrites unknown bare names into roots, so the undefined
+    // variable path is only reachable from a programmatically built query.
+    use dtr::query::ast::{Expr, PathExpr};
+    let schema = nested_schema();
+    let mut q = parse_query("select r.name from R r").unwrap();
+    q.select
+        .push(Expr::path(PathExpr::var("z").project("name")));
+    let err = check_query(&q, SchemaCatalog::new(vec![&schema]))
+        .err()
+        .expect("undefined variable must be rejected");
+    assert!(
+        matches!(err, CheckError::UndefinedVariable(v) if v == "z"),
+        "got a different error"
+    );
+}
+
+#[test]
+fn step_on_meta_variable_rejected() {
+    // `m` is a mapping annotation: it has no attributes to step into.
+    let err = check("select m.x from R r, r.name@map m").unwrap_err();
+    assert!(matches!(err, CheckError::StepOnMeta(_)), "got {err:?}");
+}
+
+#[test]
+fn non_atomic_comparison_rejected() {
+    // Comparing a whole set makes no sense in the conjunctive fragment.
+    let err = check("select r.name from R r where r.kids = 'v'").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckError::NonAtomicComparison(_) | CheckError::TypeMismatch { .. }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn cross_type_comparison_rejected() {
+    // Str vs Int has no comparable interpretation in the checker.
+    let err = check("select r.name from R r, r.kids k where r.name = k.age").unwrap_err();
+    assert!(
+        matches!(err, CheckError::TypeMismatch { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn duplicate_variable_across_binding_kinds_rejected() {
+    // Same name bound by a set binding and again by an @map binding.
+    let err = check("select r.name from R r, r.name@map r").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckError::DuplicateVariable(_) | CheckError::ConflictingVariable(_)
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn binding_over_root_record_rejected() {
+    // Binding over an atomic leaf is not iterable.
+    let err = check("select x.y from R r, r.name x").unwrap_err();
+    assert!(
+        matches!(err, CheckError::InvalidBindingSource { .. }),
+        "got {err:?}"
+    );
+}

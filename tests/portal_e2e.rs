@@ -117,8 +117,10 @@ fn overlap_reduces_annotation_bytes() {
     // annotation bytes fall when sources overlap (merged values share one
     // annotation: `map="m1 m2"` instead of two separate attributes). The
     // effect shows on the full (naive) annotation bytes; the PNF-suppressed
-    // bytes are already so small that union-lengthening keeps them ~flat
-    // (see EXPERIMENTS.md).
+    // bytes are already so small that union-lengthening keeps them near
+    // flat (see EXPERIMENTS.md) — "near" because a merged member's nested
+    // set members keep only their actual generators, so they differ from
+    // their parent's union and need their own attribute.
     let r0 = SizeReport::measure(no_overlap.target());
     let r1 = SizeReport::measure(with_overlap.target());
     assert!(
@@ -130,7 +132,7 @@ fn overlap_reduces_annotation_bytes() {
     let drift = (r1.pnf_annotation_bytes() as f64 - r0.pnf_annotation_bytes() as f64)
         / (r0.pnf_annotation_bytes() as f64);
     assert!(
-        drift.abs() < 0.10,
+        drift.abs() < 0.20,
         "PNF bytes stay roughly flat, drift {drift}"
     );
 }

@@ -23,7 +23,9 @@ use dtr::model::types::{AtomicType, Type};
 use dtr::model::value::MappingName;
 use dtr::query::eval::Source;
 use dtr::query::functions::FunctionRegistry;
+use dtr_check::generators::{gen_nested_source, GenConfig};
 use proptest::prelude::*;
+use proptest::test_runner::TestRng;
 
 /// A randomly drawn scenario description.
 #[derive(Debug, Clone)]
@@ -40,6 +42,10 @@ struct Scen {
     join_t: usize,
     c0: usize,
     c1: usize,
+    /// Seed for a third, *nested* source `N` (sets below set members,
+    /// choices, records) drawn with the `dtr-check` generators; `m3` maps
+    /// it into `Q` so Theorems 6.1/6.4 run beyond flat relations.
+    nested_seed: u64,
 }
 
 fn scen_strategy() -> impl Strategy<Value = Scen> {
@@ -54,16 +60,20 @@ fn scen_strategy() -> impl Strategy<Value = Scen> {
         0usize..3,
         0usize..4,
         0usize..3,
+        0u64..1_000_000_000,
     )
-        .prop_map(|(r_rows, t_rows, copy1, join_r, join_t, c0, c1)| Scen {
-            r_rows,
-            t_rows,
-            copy1,
-            join_r,
-            join_t,
-            c0,
-            c1,
-        })
+        .prop_map(
+            |(r_rows, t_rows, copy1, join_r, join_t, c0, c1, nested_seed)| Scen {
+                r_rows,
+                t_rows,
+                copy1,
+                join_r,
+                join_t,
+                c0,
+                c1,
+                nested_seed,
+            },
+        )
 }
 
 fn build_scenario(s: &Scen) -> TaggedInstance {
@@ -155,9 +165,15 @@ fn build_scenario(s: &Scen) -> TaggedInstance {
         ),
     );
 
-    let setting = MappingSetting::new(vec![src_schema], tgt_schema, vec![m1, m2])
+    // A nested third source: arbitrary Rcd/Set/Choice shapes from the
+    // dtr-check generators, mapped into Q by m3.
+    let mut rng = TestRng::from_seed(s.nested_seed);
+    let (n_schema, n_inst, m3) =
+        gen_nested_source(&mut rng, "N", &tgt_schema, "m3", &GenConfig::default());
+
+    let setting = MappingSetting::new(vec![src_schema, n_schema], tgt_schema, vec![m1, m2, m3])
         .expect("random setting validates");
-    TaggedInstance::exchange(setting, vec![inst]).expect("random exchange succeeds")
+    TaggedInstance::exchange(setting, vec![inst, n_inst]).expect("random exchange succeeds")
 }
 
 proptest! {
@@ -189,7 +205,7 @@ proptest! {
     #[test]
     fn theorems_6_1_and_6_4_hold(s in scen_strategy()) {
         let tagged = build_scenario(&s);
-        for m in ["m1", "m2"] {
+        for m in ["m1", "m2", "m3"] {
             prop_assert_eq!(
                 check_theorem_6_1(&tagged, &MappingName::new(m)).unwrap(),
                 None,
@@ -209,7 +225,7 @@ proptest! {
         // For every generated q0 value of every mapping.
         let schema = tagged.setting().target_schema();
         let q0 = schema.resolve_path("/Q/q0").unwrap();
-        for m in ["m1", "m2"] {
+        for m in ["m1", "m2", "m3"] {
             let name = MappingName::new(m);
             for node in tagged.target().interpretation_by(q0, &name) {
                 let w = provenance_of(&tagged, ProvenanceKind::Where, &name, node).unwrap();

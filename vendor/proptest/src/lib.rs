@@ -14,15 +14,28 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// The `PROPTEST_CASES` environment override, if set and parseable.
+    ///
+    /// Unlike upstream (which only consults the variable in `default()`),
+    /// the override also applies to explicit `with_cases(n)` configurations
+    /// so that one variable uniformly scales every property suite in the
+    /// workspace: small values keep CI fast, large values drive local soak
+    /// runs deep.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig::with_cases(64)
         }
     }
 
@@ -42,6 +55,17 @@ pub mod test_runner {
                 state = state.wrapping_mul(0x0000_0100_0000_01b3);
             }
             TestRng { state }
+        }
+
+        /// Seed from a numeric seed — the deterministic-soak entry point
+        /// (e.g. `dtr-check --seed N`): equal seeds draw equal streams.
+        pub fn from_seed(seed: u64) -> Self {
+            let mut rng = TestRng {
+                state: seed ^ 0xcbf2_9ce4_8422_2325,
+            };
+            // One warm-up step so small consecutive seeds decorrelate.
+            rng.next_u64();
+            rng
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -230,7 +254,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         elem: S,
