@@ -1,9 +1,11 @@
 //! Exchange-engine benchmarks: materializing the annotated portal from the
 //! five sources (the generation step of every Section 8 experiment), plus
-//! the evaluator ablation DESIGN.md calls out — incremental predicate
-//! pushdown vs naive evaluate-at-the-end.
+//! the evaluator ablations DESIGN.md calls out — incremental predicate
+//! pushdown vs naive evaluate-at-the-end, hash-join vs nested-loop binding
+//! enumeration, and serial vs parallel mapping evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_mapping::exchange::ExchangeOptions;
 use dtr_portal::scenario::{build, ScenarioConfig};
 use dtr_query::eval::{Catalog, EvalOptions, Evaluator, Source};
 use dtr_query::functions::FunctionRegistry;
@@ -23,6 +25,59 @@ fn exchange_scaling(c: &mut Criterion) {
                     })
                 },
                 |scenario| black_box(scenario.exchange().unwrap().target().len()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn parallel_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_exchange");
+    g.sample_size(10);
+    let configs = [
+        (
+            "pre_pr_reference",
+            // Serial, nested-loop, per-row member construction: the
+            // configuration this PR replaced as the default.
+            ExchangeOptions {
+                eval: EvalOptions {
+                    pushdown: true,
+                    hash_join: false,
+                },
+                member_templates: false,
+                ..ExchangeOptions::default()
+            },
+        ),
+        (
+            "serial_nested_loop",
+            ExchangeOptions {
+                eval: EvalOptions {
+                    pushdown: true,
+                    hash_join: false,
+                },
+                ..ExchangeOptions::default()
+            },
+        ),
+        ("serial_hash_join", ExchangeOptions::default()),
+        (
+            "parallel_hash_join",
+            ExchangeOptions {
+                parallel: true,
+                ..ExchangeOptions::default()
+            },
+        ),
+    ];
+    for (name, opts) in configs {
+        g.bench_with_input(BenchmarkId::new(name, 100usize), &opts, |b, opts| {
+            b.iter_batched(
+                || {
+                    build(ScenarioConfig {
+                        listings_per_source: 100,
+                        ..Default::default()
+                    })
+                },
+                |scenario| black_box(scenario.exchange_with(opts).unwrap().target().len()),
                 criterion::BatchSize::LargeInput,
             )
         });
@@ -53,30 +108,49 @@ fn pushdown_ablation(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("pushdown_ablation");
     g.sample_size(10);
-    g.bench_function("incremental_pushdown", |b| {
-        b.iter(|| {
-            black_box(
-                Evaluator::new(&catalog, &funcs)
-                    .with_options(EvalOptions { pushdown: true })
-                    .run(&q)
-                    .unwrap()
-                    .len(),
-            )
-        })
-    });
-    g.bench_function("naive_cross_product", |b| {
-        b.iter(|| {
-            black_box(
-                Evaluator::new(&catalog, &funcs)
-                    .with_options(EvalOptions { pushdown: false })
-                    .run(&q)
-                    .unwrap()
-                    .len(),
-            )
-        })
-    });
+    let modes = [
+        (
+            "hash_join",
+            EvalOptions {
+                pushdown: true,
+                hash_join: true,
+            },
+        ),
+        (
+            "incremental_pushdown",
+            EvalOptions {
+                pushdown: true,
+                hash_join: false,
+            },
+        ),
+        (
+            "naive_cross_product",
+            EvalOptions {
+                pushdown: false,
+                hash_join: false,
+            },
+        ),
+    ];
+    for (name, opts) in modes {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Evaluator::new(&catalog, &funcs)
+                        .with_options(opts)
+                        .run(&q)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
     g.finish();
 }
 
-criterion_group!(benches, exchange_scaling, pushdown_ablation);
+criterion_group!(
+    benches,
+    exchange_scaling,
+    parallel_exchange,
+    pushdown_ablation
+);
 criterion_main!(benches);

@@ -1,22 +1,25 @@
 //! Deterministic conformance soak runner.
 //!
 //! ```text
-//! dtr-check [--cases N] [--seed S] [--verbose]
+//! dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] [--verbose]
 //! ```
 //!
 //! Runs `N` conformance cases starting at base seed `S`; case `i` uses seed
 //! `S + i`, so a failure at seed `s` is reproduced exactly by
 //! `dtr-check --cases 1 --seed s` regardless of the original `N`/`S`.
-//! Exits non-zero on the first failing case after printing the one-line
-//! repro command.
+//! `--parallel-exchange` runs every case's primary exchange on worker
+//! threads; `--nested-loop` disables the hash-join engine so the soak
+//! covers the ablation configuration end to end. Exits non-zero on the
+//! first failing case after printing the one-line repro command.
 
-use dtr_check::{repro_command, run_case, GenConfig};
+use dtr_check::{repro_command, run_case_with, ExchangeOptions, GenConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut cases: u64 = 100;
     let mut seed: u64 = 0;
     let mut verbose = false;
+    let mut exchange = ExchangeOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,9 +31,14 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => return usage("--seed takes a number"),
             },
+            "--parallel-exchange" => exchange.parallel = true,
+            "--nested-loop" => exchange.eval.hash_join = false,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
-                println!("usage: dtr-check [--cases N] [--seed S] [--verbose]");
+                println!(
+                    "usage: dtr-check [--cases N] [--seed S] [--parallel-exchange] \
+                     [--nested-loop] [--verbose]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -41,7 +49,7 @@ fn main() -> ExitCode {
     let start = std::time::Instant::now();
     for i in 0..cases {
         let case_seed = seed.wrapping_add(i);
-        if let Err(e) = run_case(case_seed, &cfg) {
+        if let Err(e) = run_case_with(case_seed, &cfg, &exchange) {
             eprintln!("FAIL seed {case_seed} (case {i} of {cases}):");
             eprintln!("  {e}");
             eprintln!("reproduce with:");
@@ -64,6 +72,8 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("dtr-check: {msg}");
-    eprintln!("usage: dtr-check [--cases N] [--seed S] [--verbose]");
+    eprintln!(
+        "usage: dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] [--verbose]"
+    );
     ExitCode::FAILURE
 }

@@ -779,14 +779,24 @@ pub struct Scenario {
 impl Scenario {
     /// Runs the annotated data exchange over the scenario.
     pub fn tagged(&self) -> Result<TaggedInstance, MxqlError> {
+        self.tagged_with(&dtr_mapping::exchange::ExchangeOptions::default())
+    }
+
+    /// Runs the annotated data exchange with explicit exchange options
+    /// (engine selection and parallel foreach evaluation).
+    pub fn tagged_with(
+        &self,
+        opts: &dtr_mapping::exchange::ExchangeOptions,
+    ) -> Result<TaggedInstance, MxqlError> {
         let setting = MappingSetting::new(
             self.sources.iter().map(|(s, _)| s.clone()).collect(),
             self.target.clone(),
             self.mappings.clone(),
         )?;
-        TaggedInstance::exchange(
+        TaggedInstance::exchange_with_options(
             setting,
             self.sources.iter().map(|(_, i)| i.clone()).collect(),
+            opts,
         )
     }
 }

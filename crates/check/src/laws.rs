@@ -180,9 +180,10 @@ pub fn law_pnf(rng: &mut TestRng, cfg: &GenConfig) -> Result<(), String> {
 // Differential: oracle vs engine
 // ---------------------------------------------------------------------------
 
-/// One query, three evaluators: the naive oracle, the engine with predicate
-/// pushdown, and the engine with the pushdown ablation off. All three must
-/// produce the same bag of rows.
+/// One query, four evaluators: the naive oracle and the engine in each of
+/// its configurations — hash-join (the default), nested-loop with pushdown,
+/// and the full naive ablation. All four must produce the same bag of rows
+/// (`hash_join ≡ nested_loop ≡ oracle`).
 fn differential(
     catalog: &Catalog,
     functions: &FunctionRegistry,
@@ -191,8 +192,31 @@ fn differential(
     context: &str,
 ) -> Result<(), String> {
     let expected = oracle::canonical_multiset(&oracle::eval(catalog, q, meta)?);
-    for (name, pushdown) in [("pushdown", true), ("naive", false)] {
-        let mut eval = Evaluator::new(catalog, functions).with_options(EvalOptions { pushdown });
+    let modes = [
+        (
+            "pushdown+hash",
+            EvalOptions {
+                pushdown: true,
+                hash_join: true,
+            },
+        ),
+        (
+            "pushdown+nested",
+            EvalOptions {
+                pushdown: true,
+                hash_join: false,
+            },
+        ),
+        (
+            "naive",
+            EvalOptions {
+                pushdown: false,
+                hash_join: false,
+            },
+        ),
+    ];
+    for (name, opts) in modes {
+        let mut eval = Evaluator::new(catalog, functions).with_options(opts);
         if let Some(meta) = meta {
             eval = eval.with_meta(meta);
         }
@@ -282,6 +306,61 @@ fn roundtrip_query(q: &Query) -> Result<(), String> {
     if &back != q {
         return Err(format!(
             "query display/parse round-trip changed the AST for `{text}`"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parallel exchange determinism
+// ---------------------------------------------------------------------------
+
+/// Evaluating mapping foreach queries on worker threads must produce a
+/// target instance (canonical rendering, annotations included) and
+/// per-mapping decision counts identical to the serial engine's: the
+/// insert stage is single-writer and applies mappings in order.
+pub fn law_parallel_exchange(scen: &Scenario) -> Result<(), String> {
+    let serial = scen
+        .tagged()
+        .map_err(|e| format!("serial exchange failed on generated scenario: {e}"))?;
+    let parallel = scen
+        .tagged_with(&dtr_mapping::exchange::ExchangeOptions {
+            parallel: true,
+            // Explicit cap so the threaded path runs even on one core
+            // (auto sizing would fall back to the serial engine there).
+            workers: 2,
+            ..Default::default()
+        })
+        .map_err(|e| format!("parallel exchange failed on generated scenario: {e}"))?;
+    let before = canon(serial.target());
+    let after = canon(parallel.target());
+    if before != after {
+        return Err(format!(
+            "parallel exchange changed the target instance\nserial: {before}\nparallel: {after}"
+        ));
+    }
+    let decisions = |t: &dtr_core::tagged::TaggedInstance| {
+        t.report()
+            .per_mapping
+            .iter()
+            .map(|s| {
+                (
+                    s.mapping.clone(),
+                    s.tuples,
+                    s.bindings,
+                    s.rows_inserted,
+                    s.rows_merged,
+                    s.annotations_written,
+                    s.annotations_suppressed,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    if decisions(&serial) != decisions(&parallel) {
+        return Err(format!(
+            "parallel exchange changed per-mapping decisions\nserial: {:?}\nparallel: {:?}",
+            decisions(&serial),
+            decisions(&parallel)
         ));
     }
     Ok(())

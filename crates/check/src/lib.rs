@@ -22,15 +22,23 @@ pub mod generators;
 pub mod laws;
 pub mod oracle;
 
+pub use dtr_mapping::exchange::ExchangeOptions;
 pub use generators::{GenConfig, Scenario};
 
 /// Runs every conformance law over the scenario drawn from `seed`.
 /// Returns a description of the first violated law, if any.
 pub fn run_case(seed: u64, cfg: &GenConfig) -> Result<(), String> {
+    run_case_with(seed, cfg, &ExchangeOptions::default())
+}
+
+/// [`run_case`] with explicit exchange options for the primary exchange:
+/// the soak binary uses this to run the whole law suite on top of a
+/// parallel (or nested-loop) exchange as well as the default one.
+pub fn run_case_with(seed: u64, cfg: &GenConfig, exchange: &ExchangeOptions) -> Result<(), String> {
     let mut rng = proptest::test_runner::TestRng::from_seed(seed);
     let scen = generators::gen_scenario(&mut rng, cfg);
     let tagged = scen
-        .tagged()
+        .tagged_with(exchange)
         .map_err(|e| format!("exchange failed on generated scenario: {e}"))?;
     laws::law_source_queries(&mut rng, &scen, cfg)?;
     laws::law_mxql_queries(&mut rng, &scen, &tagged, cfg)?;
@@ -39,6 +47,7 @@ pub fn run_case(seed: u64, cfg: &GenConfig) -> Result<(), String> {
     laws::law_provenance(&tagged)?;
     laws::law_metastore(&tagged)?;
     laws::law_xml_roundtrip(&scen, &tagged)?;
+    laws::law_parallel_exchange(&scen)?;
     Ok(())
 }
 

@@ -7,7 +7,9 @@
 //! carried here as per-node annotations, and makes databases, schema
 //! elements and mappings first-class queryable values.
 
-use dtr_mapping::exchange::{execute_mappings, ExchangeError, ExchangeReport};
+use dtr_mapping::exchange::{
+    execute_mappings_with, ExchangeError, ExchangeOptions, ExchangeReport,
+};
 use dtr_mapping::glav::{Mapping, MappingError};
 use dtr_mapping::triple::{extract_triple, MappingTriple};
 use dtr_model::instance::{Instance, NodeId};
@@ -287,7 +289,17 @@ impl TaggedInstance {
     /// the setting's source schemas), annotating values with `f_el`/`f_mp`.
     pub fn exchange(
         setting: MappingSetting,
+        source_instances: Vec<Instance>,
+    ) -> Result<Self, MxqlError> {
+        Self::exchange_with_options(setting, source_instances, &ExchangeOptions::default())
+    }
+
+    /// [`TaggedInstance::exchange`] with explicit exchange options
+    /// (evaluator engine selection and parallel foreach evaluation).
+    pub fn exchange_with_options(
+        setting: MappingSetting,
         mut source_instances: Vec<Instance>,
+        opts: &ExchangeOptions,
     ) -> Result<Self, MxqlError> {
         let span = dtr_obs::span("exchange.tagged_instance")
             .field("sources", source_instances.len())
@@ -311,11 +323,12 @@ impl TaggedInstance {
             .zip(&source_instances)
             .map(|(schema, instance)| Source { schema, instance })
             .collect();
-        let (target, report) = execute_mappings(
+        let (target, report) = execute_mappings_with(
             &sources,
             &setting.target_schema,
             &setting.mappings,
             &functions,
+            opts,
         )?;
         span.record("target_nodes", target.len());
         Ok(TaggedInstance {
@@ -643,7 +656,13 @@ mod tests {
             let q = parse_query(text).unwrap();
             let fast = t.run(&q).unwrap();
             let naive = t
-                .run_with_options(&q, EvalOptions { pushdown: false })
+                .run_with_options(
+                    &q,
+                    EvalOptions {
+                        pushdown: false,
+                        hash_join: false,
+                    },
+                )
                 .unwrap();
             let s = |r: &dtr_query::eval::QueryResult| {
                 let mut v: Vec<String> = r.tuples().iter().map(|row| format!("{row:?}")).collect();

@@ -21,7 +21,7 @@ use dtr_model::schema::{ElementId, ElementKind, Schema};
 use dtr_model::value::AtomicValue;
 use dtr_query::ast::{CmpOp, Condition, Expr, PathExpr, PathStart, Step};
 use dtr_query::check::{check_query, CheckError, ExprKind, SchemaCatalog};
-use dtr_query::eval::{Catalog, EvalError, Evaluator, Source};
+use dtr_query::eval::{Catalog, EvalError, EvalOptions, Evaluator, Source};
 use dtr_query::functions::FunctionRegistry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -105,6 +105,39 @@ impl MappingStats {
     pub fn event_window(&self) -> Option<(u64, u64)> {
         (self.ended_at_event > self.started_at_event)
             .then_some((self.started_at_event, self.ended_at_event))
+    }
+}
+
+/// Options controlling one exchange run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExchangeOptions {
+    /// Evaluate independent mappings' foreach queries on scoped worker
+    /// threads feeding the single-writer insert stage. The produced
+    /// instance is identical to a serial run; off by default. When the
+    /// worker count resolves to one (auto sizing on a single-core host),
+    /// the exchange falls back to the serial path — one worker thread is
+    /// pure pipeline overhead.
+    pub parallel: bool,
+    /// Worker-thread cap for `parallel`; `0` means one per available core.
+    pub workers: usize,
+    /// Evaluator options for the foreach queries.
+    pub eval: EvalOptions,
+    /// Compile each plan binding's member structure into a reusable
+    /// template (grouping, schema resolution, and field ordering done once
+    /// per mapping instead of once per row). On by default; `false` selects
+    /// the per-row reference construction kept for differential testing
+    /// and as the pre-optimization benchmark baseline.
+    pub member_templates: bool,
+}
+
+impl Default for ExchangeOptions {
+    fn default() -> Self {
+        ExchangeOptions {
+            parallel: false,
+            workers: 0,
+            eval: EvalOptions::default(),
+            member_templates: true,
+        }
     }
 }
 
@@ -363,9 +396,159 @@ fn plan_exists(m: &Mapping, target_schema: &Schema) -> Result<Plan, ExchangeErro
     Ok(plan)
 }
 
-/// Builds the member [`Value`] from field assignments, following the schema
+/// A compiled member template for one plan binding: the structural work of
+/// member construction — grouping field paths, resolving them against the
+/// target schema, sorting record fields into declaration order — performed
+/// once per mapping run instead of once per row. Filling a template with a
+/// row's slot-class values is then a single pass cloning atomic values into
+/// the prebuilt shape.
+enum MemberShape {
+    /// A leaf filled from one slot class.
+    Atomic(usize),
+    /// A record whose children are already in schema declaration order.
+    Record(Vec<(Label, MemberShape)>),
+    /// A choice committed to one alternative.
+    Choice(Label, Box<MemberShape>),
+}
+
+impl MemberShape {
+    /// Builds the member [`Value`] for one row. Returns `None` when every
+    /// slot class under this shape is unassigned (the subtree is absent) —
+    /// which classes are assigned is row-invariant, so this mirrors the
+    /// per-row field filtering the template replaced.
+    fn fill(&self, class_values: &[Option<AtomicValue>]) -> Option<Value> {
+        match self {
+            MemberShape::Atomic(c) => class_values[*c].clone().map(Value::Atomic),
+            MemberShape::Record(children) => {
+                let rec: Vec<(Label, Value)> = children
+                    .iter()
+                    .filter_map(|(l, s)| s.fill(class_values).map(|v| (l.clone(), v)))
+                    .collect();
+                (!rec.is_empty()).then_some(Value::Record(rec))
+            }
+            MemberShape::Choice(l, inner) => inner
+                .fill(class_values)
+                .map(|v| Value::choice(l.clone(), v)),
+        }
+    }
+}
+
+/// Compiles the member template from field assignments, following the schema
 /// to know which intermediates are records and which are choices.
-fn build_member(
+fn build_shape(
+    schema: &Schema,
+    elem: ElementId,
+    fields: &[(&[Step], usize)],
+) -> Result<MemberShape, ExchangeError> {
+    if fields.is_empty() {
+        return Err(ExchangeError::Unsupported(
+            "a target member with no assigned fields".into(),
+        ));
+    }
+    // Leaf?
+    if fields.len() == 1 && fields[0].0.is_empty() {
+        return Ok(MemberShape::Atomic(fields[0].1));
+    }
+    /// Field assignments grouped under one leading label.
+    type Group<'a> = Vec<(&'a [Step], usize)>;
+    match schema.element(elem).kind {
+        ElementKind::Record => {
+            // Group by leading label through an index map — one hash
+            // lookup per field instead of a linear scan per field.
+            let mut groups: Vec<(Label, Group<'_>)> = Vec::new();
+            let mut group_index: HashMap<Label, usize> = HashMap::with_capacity(fields.len());
+            for (steps, c) in fields {
+                let Some((first, rest)) = steps.split_first() else {
+                    return Err(ExchangeError::Conflict(
+                        "value assigned to a whole record".into(),
+                    ));
+                };
+                let label = match first {
+                    Step::Project(l) => l.clone(),
+                    Step::Choice(_) => {
+                        return Err(ExchangeError::Unsupported(
+                            "choice step on a record element".into(),
+                        ))
+                    }
+                };
+                match group_index.get(&label) {
+                    Some(&i) => groups[i].1.push((rest, *c)),
+                    None => {
+                        group_index.insert(label.clone(), groups.len());
+                        groups.push((label, vec![(rest, *c)]));
+                    }
+                }
+            }
+            let mut rec = Vec::with_capacity(groups.len());
+            for (label, group) in groups {
+                let child = schema.child(elem, &label).ok_or_else(|| {
+                    ExchangeError::Unsupported(format!(
+                        "target schema has no field `{label}` under {}",
+                        schema.path(elem)
+                    ))
+                })?;
+                rec.push((label, build_shape(schema, child, &group)?));
+            }
+            // Schema declaration order for deterministic output, via a
+            // precomputed label→position map.
+            let order_index: HashMap<&Label, usize> = schema
+                .element(elem)
+                .children
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (&schema.element(c).label, i))
+                .collect();
+            rec.sort_by_key(|(l, _)| order_index.get(l).copied().unwrap_or(usize::MAX));
+            Ok(MemberShape::Record(rec))
+        }
+        ElementKind::Choice => {
+            let mut label: Option<Label> = None;
+            let mut inner: Vec<(&[Step], usize)> = Vec::new();
+            for (steps, c) in fields {
+                let Some((first, rest)) = steps.split_first() else {
+                    return Err(ExchangeError::Conflict(
+                        "value assigned to a whole choice".into(),
+                    ));
+                };
+                let l = match first {
+                    Step::Choice(l) | Step::Project(l) => l.clone(),
+                };
+                match &label {
+                    None => label = Some(l),
+                    Some(prev) if *prev == l => {}
+                    Some(prev) => {
+                        return Err(ExchangeError::Conflict(format!(
+                            "choice assigned two alternatives `{prev}` and `{l}`"
+                        )))
+                    }
+                }
+                inner.push((rest, *c));
+            }
+            let label = label.expect("fields nonempty");
+            let child = schema.child(elem, &label).ok_or_else(|| {
+                ExchangeError::Unsupported(format!(
+                    "target schema has no alternative `{label}` under {}",
+                    schema.path(elem)
+                ))
+            })?;
+            Ok(MemberShape::Choice(
+                label,
+                Box::new(build_shape(schema, child, &inner)?),
+            ))
+        }
+        other => Err(ExchangeError::Unsupported(format!(
+            "cannot assign through element kind {other:?}"
+        ))),
+    }
+}
+
+/// The per-row reference member construction: groups field assignments and
+/// resolves them against the schema for every single row, rebuilding all
+/// intermediate structure each time. This is what member templates replace;
+/// it is kept (verbatim) behind [`ExchangeOptions::member_templates`]` =
+/// false` so dtr-check can hold the template path to it differentially and
+/// so benchmarks can measure the pre-optimization configuration.
+fn build_member_reference(
     schema: &Schema,
     elem: ElementId,
     fields: &[(&[Step], AtomicValue)],
@@ -412,7 +595,7 @@ fn build_member(
                         schema.path(elem)
                     ))
                 })?;
-                rec.push((label, build_member(schema, child, &group)?));
+                rec.push((label, build_member_reference(schema, child, &group)?));
             }
             // Schema declaration order for deterministic output.
             let order: Vec<&Label> = schema
@@ -454,7 +637,10 @@ fn build_member(
                     schema.path(elem)
                 ))
             })?;
-            Ok(Value::choice(label, build_member(schema, child, &inner)?))
+            Ok(Value::choice(
+                label,
+                build_member_reference(schema, child, &inner)?,
+            ))
         }
         other => Err(ExchangeError::Unsupported(format!(
             "cannot assign through element kind {other:?}"
@@ -506,8 +692,12 @@ pub struct Exchange<'a> {
     target_schema: &'a Schema,
     functions: &'a FunctionRegistry,
     target: Instance,
-    /// `(set node, member fingerprint) -> member node` for PNF merging.
-    merge_index: HashMap<(NodeId, u64), NodeId>,
+    /// `(set node, member fingerprint) -> candidate members` for PNF
+    /// merging. A fingerprint match alone is not proof of equality: each
+    /// bucket keeps the built member values so a merge is only taken after
+    /// a structural comparison confirms it, and colliding-but-distinct
+    /// members split the bucket instead of being folded together.
+    merge_index: HashMap<(NodeId, u64), Vec<(Value, NodeId)>>,
     report: ExchangeReport,
 }
 
@@ -539,6 +729,46 @@ impl<'a> Exchange<'a> {
     /// Executes one mapping: evaluates its foreach query over the sources
     /// and inserts every tuple into the target.
     pub fn run_mapping(&mut self, m: &Mapping) -> Result<(), ExchangeError> {
+        self.run_mapping_with(m, EvalOptions::default())
+    }
+
+    /// [`Exchange::run_mapping`] with explicit evaluator options for the
+    /// foreach query.
+    pub fn run_mapping_with(
+        &mut self,
+        m: &Mapping,
+        eval: EvalOptions,
+    ) -> Result<(), ExchangeError> {
+        let opts = ExchangeOptions {
+            eval,
+            ..ExchangeOptions::default()
+        };
+        self.run_mapping_opts(m, &opts)
+    }
+
+    fn run_mapping_opts(
+        &mut self,
+        m: &Mapping,
+        opts: &ExchangeOptions,
+    ) -> Result<(), ExchangeError> {
+        let started = std::time::Instant::now();
+        let rows = eval_foreach(&self.sources, self.functions, m, opts.eval);
+        let eval_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.insert_mapping_rows(m, rows.map(|r| (r, eval_ns)), opts.member_templates)
+    }
+
+    /// The single-writer insert stage for one mapping whose foreach rows
+    /// were already evaluated — by this thread (serial) or by a worker
+    /// (parallel). `rows` carries the evaluation result plus the wall time
+    /// already spent evaluating (see [`EvaluatedRows`]), so
+    /// `MappingStats::wall_ns` keeps covering eval + insertion as it did
+    /// when the two stages were fused.
+    fn insert_mapping_rows(
+        &mut self,
+        m: &Mapping,
+        rows: EvaluatedRows,
+        templates: bool,
+    ) -> Result<(), ExchangeError> {
         let span = dtr_obs::span("exchange.run_mapping").field("mapping", &m.name);
         let started = std::time::Instant::now();
         let mut stats = MappingStats {
@@ -546,11 +776,10 @@ impl<'a> Exchange<'a> {
             started_at_event: dtr_obs::journal::next_event_id(),
             ..MappingStats::default()
         };
+        // Plan errors surface before eval errors, exactly as in the fused
+        // serial path where planning preceded evaluation.
         let plan = plan_exists(m, self.target_schema)?;
-        let catalog = Catalog::new(self.sources.clone());
-        let rows = Evaluator::new(&catalog, self.functions)
-            .run(&m.foreach)?
-            .tuples();
+        let (rows, eval_ns) = rows?;
         stats.tuples = rows.len();
         self.report.tuples.push((m.name.clone(), rows.len()));
         if plan.select_classes.len() != m.foreach.select.len() {
@@ -559,10 +788,16 @@ impl<'a> Exchange<'a> {
                 m.name
             )));
         }
+        // Member templates, compiled lazily at the first row (a mapping
+        // that retrieved no tuples never validated its member structure,
+        // and still shouldn't).
+        let mut shapes: Vec<Option<MemberShape>> = Vec::new();
+        shapes.resize_with(plan.bindings.len(), || None);
         for row in rows {
-            self.insert_row(m, &plan, &row, &mut stats)?;
+            self.insert_row(m, &plan, &row, templates, &mut shapes, &mut stats)?;
         }
-        stats.wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.wall_ns =
+            eval_ns.saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         stats.ended_at_event = dtr_obs::journal::next_event_id();
         let counters = dtr_obs::counters();
         counters.rows_inserted.add(stats.rows_inserted as u64);
@@ -580,11 +815,90 @@ impl<'a> Exchange<'a> {
         Ok(())
     }
 
+    /// Runs several mappings with their foreach queries evaluated on scoped
+    /// worker threads. Insertion stays on this thread (the target instance
+    /// has a single writer) and is applied strictly in mapping order, so
+    /// the produced instance, annotations, report, and first error are
+    /// identical to a serial run.
+    fn run_parallel(
+        &mut self,
+        mappings: &[Mapping],
+        opts: &ExchangeOptions,
+    ) -> Result<(), ExchangeError> {
+        use std::collections::BTreeMap;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let n = mappings.len();
+        let workers = resolved_workers(opts, n);
+        dtr_obs::counters().parallel_workers.add(workers as u64);
+        // Workers only read sources/functions/mappings; clone the source
+        // list out so `self` stays free for the mutable insert stage.
+        let sources = self.sources.clone();
+        let functions = self.functions;
+        let eval = opts.eval;
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        let mut result: Result<(), ExchangeError> = Ok(());
+        let mut inserted = 0usize;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let sources = &sources;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let started = std::time::Instant::now();
+                    let rows = eval_foreach(sources, functions, &mappings[i], eval);
+                    let eval_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    if tx.send((i, rows.map(|r| (r, eval_ns)))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Buffer out-of-order completions and insert in mapping order.
+            let mut pending: BTreeMap<usize, EvaluatedRows> = BTreeMap::new();
+            while inserted < n {
+                if let Some(rows) = pending.remove(&inserted) {
+                    if result.is_ok() {
+                        result = self.insert_mapping_rows(
+                            &mappings[inserted],
+                            rows,
+                            opts.member_templates,
+                        );
+                    }
+                    inserted += 1;
+                    continue;
+                }
+                match rx.recv() {
+                    Ok((i, rows)) => {
+                        pending.insert(i, rows);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        if result.is_ok() && inserted < n {
+            // Only reachable if a worker died without sending (a panic).
+            return Err(ExchangeError::Conformance(format!(
+                "parallel exchange lost {} mapping result(s)",
+                n - inserted
+            )));
+        }
+        result
+    }
+
     fn insert_row(
         &mut self,
         m: &Mapping,
         plan: &Plan,
         row: &[AtomicValue],
+        templates: bool,
+        shapes: &mut [Option<MemberShape>],
         stats: &mut MappingStats,
     ) -> Result<(), ExchangeError> {
         let _span = dtr_obs::span("exchange.insert_row");
@@ -608,7 +922,7 @@ impl<'a> Exchange<'a> {
 
         // Insert bindings in order; remember each binding's member node.
         let mut member_nodes: Vec<NodeId> = Vec::with_capacity(plan.bindings.len());
-        for b in &plan.bindings {
+        for (bi, b) in plan.bindings.iter().enumerate() {
             stats.bindings += 1;
             let set_node = match &b.parent {
                 Parent::Root(root, steps) => self.skeleton_set(m, root, steps, stats)?,
@@ -617,21 +931,51 @@ impl<'a> Exchange<'a> {
                     self.nested_set(m, base, b.member_elem, steps, stats)?
                 }
             };
-            let fields: Vec<(&[Step], AtomicValue)> = b
-                .fields
-                .iter()
-                .filter_map(|(steps, c)| {
-                    class_values[*c]
-                        .as_ref()
-                        .map(|v| (steps.as_slice(), v.clone()))
-                })
-                .collect();
-            let value = build_member(self.target_schema, b.member_elem, &fields)?;
+            let value = if templates {
+                if shapes[bi].is_none() {
+                    // Which slot classes carry a value is decided by the
+                    // select positions alone, so the first row's assignment
+                    // pattern holds for every row and the template compiles
+                    // once.
+                    let live: Vec<(&[Step], usize)> = b
+                        .fields
+                        .iter()
+                        .filter(|(_, c)| class_values[*c].is_some())
+                        .map(|(steps, c)| (steps.as_slice(), *c))
+                        .collect();
+                    shapes[bi] = Some(build_shape(self.target_schema, b.member_elem, &live)?);
+                }
+                let shape = shapes[bi].as_ref().expect("template compiled above");
+                shape.fill(&class_values).ok_or_else(|| {
+                    ExchangeError::Unsupported("a target member with no assigned fields".into())
+                })?
+            } else {
+                let fields: Vec<(&[Step], AtomicValue)> = b
+                    .fields
+                    .iter()
+                    .filter_map(|(steps, c)| {
+                        class_values[*c]
+                            .as_ref()
+                            .map(|v| (steps.as_slice(), v.clone()))
+                    })
+                    .collect();
+                build_member_reference(self.target_schema, b.member_elem, &fields)?
+            };
             let mut h = DefaultHasher::new();
             value_fingerprint(&value, &mut h);
             let fp = h.finish();
-            let member = match self.merge_index.get(&(set_node, fp)) {
-                Some(&existing) => {
+            // A fingerprint hit only nominates candidates; the merge is
+            // confirmed by comparing the stored member values structurally.
+            let key = (set_node, fp);
+            let (existing, bucket_len) = match self.merge_index.get(&key) {
+                Some(bucket) => (
+                    bucket.iter().find(|e| e.0 == value).map(|e| e.1),
+                    bucket.len(),
+                ),
+                None => (None, 0),
+            };
+            let member = match existing {
+                Some(existing) => {
                     stats.rows_merged += 1;
                     if let Some(binding_fp) = row_fp {
                         dtr_obs::journal::record(
@@ -651,8 +995,26 @@ impl<'a> Exchange<'a> {
                 }
                 None => {
                     stats.rows_inserted += 1;
-                    let node = self.target.push_set_member(set_node, value);
-                    self.merge_index.insert((set_node, fp), node);
+                    // The bucket keeps the insert-time value snapshot, not
+                    // the node: nested-set containers are appended under a
+                    // member after installation, so the live node's
+                    // structure drifts from the member identity that merge
+                    // confirmation must compare against.
+                    let node = self.target.push_set_member(set_node, value.clone());
+                    self.merge_index.entry(key).or_default().push((value, node));
+                    if bucket_len > 0 && dtr_obs::journal::enabled() {
+                        dtr_obs::journal::record(
+                            dtr_obs::journal::event(
+                                "exchange.insert_row",
+                                dtr_obs::journal::Outcome::CollisionSplit { fingerprint: fp },
+                            )
+                            .mapping(&m.name)
+                            .target(u64::from(node.0))
+                            .detail(format!(
+                                "{bucket_len} distinct member(s) already hold this fingerprint"
+                            )),
+                        );
+                    }
                     if let Some(binding_fp) = row_fp {
                         dtr_obs::journal::record(
                             dtr_obs::journal::event(
@@ -842,6 +1204,26 @@ fn attach_child(inst: &mut Instance, parent: NodeId, child: NodeId) {
     inst.replace_children(parent, kids);
 }
 
+/// One mapping's evaluated foreach rows plus the wall time spent
+/// evaluating them, as handed from the (possibly worker-side) eval stage
+/// to the single-writer insert stage.
+type EvaluatedRows = Result<(Vec<Vec<AtomicValue>>, u64), ExchangeError>;
+
+/// Evaluates one mapping's foreach query over the sources. Free-standing so
+/// parallel workers can run it without borrowing the (mutable) engine.
+fn eval_foreach(
+    sources: &[Source<'_>],
+    functions: &FunctionRegistry,
+    m: &Mapping,
+    opts: EvalOptions,
+) -> Result<Vec<Vec<AtomicValue>>, ExchangeError> {
+    let catalog = Catalog::new(sources.to_vec());
+    Ok(Evaluator::new(&catalog, functions)
+        .with_options(opts)
+        .run(&m.foreach)?
+        .tuples())
+}
+
 /// Executes a set of mappings over the sources and returns the annotated
 /// target instance (Section 4.3 + Section 7.2 in one call).
 pub fn execute_mappings(
@@ -850,12 +1232,48 @@ pub fn execute_mappings(
     mappings: &[Mapping],
     functions: &FunctionRegistry,
 ) -> Result<(Instance, ExchangeReport), ExchangeError> {
+    execute_mappings_with(
+        sources,
+        target_schema,
+        mappings,
+        functions,
+        &ExchangeOptions::default(),
+    )
+}
+
+/// [`execute_mappings`] with explicit exchange options (evaluator engine
+/// selection and parallel foreach evaluation).
+pub fn execute_mappings_with(
+    sources: &[Source<'_>],
+    target_schema: &Schema,
+    mappings: &[Mapping],
+    functions: &FunctionRegistry,
+    opts: &ExchangeOptions,
+) -> Result<(Instance, ExchangeReport), ExchangeError> {
     let _span = dtr_obs::span("exchange.execute_mappings").field("mappings", mappings.len());
     let mut engine = Exchange::new(sources.to_vec(), target_schema, functions);
-    for m in mappings {
-        engine.run_mapping(m)?;
+    // A single worker is pure pipeline overhead over the serial path (the
+    // auto-sized case on a single-core host resolves to one), so parallel
+    // mode only spawns threads when at least two workers would run.
+    if opts.parallel && resolved_workers(opts, mappings.len()) > 1 {
+        engine.run_parallel(mappings, opts)?;
+    } else {
+        for m in mappings {
+            engine.run_mapping_opts(m, opts)?;
+        }
     }
     engine.finish()
+}
+
+/// The worker count a parallel run of `n` mappings would use: the explicit
+/// cap, or one per available core when the cap is `0`, never exceeding the
+/// mapping count.
+fn resolved_workers(opts: &ExchangeOptions, n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let w = if opts.workers == 0 { hw } else { opts.workers };
+    w.min(n).max(1)
 }
 
 #[cfg(test)]
@@ -1450,5 +1868,207 @@ mod tests {
             "element annotation must point at /Portal/contacts/title"
         );
         let _ = MappingName::new("x");
+    }
+
+    #[test]
+    fn fingerprint_collision_splits_instead_of_merging() {
+        // A fingerprint hit must be confirmed structurally: plant a decoy
+        // value in the merge index under the exact fingerprint m2's
+        // HomeGain contact will hash to, and check the engine refuses the
+        // merge (the old fingerprint-only index would have folded HomeGain
+        // into the decoy's node).
+        let us_s = us_schema();
+        let p_s = portal_schema();
+        let mut us_i = us_instance();
+        us_i.annotate_elements(&us_s).unwrap();
+        let funcs = FunctionRegistry::with_builtins();
+        let mappings = figure1_mappings();
+        let mut engine = Exchange::new(
+            vec![Source {
+                schema: &us_s,
+                instance: &us_i,
+            }],
+            &p_s,
+            &funcs,
+        );
+        engine.run_mapping(&mappings[0]).unwrap(); // m1: Smith house + contact
+        let portal = engine.target.root("Portal").unwrap();
+        let contacts_set = engine.target.child_by_label(portal, "contacts").unwrap();
+        let smith = engine.target.set_members(contacts_set).unwrap()[0];
+        let homegain = Value::record(vec![
+            ("title", Value::str("HomeGain")),
+            ("phone", Value::str("18009468501")),
+        ]);
+        let mut h = DefaultHasher::new();
+        value_fingerprint(&homegain, &mut h);
+        let fp = h.finish();
+        let decoy = Value::record(vec![
+            ("title", Value::str("Decoy")),
+            ("phone", Value::str("000")),
+        ]);
+        engine
+            .merge_index
+            .entry((contacts_set, fp))
+            .or_default()
+            .push((decoy, smith));
+        engine.run_mapping(&mappings[1]).unwrap(); // m2: HomeGain
+        let bucket = &engine.merge_index[&(contacts_set, fp)];
+        assert_eq!(bucket.len(), 2, "collision must split the bucket");
+        // Re-running m2 must still merge: equality confirmation finds the
+        // HomeGain entry even inside the collided bucket.
+        engine.run_mapping(&mappings[1]).unwrap();
+        let rerun = engine.report.per_mapping.last().unwrap();
+        assert_eq!(rerun.rows_inserted, 0);
+        assert!(rerun.rows_merged > 0);
+        let (inst, _) = engine.finish().unwrap();
+        let contacts = inst.interpretation(p_s.resolve_path("/Portal/contacts").unwrap())[0];
+        let titles: Vec<String> = inst
+            .set_members(contacts)
+            .unwrap()
+            .iter()
+            .map(|&c| {
+                inst.atomic(inst.child_by_label(c, "title").unwrap())
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(titles, ["Smith", "HomeGain"]);
+    }
+
+    fn full_sources() -> (Schema, Schema, Instance, Instance) {
+        let us_s = us_schema();
+        let eu_s = eu_schema();
+        let mut us_i = us_instance();
+        let mut eu_i = eu_instance();
+        us_i.annotate_elements(&us_s).unwrap();
+        eu_i.annotate_elements(&eu_s).unwrap();
+        (us_s, eu_s, us_i, eu_i)
+    }
+
+    #[test]
+    fn parallel_exchange_matches_serial() {
+        use dtr_model::display::{render_instance, RenderOptions};
+        let (us_s, eu_s, us_i, eu_i) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = [
+            Source {
+                schema: &us_s,
+                instance: &us_i,
+            },
+            Source {
+                schema: &eu_s,
+                instance: &eu_i,
+            },
+        ];
+        let (serial, rep_s) =
+            execute_mappings(&sources, &p_s, &figure1_mappings(), &funcs).unwrap();
+        let opts = ExchangeOptions {
+            parallel: true,
+            // Explicit cap so the threaded path runs even on one core.
+            workers: 2,
+            ..ExchangeOptions::default()
+        };
+        let (par, rep_p) =
+            execute_mappings_with(&sources, &p_s, &figure1_mappings(), &funcs, &opts).unwrap();
+        let render = |inst: &Instance| {
+            render_instance(
+                inst,
+                Some(&p_s),
+                RenderOptions {
+                    show_elements: true,
+                    show_mappings: true,
+                },
+            )
+        };
+        assert_eq!(render(&serial), render(&par));
+        assert_eq!(rep_s.tuples, rep_p.tuples);
+        assert_eq!(rep_s.per_mapping.len(), rep_p.per_mapping.len());
+        for (a, b) in rep_s.per_mapping.iter().zip(&rep_p.per_mapping) {
+            assert_eq!(a.mapping, b.mapping);
+            assert_eq!(a.tuples, b.tuples);
+            assert_eq!(a.bindings, b.bindings);
+            assert_eq!(a.rows_inserted, b.rows_inserted);
+            assert_eq!(a.rows_merged, b.rows_merged);
+            assert_eq!(a.annotations_written, b.annotations_written);
+            assert_eq!(a.annotations_suppressed, b.annotations_suppressed);
+        }
+    }
+
+    /// The compiled member templates must reproduce the per-row reference
+    /// construction byte for byte — same instance, same decisions.
+    #[test]
+    fn member_templates_match_reference_construction() {
+        use dtr_model::display::{render_instance, RenderOptions};
+        let (us_s, eu_s, us_i, eu_i) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = [
+            Source {
+                schema: &us_s,
+                instance: &us_i,
+            },
+            Source {
+                schema: &eu_s,
+                instance: &eu_i,
+            },
+        ];
+        let (templated, rep_t) =
+            execute_mappings(&sources, &p_s, &figure1_mappings(), &funcs).unwrap();
+        let opts = ExchangeOptions {
+            member_templates: false,
+            ..ExchangeOptions::default()
+        };
+        let (reference, rep_r) =
+            execute_mappings_with(&sources, &p_s, &figure1_mappings(), &funcs, &opts).unwrap();
+        let render = |inst: &Instance| {
+            render_instance(
+                inst,
+                Some(&p_s),
+                RenderOptions {
+                    show_elements: true,
+                    show_mappings: true,
+                },
+            )
+        };
+        assert_eq!(render(&templated), render(&reference));
+        assert_eq!(rep_t.tuples, rep_r.tuples);
+        for (a, b) in rep_t.per_mapping.iter().zip(&rep_r.per_mapping) {
+            assert_eq!(a.rows_inserted, b.rows_inserted);
+            assert_eq!(a.rows_merged, b.rows_merged);
+            assert_eq!(a.annotations_written, b.annotations_written);
+            assert_eq!(a.annotations_suppressed, b.annotations_suppressed);
+        }
+    }
+
+    #[test]
+    fn parallel_exchange_reports_first_error_in_mapping_order() {
+        let (us_s, _, us_i, _) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = [Source {
+            schema: &us_s,
+            instance: &us_i,
+        }];
+        let bad = Mapping::parse(
+            "bad",
+            "foreach select h.hid from US.houses h
+             exists select e.hid from Portal.estates e where e.hid > e.contact",
+        )
+        .unwrap();
+        let mappings = vec![
+            figure1_mappings()[0].clone(),
+            bad,
+            figure1_mappings()[1].clone(),
+        ];
+        let serial = execute_mappings(&sources, &p_s, &mappings, &funcs).unwrap_err();
+        let opts = ExchangeOptions {
+            parallel: true,
+            // Explicit cap so the threaded path runs even on one core.
+            workers: 2,
+            ..ExchangeOptions::default()
+        };
+        let par = execute_mappings_with(&sources, &p_s, &mappings, &funcs, &opts).unwrap_err();
+        assert_eq!(serial, par);
     }
 }

@@ -27,7 +27,10 @@ pub mod triple;
 
 /// Convenient glob-import of the most used names.
 pub mod prelude {
-    pub use crate::exchange::{execute_mappings, Exchange, ExchangeError, ExchangeReport};
+    pub use crate::exchange::{
+        execute_mappings, execute_mappings_with, Exchange, ExchangeError, ExchangeOptions,
+        ExchangeReport,
+    };
     pub use crate::glav::{Mapping, MappingError};
     pub use crate::lint::{lint_mappings, Lint};
     pub use crate::rewrite::rewrite_with_annotations;

@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::display::{render_instance, RenderOptions};
     pub use crate::instance::{Annotation, Instance, Node, NodeData, NodeId, Value};
     pub use crate::label::Label;
-    pub use crate::pnf::{is_pnf, to_pnf};
+    pub use crate::pnf::{is_pnf, non_set_eq, non_set_fingerprint, to_pnf, to_pnf_with};
     pub use crate::schema::{Element, ElementId, ElementKind, Schema};
     pub use crate::types::{AtomicType, Type};
     pub use crate::value::{AtomicValue, ElementRef, MappingName};

@@ -51,20 +51,53 @@ fn fp(inst: &Instance, id: NodeId, h: &mut DefaultHasher) {
     }
 }
 
+/// Structural equality on the PNF identity: labels, atomic values and
+/// choice selections, with nested sets opaque — the relation
+/// [`non_set_fingerprint`] approximates. Used to confirm fingerprint
+/// matches, so a 64-bit collision can never merge distinct members.
+pub fn non_set_eq(inst: &Instance, a: NodeId, b: NodeId) -> bool {
+    if a == b {
+        return true;
+    }
+    let na = inst.node(a);
+    let nb = inst.node(b);
+    if na.label != nb.label {
+        return false;
+    }
+    match (&na.data, &nb.data) {
+        (NodeData::Atomic(x), NodeData::Atomic(y)) => x == y,
+        (NodeData::Record(xs), NodeData::Record(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(&x, &y)| non_set_eq(inst, x, y))
+        }
+        (NodeData::Choice(x), NodeData::Choice(y)) => match (x, y) {
+            (Some(x), Some(y)) => non_set_eq(inst, *x, *y),
+            (None, None) => true,
+            _ => false,
+        },
+        // Opaque: set contents do not separate members.
+        (NodeData::Set(_), NodeData::Set(_)) => true,
+        _ => false,
+    }
+}
+
 /// True if every set in the instance is duplicate-free under the PNF
-/// identity (no two members with equal non-set fingerprints).
+/// identity. Fingerprints only bucket the members; duplicates are
+/// confirmed structurally, so colliding-but-distinct members do not make
+/// a normalized instance look denormalized (or vice versa).
 pub fn is_pnf(inst: &Instance) -> bool {
     inst.walk()
         .into_iter()
         .all(|id| match inst.set_members(id) {
             None => true,
             Some(members) => {
-                let mut seen = HashMap::with_capacity(members.len());
+                let mut seen: HashMap<u64, Vec<NodeId>> = HashMap::with_capacity(members.len());
                 for &m in members {
                     let f = non_set_fingerprint(inst, m);
-                    if seen.insert(f, m).is_some() {
+                    let bucket = seen.entry(f).or_default();
+                    if bucket.iter().any(|&other| non_set_eq(inst, other, m)) {
                         return false;
                     }
+                    bucket.push(m);
                 }
                 true
             }
@@ -92,11 +125,21 @@ pub fn is_pnf(inst: &Instance) -> bool {
 /// assert_eq!(norm.set_members(root).unwrap().len(), 1);
 /// ```
 pub fn to_pnf(inst: &Instance) -> Instance {
+    to_pnf_with(inst, &non_set_fingerprint)
+}
+
+/// Like [`to_pnf`], but with an injectable fingerprint function.
+///
+/// The fingerprint only *buckets* candidate members; every merge is
+/// confirmed with [`non_set_eq`], so a weaker — even constant — hasher
+/// must never change the result, only the bucketing cost. The conformance
+/// tests force total collisions through this entry point.
+pub fn to_pnf_with(inst: &Instance, fp_of: &dyn Fn(&Instance, NodeId) -> u64) -> Instance {
     let span = dtr_obs::span("model.to_pnf").field("nodes_in", inst.len());
     let mut dst = Instance::new(inst.db().to_string());
     for &root in inst.roots() {
         let label = inst.node(root).label.clone();
-        merge_group(inst, &[root], &mut dst, label, None, true);
+        merge_group(inst, &[root], &mut dst, label, None, true, fp_of);
     }
     span.record("nodes_out", dst.len());
     dst
@@ -111,6 +154,7 @@ fn merge_group(
     label: Label,
     parent: Option<NodeId>,
     is_root: bool,
+    fp_of: &dyn Fn(&Instance, NodeId) -> u64,
 ) -> NodeId {
     debug_assert!(!group.is_empty());
     let rep = group[0];
@@ -118,15 +162,39 @@ fn merge_group(
         NodeData::Atomic(v) => raw_node(dst, label, parent, NodeData::Atomic(v.clone()), is_root),
         NodeData::Record(rep_kids) => {
             let id = raw_node(dst, label, parent, NodeData::Record(Vec::new()), is_root);
+            // One label→child map per group member, computed once, so each
+            // field lookup is O(1) instead of a linear scan over every
+            // member's children.
+            let child_maps: Vec<HashMap<&Label, NodeId>> = group
+                .iter()
+                .map(|&g| match &src.node(g).data {
+                    NodeData::Record(kids) => {
+                        let mut map = HashMap::with_capacity(kids.len());
+                        for &k in kids {
+                            map.entry(&src.node(k).label).or_insert(k);
+                        }
+                        map
+                    }
+                    _ => HashMap::new(),
+                })
+                .collect();
             let mut new_kids = Vec::with_capacity(rep_kids.len());
             for &rk in rep_kids {
                 let kl = src.node(rk).label.clone();
                 // Corresponding field in every group member.
-                let field_group: Vec<NodeId> = group
+                let field_group: Vec<NodeId> = child_maps
                     .iter()
-                    .filter_map(|&g| src.child_by_label(g, &kl))
+                    .filter_map(|m| m.get(&kl).copied())
                     .collect();
-                new_kids.push(merge_group(src, &field_group, dst, kl, Some(id), false));
+                new_kids.push(merge_group(
+                    src,
+                    &field_group,
+                    dst,
+                    kl,
+                    Some(id),
+                    false,
+                    fp_of,
+                ));
             }
             set_children(dst, id, new_kids);
             id
@@ -139,32 +207,55 @@ fn merge_group(
                 .collect();
             if let Some(&first) = sel_group.first() {
                 let kl = src.node(first).label.clone();
-                let kid = merge_group(src, &sel_group, dst, kl, Some(id), false);
+                let kid = merge_group(src, &sel_group, dst, kl, Some(id), false, fp_of);
                 set_choice(dst, id, kid);
             }
             id
         }
         NodeData::Set(_) => {
             let id = raw_node(dst, label, parent, NodeData::Set(Vec::new()), is_root);
-            // Union all members of all copies, then group by fingerprint.
-            let mut buckets: Vec<(u64, Vec<NodeId>)> = Vec::new();
-            let mut index: HashMap<u64, usize> = HashMap::new();
+            // Union all members of all copies, bucket by fingerprint, then
+            // confirm structurally: members that share a fingerprint but
+            // differ on non-set content (a collision) split into separate
+            // merge classes instead of being silently collapsed.
+            let mut classes: Vec<(u64, Vec<NodeId>)> = Vec::new();
+            let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
             for &g in group {
                 for &m in src.set_members(g).unwrap_or(&[]) {
-                    let f = non_set_fingerprint(src, m);
-                    match index.get(&f) {
-                        Some(&i) => buckets[i].1.push(m),
+                    let f = fp_of(src, m);
+                    let slots = index.entry(f).or_default();
+                    let found = slots
+                        .iter()
+                        .copied()
+                        .find(|&i| non_set_eq(src, classes[i].1[0], m));
+                    match found {
+                        Some(i) => classes[i].1.push(m),
                         None => {
-                            index.insert(f, buckets.len());
-                            buckets.push((f, vec![m]));
+                            if !slots.is_empty() && dtr_obs::journal::enabled() {
+                                dtr_obs::journal::record(
+                                    dtr_obs::journal::event(
+                                        "model.pnf.merge",
+                                        dtr_obs::journal::Outcome::CollisionSplit {
+                                            fingerprint: f,
+                                        },
+                                    )
+                                    .binding(f)
+                                    .detail(format!(
+                                        "{} distinct member(s) already hold this fingerprint",
+                                        slots.len()
+                                    )),
+                                );
+                            }
+                            slots.push(classes.len());
+                            classes.push((f, vec![m]));
                         }
                     }
                 }
             }
-            let mut new_kids = Vec::with_capacity(buckets.len());
-            for (f, bucket) in buckets {
-                let merged = merge_group(src, &bucket, dst, Label::star(), Some(id), false);
-                if bucket.len() > 1 && dtr_obs::journal::enabled() {
+            let mut new_kids = Vec::with_capacity(classes.len());
+            for (f, class) in classes {
+                let merged = merge_group(src, &class, dst, Label::star(), Some(id), false, fp_of);
+                if class.len() > 1 && dtr_obs::journal::enabled() {
                     dtr_obs::journal::record(
                         dtr_obs::journal::event(
                             "model.pnf.merge",
@@ -174,7 +265,7 @@ fn merge_group(
                         )
                         .binding(f)
                         .target(u64::from(merged.0))
-                        .detail(format!("{} copies share one fingerprint", bucket.len())),
+                        .detail(format!("{} copies share one fingerprint", class.len())),
                     );
                 }
                 new_kids.push(merged);
@@ -355,6 +446,78 @@ mod tests {
         let root = pnf.root("agents").unwrap();
         // name:Smith merges with name:Smith; firm:Smith stays separate.
         assert_eq!(pnf.set_members(root).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_does_not_merge() {
+        // Regression: with a constant "hasher" every member lands in one
+        // fingerprint bucket, which the old code merged wholesale. The
+        // structural confirmation must keep distinct members apart while
+        // still merging true duplicates (and unioning their annotations).
+        let mut inst = Instance::new("Pdb");
+        let root = inst.install_root(
+            "contacts",
+            Value::set(vec![
+                contact("HomeGain", "18009468501"),
+                contact("HomeGain", "18009468501"),
+                contact("Acme", "5551234"),
+            ]),
+        );
+        let members = inst.set_members(root).unwrap().to_vec();
+        inst.add_mapping(members[0], MappingName::new("m2"));
+        inst.add_mapping(members[1], MappingName::new("m3"));
+
+        let collide_all = |_: &Instance, _: NodeId| 0u64;
+        let pnf = to_pnf_with(&inst, &collide_all);
+        assert!(is_pnf(&pnf));
+        let root2 = pnf.root("contacts").unwrap();
+        let members2 = pnf.set_members(root2).unwrap().to_vec();
+        assert_eq!(members2.len(), 2, "distinct members must survive");
+        let title = |m: NodeId| {
+            pnf.child_by_label(m, "title")
+                .and_then(|t| pnf.atomic(t))
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+        };
+        let titles: Vec<_> = members2.iter().filter_map(|&m| title(m)).collect();
+        assert_eq!(titles, ["HomeGain", "Acme"]);
+        let ms: Vec<&str> = pnf
+            .annotation(members2[0])
+            .mappings
+            .iter()
+            .map(|m| m.as_str())
+            .collect();
+        assert_eq!(ms, ["m2", "m3"], "true duplicates still merge");
+        // And the result agrees with the real hasher's result.
+        let reference = to_pnf(&inst);
+        let ref_root = reference.root("contacts").unwrap();
+        assert_eq!(reference.set_members(ref_root).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_set_eq_treats_sets_as_opaque() {
+        let posting = |agent: &str| {
+            Value::record(vec![
+                ("hid", Value::str("H1")),
+                (
+                    "agents",
+                    Value::set(vec![Value::record(vec![("agentName", Value::str(agent))])]),
+                ),
+            ])
+        };
+        let mut inst = Instance::new("EUdb");
+        let root = inst.install_root(
+            "postings",
+            Value::set(vec![posting("alice"), posting("bob")]),
+        );
+        let members = inst.set_members(root).unwrap().to_vec();
+        // Different nested-set contents, same non-set content: equal under
+        // the PNF identity (they merge), and their fingerprints agree.
+        assert!(non_set_eq(&inst, members[0], members[1]));
+        assert_eq!(
+            non_set_fingerprint(&inst, members[0]),
+            non_set_fingerprint(&inst, members[1])
+        );
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub enum Outcome {
         /// The surviving member node.
         into: u64,
     },
+    /// Two structurally distinct members shared a fingerprint; the merge
+    /// was refused and the bucket split instead of silently collapsing.
+    CollisionSplit {
+        /// The colliding fingerprint.
+        fingerprint: u64,
+    },
     /// An `f_mp` annotation was newly written onto a target node.
     AnnotationWritten,
     /// An annotation write was a no-op.
@@ -71,6 +77,7 @@ impl Outcome {
         match self {
             Outcome::Inserted => "inserted",
             Outcome::PnfMerged { .. } => "pnf_merged",
+            Outcome::CollisionSplit { .. } => "collision_split",
             Outcome::AnnotationWritten => "annotation_written",
             Outcome::AnnotationSuppressed { .. } => "annotation_suppressed",
             Outcome::TranslateStep { .. } => "translate_step",
@@ -120,6 +127,9 @@ impl Event {
             Outcome::PnfMerged { into } => {
                 obj.insert("into", Value::from(*into));
             }
+            Outcome::CollisionSplit { fingerprint } => {
+                obj.insert("fingerprint", Value::from(format!("{fingerprint:016x}")));
+            }
             Outcome::AnnotationSuppressed { reason } => {
                 obj.insert("reason", Value::from(*reason));
             }
@@ -152,6 +162,9 @@ impl Event {
         match &self.outcome {
             Outcome::Inserted => line.push_str("  inserted"),
             Outcome::PnfMerged { into } => line.push_str(&format!("  pnf-merged into {into}")),
+            Outcome::CollisionSplit { fingerprint } => {
+                line.push_str(&format!("  collision split (fp {fingerprint:016x})"))
+            }
             Outcome::AnnotationWritten => line.push_str("  annotation written"),
             Outcome::AnnotationSuppressed { reason } => {
                 line.push_str(&format!("  annotation suppressed ({reason})"))

@@ -106,12 +106,17 @@ pub struct Counters {
     pub tuples_scanned: Counter,
     /// Candidate variable bindings produced by the evaluator's `from` loop.
     pub bindings_enumerated: Counter,
+    /// Hash-join probes: candidate items tested after a hash-table lookup
+    /// (instead of a full nested-loop scan).
+    pub hash_probes: Counter,
     /// Plain + MXQL queries evaluated end to end.
     pub queries_evaluated: Counter,
     /// Exchange: fresh target rows materialized.
     pub rows_inserted: Counter,
     /// Exchange: rows folded into an existing member by PNF merging.
     pub rows_merged: Counter,
+    /// Exchange: worker threads spawned by parallel mapping evaluation.
+    pub parallel_workers: Counter,
     /// Exchange: `f_mp` annotations newly written onto target nodes.
     pub annotations_written: Counter,
     /// Exchange: annotation writes that were no-ops (name already present —
@@ -132,9 +137,11 @@ pub struct Counters {
 static COUNTERS: Counters = Counters {
     tuples_scanned: Counter::new("eval.tuples_scanned"),
     bindings_enumerated: Counter::new("eval.bindings_enumerated"),
+    hash_probes: Counter::new("eval.hash_probes"),
     queries_evaluated: Counter::new("eval.queries_evaluated"),
     rows_inserted: Counter::new("exchange.rows_inserted"),
     rows_merged: Counter::new("exchange.rows_merged"),
+    parallel_workers: Counter::new("exchange.parallel_workers"),
     annotations_written: Counter::new("exchange.annotations_written"),
     annotations_suppressed: Counter::new("exchange.annotations_suppressed"),
     meta_tuples_encoded: Counter::new("metastore.tuples_encoded"),
@@ -150,13 +157,15 @@ pub fn counters() -> &'static Counters {
 }
 
 impl Counters {
-    fn all(&self) -> [&Counter; 11] {
+    fn all(&self) -> [&Counter; 13] {
         [
             &self.tuples_scanned,
             &self.bindings_enumerated,
+            &self.hash_probes,
             &self.queries_evaluated,
             &self.rows_inserted,
             &self.rows_merged,
+            &self.parallel_workers,
             &self.annotations_written,
             &self.annotations_suppressed,
             &self.meta_tuples_encoded,

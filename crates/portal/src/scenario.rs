@@ -85,6 +85,15 @@ impl Scenario {
     pub fn exchange(self) -> Result<TaggedInstance, MxqlError> {
         TaggedInstance::exchange(self.setting, self.sources)
     }
+
+    /// Runs the exchange with explicit options (engine selection and
+    /// parallel foreach evaluation), for benchmarks and conformance laws.
+    pub fn exchange_with(
+        self,
+        opts: &dtr_mapping::exchange::ExchangeOptions,
+    ) -> Result<TaggedInstance, MxqlError> {
+        TaggedInstance::exchange_with_options(self.setting, self.sources, opts)
+    }
 }
 
 /// Builds the scenario (schemas, mappings, generated source instances).

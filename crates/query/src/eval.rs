@@ -19,7 +19,7 @@ use crate::functions::{ArgValue, FunctionRegistry, FunctionValue};
 use dtr_model::instance::{Instance, NodeId};
 use dtr_model::schema::Schema;
 use dtr_model::value::{AtomicValue, ElementRef, MappingName};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// One queryable data source: a schema and an instance conforming to it.
@@ -110,11 +110,21 @@ pub struct EvalOptions {
     /// after the full cross product — the naive semantics — and exists for
     /// the ablation benchmarks.
     pub pushdown: bool,
+    /// Evaluate equi-joins by building a hash table over the candidate
+    /// items (and metastore triples) and probing it per row, instead of
+    /// the nested-loop scan. Disabling this keeps the nested-loop path so
+    /// dtr-check can assert both engines agree. Only effective together
+    /// with `pushdown` (the naive mode has no ready comparisons to join
+    /// on).
+    pub hash_join: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { pushdown: true }
+        EvalOptions {
+            pushdown: true,
+            hash_join: true,
+        }
     }
 }
 
@@ -140,6 +150,9 @@ pub struct EvalStats {
     pub bindings_enumerated: u64,
     /// Mapping-predicate triples tested against candidate rows.
     pub predicate_triples_tested: u64,
+    /// Candidate items tested after a hash-table probe (hash-join mode
+    /// only; the nested-loop equivalent is counted in `tuples_scanned`).
+    pub hash_probes: u64,
 }
 
 /// The result of evaluating a query.
@@ -164,13 +177,14 @@ impl QueryResult {
 
     /// The distinct atomic tuples, in first-appearance order.
     pub fn distinct_tuples(&self) -> Vec<Vec<AtomicValue>> {
-        let mut seen: Vec<Vec<AtomicValue>> = Vec::new();
+        let mut seen: HashSet<Vec<AtomicValue>> = HashSet::new();
+        let mut out: Vec<Vec<AtomicValue>> = Vec::new();
         for t in self.tuples() {
-            if !seen.contains(&t) {
-                seen.push(t);
+            if seen.insert(t.clone()) {
+                out.push(t);
             }
         }
-        seen
+        out
     }
 
     /// Number of rows.
@@ -475,13 +489,64 @@ impl<'a> Evaluator<'a> {
                     )
                 })
                 .collect();
+            // Hash-join: when the candidate items are row-independent and
+            // a ready equi-join comparison links the new variable to
+            // earlier bindings, build one hash table over the items and
+            // probe it per row instead of scanning every item per row.
+            // Bucket mates are still confirmed with the real (coercing)
+            // comparison, so conservative key sharing is harmless.
+            let join_table: Option<(usize, bool, HashMap<JoinKey, Vec<usize>>)> =
+                match (self.opts.hash_join, &static_items, rows.first()) {
+                    (true, Some(items), Some(env0)) => {
+                        let mut found = None;
+                        for (k, &ci) in ready.iter().enumerate() {
+                            let cmp = comparisons[ci];
+                            if cmp.op != CmpOp::Eq {
+                                continue;
+                            }
+                            let l_vars = cmp.left.variables();
+                            let r_vars = cmp.right.variables();
+                            let only_candidate = |vars: &[&str]| {
+                                !vars.is_empty() && vars.iter().all(|v| *v == b.var.as_str())
+                            };
+                            let row_side =
+                                |vars: &[&str]| !vars.is_empty() && !vars.contains(&b.var.as_str());
+                            if only_candidate(&l_vars) && row_side(&r_vars) {
+                                found = Some((k, true));
+                                break;
+                            }
+                            if only_candidate(&r_vars) && row_side(&l_vars) {
+                                found = Some((k, false));
+                                break;
+                            }
+                        }
+                        match found {
+                            Some((k, cand_left)) => {
+                                let cmp = comparisons[ready[k]];
+                                let cand_expr = if cand_left { &cmp.left } else { &cmp.right };
+                                let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+                                let mut probe = env0.clone();
+                                for (idx, item) in items.iter().enumerate() {
+                                    probe[slot] = Some(item.clone());
+                                    if let Some(v) =
+                                        self.out_value_opt(cand_expr, &probe, &var_index)?.value
+                                    {
+                                        for key in join_keys(&v) {
+                                            table.entry(key).or_default().push(idx);
+                                        }
+                                    }
+                                }
+                                // The one-time build scan.
+                                stats.tuples_scanned += items.len() as u64;
+                                Some((k, cand_left, table))
+                            }
+                            None => None,
+                        }
+                    }
+                    _ => None,
+                };
             let mut next_rows = Vec::new();
             for mut env in rows {
-                let items = match &static_items {
-                    Some(cached) => cached.clone(),
-                    None => self.binding_items(&b.source, &env, &var_index)?,
-                };
-                stats.tuples_scanned += items.len() as u64;
                 let mut pre: Vec<(PreSide, PreSide)> = Vec::with_capacity(ready.len());
                 for (k, &ci) in ready.iter().enumerate() {
                     let cmp = comparisons[ci];
@@ -497,6 +562,44 @@ impl<'a> Evaluator<'a> {
                     };
                     pre.push((l, r));
                 }
+                if let Some((jk, cand_left, table)) = &join_table {
+                    let items = static_items.as_deref().unwrap_or(&[]);
+                    // The probing side was hoisted into `pre` (it does not
+                    // mention the binding variable). No valuation means the
+                    // equi-join fails for every candidate.
+                    let row_side = if *cand_left { &pre[*jk].1 } else { &pre[*jk].0 };
+                    let Some(Some(row_val)) = row_side else {
+                        continue;
+                    };
+                    let candidates = probe_buckets(table, &join_keys(row_val));
+                    stats.hash_probes += candidates.len() as u64;
+                    stats.tuples_scanned += candidates.len() as u64;
+                    for &idx in &candidates {
+                        env[slot] = Some(items[idx].clone());
+                        let mut ok = true;
+                        for (k, &ci) in ready.iter().enumerate() {
+                            if !self.comparison_holds_pre(
+                                comparisons[ci],
+                                &pre[k].0,
+                                &pre[k].1,
+                                &env,
+                                &var_index,
+                            )? {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            next_rows.push(env.clone());
+                        }
+                    }
+                    continue;
+                }
+                let items = match &static_items {
+                    Some(cached) => cached.clone(),
+                    None => self.binding_items(&b.source, &env, &var_index)?,
+                };
+                stats.tuples_scanned += items.len() as u64;
                 for item in items {
                     env[slot] = Some(item);
                     let mut ok = true;
@@ -537,8 +640,54 @@ impl<'a> Evaluator<'a> {
                 .into_iter()
                 .filter(|t| pred_constants_match(p, t))
                 .collect();
+            // Index the triples by the first predicate position whose
+            // variable is already bound to an atom (every row shares one
+            // binding pattern), so each row probes a bucket instead of
+            // scanning the whole catalog (rows × triples).
+            let pred_index: Option<(usize, HashMap<JoinKey, Vec<usize>>)> = if self.opts.hash_join {
+                rows.first()
+                    .and_then(|env0| {
+                        let terms: [&Term; 5] =
+                            [&p.src_db, &p.src_elem, &p.mapping, &p.tgt_db, &p.tgt_elem];
+                        terms.iter().enumerate().find_map(|(pos, t)| match t {
+                            Term::Var(v) => var_index
+                                .get(v.as_str())
+                                .copied()
+                                .filter(|&s| matches!(env0[s], Some(Val::Atom(_))))
+                                .map(|s| (pos, s)),
+                            Term::Const(_) => None,
+                        })
+                    })
+                    .map(|(pos, env_slot)| {
+                        let mut table: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+                        for (idx, t) in triples.iter().enumerate() {
+                            for key in join_keys(&pred_slot_value(t, pos)) {
+                                table.entry(key).or_default().push(idx);
+                            }
+                        }
+                        (env_slot, table)
+                    })
+            } else {
+                None
+            };
             let mut next_rows = Vec::new();
             for env in &rows {
+                if let Some((env_slot, table)) = &pred_index {
+                    let Some(Val::Atom(existing)) = &env[*env_slot] else {
+                        // A node-bound slot can never unify; the full scan
+                        // would reject every triple too.
+                        continue;
+                    };
+                    let candidates = probe_buckets(table, &join_keys(existing));
+                    stats.predicate_triples_tested += candidates.len() as u64;
+                    stats.hash_probes += candidates.len() as u64;
+                    for &idx in &candidates {
+                        if let Some(e2) = self.unify_pred(p, &triples[idx], env, &var_index)? {
+                            next_rows.push(e2);
+                        }
+                    }
+                    continue;
+                }
                 stats.predicate_triples_tested += triples.len() as u64;
                 for t in &triples {
                     if let Some(e2) = self.unify_pred(p, t, env, &var_index)? {
@@ -633,6 +782,7 @@ impl<'a> Evaluator<'a> {
         let counters = dtr_obs::counters();
         counters.tuples_scanned.add(stats.tuples_scanned);
         counters.bindings_enumerated.add(stats.bindings_enumerated);
+        counters.hash_probes.add(stats.hash_probes);
         span.record("tuples_scanned", stats.tuples_scanned);
         span.record("bindings", stats.bindings_enumerated);
         span.record("rows_out", out.rows.len());
@@ -1032,6 +1182,93 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// A conservative hash key for equi-join bucketing: values that
+/// [`coerced_compare`] treats as equal always share at least one key, so
+/// a bucket probe can only miss values that could never compare equal.
+/// Bucket mates are *confirmed* with the real comparison before use, so
+/// spurious key sharing is harmless (it only costs an extra test).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum JoinKey {
+    /// Int (widened) and Float, keyed by the widened f64 bit pattern —
+    /// exactly the pairs `AtomicValue::compare` can call equal.
+    Num(u64),
+    Bool(bool),
+    /// Str text, Db names, Map names, and Elem paths share one text key
+    /// space, because MXQL string constants coerce against meta values.
+    Text(String),
+}
+
+/// The keys a value is findable under. A plain string yields up to two:
+/// its text (matching Str/Db/Map) and its canonical element path
+/// (matching Elem) — mirroring the two branches of `meta_str_compare`.
+fn join_keys(v: &AtomicValue) -> Vec<JoinKey> {
+    match v {
+        AtomicValue::Str(s) => {
+            let canon = dtr_model::value::canonical_path(s);
+            if canon == *s {
+                vec![JoinKey::Text(s.clone())]
+            } else {
+                vec![JoinKey::Text(s.clone()), JoinKey::Text(canon)]
+            }
+        }
+        AtomicValue::Int(i) => vec![JoinKey::Num((*i as f64).to_bits())],
+        AtomicValue::Float(x) => vec![JoinKey::Num(x.to_bits())],
+        AtomicValue::Bool(b) => vec![JoinKey::Bool(*b)],
+        AtomicValue::Db(d) => vec![JoinKey::Text(d.clone())],
+        AtomicValue::Map(m) => vec![JoinKey::Text(m.as_str().to_string())],
+        AtomicValue::Elem(e) => vec![JoinKey::Text(e.path.clone())],
+    }
+}
+
+/// Merges the (ascending) bucket lists for a set of probe keys into one
+/// ascending, deduplicated candidate list — preserving exactly the order
+/// the nested-loop scan would have visited the candidates in, so both
+/// engines produce identical row orders.
+fn probe_buckets(table: &HashMap<JoinKey, Vec<usize>>, keys: &[JoinKey]) -> Vec<usize> {
+    match keys {
+        [k] => table.get(k).cloned().unwrap_or_default(),
+        [k1, k2] => {
+            let a: &[usize] = table.get(k1).map_or(&[], |v| v.as_slice());
+            let b: &[usize] = table.get(k2).map_or(&[], |v| v.as_slice());
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The atomic value at one of the five mapping-predicate positions of a
+/// triple (src db, src elem, mapping, tgt db, tgt elem).
+fn pred_slot_value(t: &PredTriple, pos: usize) -> AtomicValue {
+    match pos {
+        0 => AtomicValue::Db(t.src.db.clone()),
+        1 => AtomicValue::Elem(t.src.clone()),
+        2 => AtomicValue::Map(t.mapping.clone()),
+        3 => AtomicValue::Db(t.tgt.db.clone()),
+        _ => AtomicValue::Elem(t.tgt.clone()),
+    }
+}
+
 /// Compares two atomic values, coercing plain strings against meta values:
 /// MXQL constants are written as quoted strings but denote databases,
 /// mappings and element paths (Section 5's examples).
@@ -1280,10 +1517,109 @@ mod tests {
         .unwrap();
         let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
         let naive = Evaluator::new(&catalog, &funcs)
-            .with_options(EvalOptions { pushdown: false })
+            .with_options(EvalOptions {
+                pushdown: false,
+                hash_join: false,
+            })
             .run(&q)
             .unwrap();
         assert_eq!(fast.tuples(), naive.tuples());
+    }
+
+    #[test]
+    fn hash_join_and_nested_loop_agree() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        for text in [
+            "select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid",
+            "select h.hid, a.phone from US.houses h, US.agents a where a.aid = h.aid and h.price > 500000",
+            "select h.hid, g.hid from US.houses h, US.houses g where g.price = h.price",
+        ] {
+            let q = parse_query(text).unwrap();
+            let hashed = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+            let nested = Evaluator::new(&catalog, &funcs)
+                .with_options(EvalOptions {
+                    pushdown: true,
+                    hash_join: false,
+                })
+                .run(&q)
+                .unwrap();
+            // Same rows in the same order: the probe visits candidates in
+            // item order, exactly like the scan.
+            assert_eq!(hashed.tuples(), nested.tuples(), "{text}");
+            assert!(hashed.stats.hash_probes > 0, "{text}");
+            assert_eq!(nested.stats.hash_probes, 0, "{text}");
+            // The probe path visits no more candidates than the scan.
+            assert!(
+                hashed.stats.tuples_scanned <= nested.stats.tuples_scanned,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_coerces_like_nested_loop() {
+        // A join between a plain-string column and meta values must hit
+        // the same matches through the hash table as through the scan.
+        struct Stub;
+        impl MetaEnv for Stub {
+            fn triples(&self, double: bool) -> Vec<PredTriple> {
+                if double {
+                    return Vec::new();
+                }
+                vec![
+                    PredTriple {
+                        src: ElementRef::new("USdb", "/US/houses/price"),
+                        mapping: MappingName::new("m1"),
+                        tgt: ElementRef::new("Pdb", "/Portal/estates/value"),
+                    },
+                    PredTriple {
+                        src: ElementRef::new("USdb", "/US/houses/hid"),
+                        mapping: MappingName::new("m2"),
+                        tgt: ElementRef::new("Pdb", "/Portal/estates/hid"),
+                    },
+                ]
+            }
+        }
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let price_elem = schema.resolve_path("/US/houses/price").unwrap();
+        for n in inst.interpretation(price_elem) {
+            inst.add_mapping(n, MappingName::new("m1"));
+        }
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, m, e from US.houses h, h.price@map m
+             where <db:e -> m -> 'Pdb':e2>",
+        )
+        .unwrap();
+        let hashed = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .run(&q)
+            .unwrap();
+        let nested = Evaluator::new(&catalog, &funcs)
+            .with_meta(&Stub)
+            .with_options(EvalOptions {
+                pushdown: true,
+                hash_join: false,
+            })
+            .run(&q)
+            .unwrap();
+        assert_eq!(hashed.tuples(), nested.tuples());
+        assert_eq!(hashed.len(), 3);
+        // The triple index pruned the m2 triple before unification.
+        assert!(hashed.stats.predicate_triples_tested < nested.stats.predicate_triples_tested);
     }
 
     #[test]
@@ -1372,7 +1708,10 @@ mod tests {
         .unwrap();
         let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
         let naive = Evaluator::new(&catalog, &funcs)
-            .with_options(EvalOptions { pushdown: false })
+            .with_options(EvalOptions {
+                pushdown: false,
+                hash_join: false,
+            })
             .run(&q)
             .unwrap();
         assert_eq!(fast.tuples(), naive.tuples());
@@ -1399,7 +1738,10 @@ mod tests {
         .unwrap();
         let fast = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
         let naive = Evaluator::new(&catalog, &funcs)
-            .with_options(EvalOptions { pushdown: false })
+            .with_options(EvalOptions {
+                pushdown: false,
+                hash_join: false,
+            })
             .run(&q)
             .unwrap();
         let sorted = |r: &QueryResult| {
