@@ -44,6 +44,7 @@ fn parallel_exchange(c: &mut Criterion) {
                 eval: EvalOptions {
                     pushdown: true,
                     hash_join: false,
+                    ..Default::default()
                 },
                 member_templates: false,
                 ..ExchangeOptions::default()
@@ -55,6 +56,7 @@ fn parallel_exchange(c: &mut Criterion) {
                 eval: EvalOptions {
                     pushdown: true,
                     hash_join: false,
+                    ..Default::default()
                 },
                 ..ExchangeOptions::default()
             },
@@ -114,6 +116,7 @@ fn pushdown_ablation(c: &mut Criterion) {
             EvalOptions {
                 pushdown: true,
                 hash_join: true,
+                ..Default::default()
             },
         ),
         (
@@ -121,6 +124,7 @@ fn pushdown_ablation(c: &mut Criterion) {
             EvalOptions {
                 pushdown: true,
                 hash_join: false,
+                ..Default::default()
             },
         ),
         (
@@ -128,15 +132,16 @@ fn pushdown_ablation(c: &mut Criterion) {
             EvalOptions {
                 pushdown: false,
                 hash_join: false,
+                ..Default::default()
             },
         ),
     ];
-    for (name, opts) in modes {
-        g.bench_function(name, |b| {
+    for (name, opts) in &modes {
+        g.bench_function(*name, |b| {
             b.iter(|| {
                 black_box(
                     Evaluator::new(&catalog, &funcs)
-                        .with_options(opts)
+                        .with_options(opts.clone())
                         .run(&q)
                         .unwrap()
                         .len(),

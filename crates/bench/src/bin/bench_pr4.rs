@@ -13,11 +13,12 @@
 //! fastest of each configuration (the usual minimum-is-signal rule).
 
 use dtr_mapping::exchange::ExchangeOptions;
+use dtr_obs::guard::Budget;
 use dtr_portal::scenario::{build, ScenarioConfig};
 use dtr_query::ast::Query;
 use dtr_query::eval::EvalOptions;
 use dtr_query::parser::parse_query;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The query workload: a plain selection (engine-insensitive floor), a
 /// target-side join, a nested-set join (resolving each house's
@@ -62,7 +63,7 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
         rows = 0;
         for q in queries {
             rows += tagged
-                .run_with_options(q, opts.eval)
+                .run_with_options(q, opts.eval.clone())
                 .expect("query succeeds")
                 .len();
         }
@@ -74,19 +75,32 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
     }
 }
 
-fn best_of(reps: usize, n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
-    let mut best: Option<PathTiming> = None;
+/// Runs every config once per rep, interleaved, keeping each config's best
+/// total. Interleaving matters: consecutive same-config reps would let a
+/// slow stretch of the host (noisy neighbour, thermal dip) land entirely
+/// on one config and masquerade as a real difference.
+fn best_of_each(
+    reps: usize,
+    n: usize,
+    configs: &[&ExchangeOptions],
+    queries: &[Query],
+) -> Vec<PathTiming> {
+    let mut best: Vec<Option<PathTiming>> = configs.iter().map(|_| None).collect();
     for _ in 0..reps {
-        let t = run_path(n, opts, queries);
-        let better = match &best {
-            Some(b) => t.exchange_ms + t.query_ms < b.exchange_ms + b.query_ms,
-            None => true,
-        };
-        if better {
-            best = Some(t);
+        for (slot, opts) in best.iter_mut().zip(configs) {
+            let t = run_path(n, opts, queries);
+            let better = match slot {
+                Some(b) => t.exchange_ms + t.query_ms < b.exchange_ms + b.query_ms,
+                None => true,
+            };
+            if better {
+                *slot = Some(t);
+            }
         }
     }
-    best.expect("at least one rep")
+    best.into_iter()
+        .map(|b| b.expect("at least one rep"))
+        .collect()
 }
 
 fn main() {
@@ -125,8 +139,10 @@ fn main() {
         eval: EvalOptions {
             pushdown: true,
             hash_join: false,
+            ..Default::default()
         },
         member_templates: false,
+        ..Default::default()
     };
     // Everything this PR turned on: hash-join evaluation, compiled member
     // templates, and parallel foreach evaluation (auto-sized; on a
@@ -135,21 +151,54 @@ fn main() {
         parallel: true,
         ..ExchangeOptions::default()
     };
+    // The optimized path with a guard budget far above the workload (1 h
+    // deadline, billion-row caps): measures what the PR5 resource meters
+    // cost on a run that never trips — the acceptance bar is < 3 %. The
+    // budget goes on both the exchange and the query workload's eval
+    // options so every meter in the pipeline is armed.
+    let generous = Budget {
+        max_bindings: Some(1_000_000_000),
+        max_rows: Some(1_000_000_000),
+        max_result_bytes: Some(1 << 40),
+        deadline: Some(Duration::from_secs(3600)),
+        ..Budget::default()
+    };
+    let guarded_opts = ExchangeOptions {
+        budget: generous.clone(),
+        eval: EvalOptions {
+            budget: generous,
+            ..optimized_opts.eval.clone()
+        },
+        ..optimized_opts.clone()
+    };
 
     let mut entries = Vec::new();
     for &n in scales {
         eprintln!("bench_pr4: scale {n} listings/source ({reps} rep(s) per config)");
-        let base = best_of(reps, n, &baseline_opts, &queries);
-        let opt = best_of(reps, n, &optimized_opts, &queries);
+        let mut timings = best_of_each(
+            reps,
+            n,
+            &[&baseline_opts, &optimized_opts, &guarded_opts],
+            &queries,
+        );
+        let guarded = timings.pop().expect("guarded timing");
+        let opt = timings.pop().expect("optimized timing");
+        let base = timings.pop().expect("baseline timing");
         assert_eq!(
             base.rows, opt.rows,
             "engines disagree on workload rows at scale {n}"
         );
+        assert_eq!(
+            opt.rows, guarded.rows,
+            "guarded run changed workload rows at scale {n}"
+        );
         let total_base = base.exchange_ms + base.query_ms;
         let total_opt = opt.exchange_ms + opt.query_ms;
+        let total_guarded = guarded.exchange_ms + guarded.query_ms;
+        let guard_overhead_pct = 100.0 * (total_guarded - total_opt) / total_opt;
         eprintln!(
             "  serial+nested {total_base:.1} ms vs parallel+hash {total_opt:.1} ms \
-             (speedup {:.2}x)",
+             (speedup {:.2}x); guarded {total_guarded:.1} ms ({guard_overhead_pct:+.2} %)",
             total_base / total_opt
         );
         entries.push(format!(
@@ -158,8 +207,10 @@ fn main() {
              \"exchange_ms\": {be:.3}, \"query_ms\": {bq:.3}, \"total_ms\": {bt:.3} }},\n      \
              \"optimized\": {{ \"config\": \"parallel exchange (auto-sized) + hash-join eval + member templates\", \
              \"exchange_ms\": {oe:.3}, \"query_ms\": {oq:.3}, \"total_ms\": {ot:.3} }},\n      \
+             \"guarded\": {{ \"config\": \"optimized + generous resource budget (1h deadline, 1e9-row caps; never trips)\", \
+             \"exchange_ms\": {ge:.3}, \"query_ms\": {gq:.3}, \"total_ms\": {gt:.3} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
-             \"speedup_total\": {st:.3}\n    }}",
+             \"speedup_total\": {st:.3},\n      \"guard_overhead_pct\": {gp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
             bq = base.query_ms,
@@ -167,9 +218,13 @@ fn main() {
             oe = opt.exchange_ms,
             oq = opt.query_ms,
             ot = total_opt,
+            ge = guarded.exchange_ms,
+            gq = guarded.query_ms,
+            gt = total_guarded,
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,
             st = total_base / total_opt,
+            gp = guard_overhead_pct,
         ));
     }
 

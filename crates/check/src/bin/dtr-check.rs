@@ -1,7 +1,8 @@
 //! Deterministic conformance soak runner.
 //!
 //! ```text
-//! dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] [--verbose]
+//! dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop]
+//!           [--faults] [--deadline-ms MS] [--max-rows N] [--verbose]
 //! ```
 //!
 //! Runs `N` conformance cases starting at base seed `S`; case `i` uses seed
@@ -9,16 +10,25 @@
 //! `dtr-check --cases 1 --seed s` regardless of the original `N`/`S`.
 //! `--parallel-exchange` runs every case's primary exchange on worker
 //! threads; `--nested-loop` disables the hash-join engine so the soak
-//! covers the ablation configuration end to end. Exits non-zero on the
-//! first failing case after printing the one-line repro command.
+//! covers the ablation configuration end to end. `--deadline-ms` and
+//! `--max-rows` run the whole law suite under a resource budget (a
+//! generous one proves the guard rails are inert on healthy workloads).
+//! `--faults` switches to the fault-injection soak: each case derives a
+//! guard-rail fault from its seed and asserts the abort contract
+//! (consistent prefix, exact replay once lifted — see `dtr_check::faults`).
+//! Exits non-zero on the first failing case after printing the one-line
+//! repro command.
 
-use dtr_check::{repro_command, run_case_with, ExchangeOptions, GenConfig};
+use dtr_check::faults::{run_case_faults, FaultSite};
+use dtr_check::{repro_command, repro_command_faults, run_case_with, ExchangeOptions, GenConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut cases: u64 = 100;
     let mut seed: u64 = 0;
     let mut verbose = false;
+    let mut faults = false;
     let mut exchange = ExchangeOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,12 +43,18 @@ fn main() -> ExitCode {
             },
             "--parallel-exchange" => exchange.parallel = true,
             "--nested-loop" => exchange.eval.hash_join = false,
+            "--faults" => faults = true,
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => exchange.budget.deadline = Some(Duration::from_millis(ms)),
+                None => return usage("--deadline-ms takes a number"),
+            },
+            "--max-rows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => exchange.budget.max_rows = Some(n),
+                None => return usage("--max-rows takes a number"),
+            },
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: dtr-check [--cases N] [--seed S] [--parallel-exchange] \
-                     [--nested-loop] [--verbose]"
-                );
+                println!("usage: {USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -47,33 +63,85 @@ fn main() -> ExitCode {
 
     let cfg = GenConfig::default();
     let start = std::time::Instant::now();
+    let mut tripped = 0u64;
+    let mut site_trips = [0u64; 5];
     for i in 0..cases {
         let case_seed = seed.wrapping_add(i);
-        if let Err(e) = run_case_with(case_seed, &cfg, &exchange) {
+        let result = if faults {
+            run_case_faults(case_seed, &cfg).map(|outcome| {
+                if outcome.tripped {
+                    tripped += 1;
+                    site_trips[site_index(outcome.site)] += 1;
+                }
+                if verbose {
+                    println!(
+                        "ok seed {case_seed} site {} {}",
+                        outcome.site.name(),
+                        if outcome.tripped { "tripped" } else { "inert" }
+                    );
+                }
+            })
+        } else {
+            run_case_with(case_seed, &cfg, &exchange).map(|()| {
+                if verbose {
+                    println!("ok seed {case_seed}");
+                }
+            })
+        };
+        if let Err(e) = result {
             eprintln!("FAIL seed {case_seed} (case {i} of {cases}):");
             eprintln!("  {e}");
             eprintln!("reproduce with:");
-            eprintln!("  {}", repro_command(case_seed));
+            let repro = if faults {
+                repro_command_faults(case_seed)
+            } else {
+                repro_command(case_seed)
+            };
+            eprintln!("  {repro}");
             return ExitCode::FAILURE;
         }
-        if verbose {
-            println!("ok seed {case_seed}");
-        } else if (i + 1) % 100 == 0 {
+        if !verbose && (i + 1) % 100 == 0 {
             println!("... {} / {cases} cases ok", i + 1);
         }
     }
-    println!(
-        "dtr-check: {cases} cases ok (seeds {seed}..={}) in {:.2?}",
-        seed.wrapping_add(cases.saturating_sub(1)),
-        start.elapsed()
-    );
+    if faults {
+        println!(
+            "dtr-check --faults: {cases} cases ok (seeds {seed}..={}) in {:.2?}; \
+             {tripped} tripped a guard \
+             (eval {}, rows {}, deadline {}, cancel {}, translate {})",
+            seed.wrapping_add(cases.saturating_sub(1)),
+            start.elapsed(),
+            site_trips[0],
+            site_trips[1],
+            site_trips[2],
+            site_trips[3],
+            site_trips[4],
+        );
+    } else {
+        println!(
+            "dtr-check: {cases} cases ok (seeds {seed}..={}) in {:.2?}",
+            seed.wrapping_add(cases.saturating_sub(1)),
+            start.elapsed()
+        );
+    }
     ExitCode::SUCCESS
 }
 
+fn site_index(site: FaultSite) -> usize {
+    match site {
+        FaultSite::EvalBindings => 0,
+        FaultSite::ExchangeRows => 1,
+        FaultSite::Deadline => 2,
+        FaultSite::ParallelCancel => 3,
+        FaultSite::Translate => 4,
+    }
+}
+
+const USAGE: &str = "dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] \
+                     [--faults] [--deadline-ms MS] [--max-rows N] [--verbose]";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("dtr-check: {msg}");
-    eprintln!(
-        "usage: dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] [--verbose]"
-    );
+    eprintln!("usage: {USAGE}");
     ExitCode::FAILURE
 }

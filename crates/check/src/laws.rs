@@ -198,6 +198,7 @@ fn differential(
             EvalOptions {
                 pushdown: true,
                 hash_join: true,
+                ..Default::default()
             },
         ),
         (
@@ -205,6 +206,7 @@ fn differential(
             EvalOptions {
                 pushdown: true,
                 hash_join: false,
+                ..Default::default()
             },
         ),
         (
@@ -212,6 +214,7 @@ fn differential(
             EvalOptions {
                 pushdown: false,
                 hash_join: false,
+                ..Default::default()
             },
         ),
     ];

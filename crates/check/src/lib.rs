@@ -18,6 +18,7 @@
 //! `dtr-check` soak binary is reproducible with
 //! `cargo run -p dtr-check -- --cases 1 --seed <seed>`.
 
+pub mod faults;
 pub mod generators;
 pub mod laws;
 pub mod oracle;
@@ -56,4 +57,9 @@ pub fn run_case_with(seed: u64, cfg: &GenConfig, exchange: &ExchangeOptions) -> 
 /// deterministic rerun.
 pub fn repro_command(seed: u64) -> String {
     format!("cargo run --release -p dtr-check -- --cases 1 --seed {seed}")
+}
+
+/// The repro command for a failing fault-injection case.
+pub fn repro_command_faults(seed: u64) -> String {
+    format!("cargo run --release -p dtr-check -- --faults --cases 1 --seed {seed}")
 }

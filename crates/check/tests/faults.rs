@@ -1,0 +1,73 @@
+//! Fault-injection suite: seeds through [`dtr_check::faults::run_case_faults`]
+//! plus the committed corpus, which must cover every abort site's tripped
+//! path (the corpus comments name the site each seed trips).
+
+use dtr_check::faults::{run_case_faults, FaultSite};
+use dtr_check::{repro_command_faults, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The abort contract holds on randomly drawn seeds: guarded runs
+    /// abort with a consistent prefix or complete byte-identically, and
+    /// lifted/generous budgets reproduce the unguarded result exactly.
+    #[test]
+    fn abort_contract_holds_on_random_seeds(seed in 0u64..1_000_000_000) {
+        let cfg = GenConfig::default();
+        if let Err(e) = run_case_faults(seed, &cfg) {
+            panic!(
+                "seed {seed}: {e}\nreproduce with: {}",
+                repro_command_faults(seed)
+            );
+        }
+    }
+}
+
+/// Every corpus seed passes fault injection, and together the corpus
+/// trips all five abort sites — so each guard rail's abort path (not just
+/// its inert path) stays covered forever.
+#[test]
+fn corpus_covers_every_abort_site() {
+    let corpus = include_str!("../corpus/seeds.txt");
+    let cfg = GenConfig::default();
+    let mut tripped = [false; 5];
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line
+            .parse()
+            .unwrap_or_else(|_| panic!("corpus line `{line}` is not a seed"));
+        let outcome = run_case_faults(seed, &cfg).unwrap_or_else(|e| {
+            panic!(
+                "corpus seed {seed}: {e}\nreproduce with: {}",
+                repro_command_faults(seed)
+            )
+        });
+        if outcome.tripped {
+            let i = match outcome.site {
+                FaultSite::EvalBindings => 0,
+                FaultSite::ExchangeRows => 1,
+                FaultSite::Deadline => 2,
+                FaultSite::ParallelCancel => 3,
+                FaultSite::Translate => 4,
+            };
+            tripped[i] = true;
+        }
+    }
+    let sites = [
+        "eval_bindings",
+        "exchange_rows",
+        "deadline",
+        "parallel_cancel",
+        "translate",
+    ];
+    for (hit, name) in tripped.iter().zip(sites) {
+        assert!(
+            hit,
+            "no corpus seed trips the `{name}` abort site — add one (see corpus comments)"
+        );
+    }
+}

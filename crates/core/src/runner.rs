@@ -9,18 +9,29 @@
 //! storage schema".
 
 use crate::tagged::{MappingSetting, MxqlError, TaggedInstance};
-use crate::translate::{translate, TranslateError};
-use dtr_metastore::store::MetaStore;
+use crate::translate::{translate_budgeted, TranslateError};
+use dtr_metastore::store::{MetaStore, StoreError};
 use dtr_metastore::view::{meta_instance, meta_schema};
 use dtr_model::instance::Instance;
 use dtr_model::schema::Schema;
+use dtr_obs::guard::Budget;
 use dtr_query::ast::Query;
-use dtr_query::eval::{Evaluator, QueryResult, Source};
+use dtr_query::eval::{EvalOptions, Evaluator, QueryResult, Source};
 use dtr_query::parser::parse_query;
 
 impl From<TranslateError> for MxqlError {
     fn from(e: TranslateError) -> Self {
-        MxqlError::Other(e.to_string())
+        match e {
+            TranslateError::Guard(g) => MxqlError::Guard(g),
+            other => MxqlError::Other(other.to_string()),
+        }
+    }
+}
+
+fn store_err(e: StoreError) -> MxqlError {
+    match e {
+        StoreError::Guard(g) => MxqlError::Guard(g),
+        other => MxqlError::Other(other.to_string()),
     }
 }
 
@@ -35,23 +46,32 @@ impl MetaRunner {
     /// Encodes the setting's schemas and mappings (Section 7.1) and builds
     /// the queryable view.
     pub fn new(setting: &MappingSetting) -> Result<Self, MxqlError> {
+        Self::new_budgeted(setting, &Budget::unlimited())
+    }
+
+    /// [`MetaRunner::new`] under a resource budget: the metastore encoding
+    /// charges each stored row against `max_rows` and polls the deadline
+    /// and cancellation flag. On a guard trip the partially built store is
+    /// dropped — no half-encoded runner escapes.
+    pub fn new_budgeted(setting: &MappingSetting, budget: &Budget) -> Result<Self, MxqlError> {
         let _span = dtr_obs::span("mxql.metastore_build")
             .field("schemas", setting.source_schemas().len() + 1)
             .field("mappings", setting.mappings().len());
+        let mut meter = budget.meter("metastore.encode");
         let mut store = MetaStore::new();
         for s in setting.source_schemas() {
             store
-                .add_schema(s)
-                .map_err(|e| MxqlError::Other(e.to_string()))?;
+                .add_schema_budgeted(s, &mut meter)
+                .map_err(store_err)?;
         }
         store
-            .add_schema(setting.target_schema())
-            .map_err(|e| MxqlError::Other(e.to_string()))?;
+            .add_schema_budgeted(setting.target_schema(), &mut meter)
+            .map_err(store_err)?;
         let refs: Vec<&Schema> = setting.source_schemas().iter().collect();
         for m in setting.mappings() {
             store
-                .add_mapping(m, &refs, setting.target_schema())
-                .map_err(|e| MxqlError::Other(e.to_string()))?;
+                .add_mapping_budgeted(m, &refs, setting.target_schema(), &mut meter)
+                .map_err(store_err)?;
         }
         let schema = meta_schema();
         let inst = meta_instance(&store, &schema);
@@ -79,6 +99,19 @@ impl MetaRunner {
     /// resulting union over the tagged instance plus the metastore,
     /// concatenating and de-duplicating rows.
     pub fn run(&self, tagged: &TaggedInstance, q: &Query) -> Result<QueryResult, MxqlError> {
+        self.run_budgeted(tagged, q, &Budget::unlimited())
+    }
+
+    /// [`MetaRunner::run`] under a resource budget: translation, every
+    /// branch evaluation, and the union/de-duplication loop all observe the
+    /// same budget, so `max_rows`, a deadline, or cancellation aborts the
+    /// translated pipeline with a structured guard error.
+    pub fn run_budgeted(
+        &self,
+        tagged: &TaggedInstance,
+        q: &Query,
+        budget: &Budget,
+    ) -> Result<QueryResult, MxqlError> {
         let q = tagged.setting().normalize_query(q);
         // Order/limit (the extension tail) apply to the whole union; each
         // order key must be one of the select expressions so the sort can
@@ -93,14 +126,21 @@ impl MetaRunner {
             };
             key_columns.push((col, k.descending));
         }
-        let branches = translate(&q, tagged.target().db())?;
+        let branches = translate_budgeted(&q, tagged.target().db(), budget)?;
         let span = dtr_obs::span("mxql.run_translated").field("branches", branches.len());
+        let mut meter = budget.meter("mxql.run_translated");
         let mut catalog = tagged.catalog();
         catalog.push(self.meta_source());
         let mut out = QueryResult::default();
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (i, branch) in branches.iter().enumerate() {
-            let r = Evaluator::new(&catalog, tagged.functions()).run(branch)?;
+            meter.poll()?;
+            let r = Evaluator::new(&catalog, tagged.functions())
+                .with_options(EvalOptions {
+                    budget: budget.clone(),
+                    ..Default::default()
+                })
+                .run(branch)?;
             if i == 0 {
                 out.columns = r.columns.clone();
             }
@@ -114,6 +154,9 @@ impl MetaRunner {
                     .collect::<Vec<_>>()
                     .join("\u{1}");
                 if seen.insert(key) {
+                    // Charge only rows surviving de-duplication: the union
+                    // result is what `max_rows` bounds on this path.
+                    meter.charge_rows(1)?;
                     out.rows.push(row);
                 }
             }
@@ -142,6 +185,17 @@ impl MetaRunner {
     pub fn query(&self, tagged: &TaggedInstance, text: &str) -> Result<QueryResult, MxqlError> {
         let q = parse_query(text)?;
         self.run(tagged, &q)
+    }
+
+    /// [`MetaRunner::query`] under a resource budget.
+    pub fn query_budgeted(
+        &self,
+        tagged: &TaggedInstance,
+        text: &str,
+        budget: &Budget,
+    ) -> Result<QueryResult, MxqlError> {
+        let q = parse_query(text)?;
+        self.run_budgeted(tagged, &q, budget)
     }
 }
 

@@ -15,6 +15,7 @@ use dtr_mapping::triple::{extract_triple, MappingTriple};
 use dtr_model::instance::{Instance, NodeId};
 use dtr_model::schema::Schema;
 use dtr_model::value::{AtomicValue, ElementRef, MappingName};
+use dtr_obs::guard::{Budget, GuardError};
 use dtr_query::ast::Query;
 use dtr_query::check::CheckError;
 use dtr_query::eval::{
@@ -37,8 +38,25 @@ pub enum MxqlError {
     Eval(EvalError),
     /// The exchange failed.
     Exchange(ExchangeError),
+    /// A resource budget was exhausted outside evaluation/exchange (e.g.
+    /// during translation or metastore encoding).
+    Guard(GuardError),
     /// Miscellaneous (e.g. unknown mapping name).
     Other(String),
+}
+
+impl MxqlError {
+    /// The structured [`GuardError`] behind this error, if a resource
+    /// budget was the cause — regardless of which pipeline stage tripped
+    /// (evaluation, exchange, translation, or encoding).
+    pub fn guard(&self) -> Option<&GuardError> {
+        match self {
+            MxqlError::Guard(g) | MxqlError::Eval(EvalError::Guard(g)) => Some(g),
+            MxqlError::Exchange(ExchangeError::Guard { error, .. }) => Some(error),
+            MxqlError::Exchange(ExchangeError::Eval(EvalError::Guard(g))) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MxqlError {
@@ -49,6 +67,7 @@ impl fmt::Display for MxqlError {
             MxqlError::Mapping(e) => write!(f, "{e}"),
             MxqlError::Eval(e) => write!(f, "{e}"),
             MxqlError::Exchange(e) => write!(f, "{e}"),
+            MxqlError::Guard(g) => write!(f, "{g}"),
             MxqlError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -79,6 +98,11 @@ impl From<EvalError> for MxqlError {
 impl From<ExchangeError> for MxqlError {
     fn from(e: ExchangeError) -> Self {
         MxqlError::Exchange(e)
+    }
+}
+impl From<GuardError> for MxqlError {
+    fn from(g: GuardError) -> Self {
+        MxqlError::Guard(g)
     }
 }
 
@@ -443,6 +467,20 @@ impl TaggedInstance {
             .run(&q)?)
     }
 
+    /// Evaluates under a resource [`Budget`] (deadline, cancellation, row
+    /// and byte caps) with otherwise-default options. A tripped budget
+    /// returns a structured guard error, reachable via
+    /// [`MxqlError::guard`].
+    pub fn run_budgeted(&self, q: &Query, budget: &Budget) -> Result<QueryResult, MxqlError> {
+        self.run_with_options(
+            q,
+            EvalOptions {
+                budget: budget.clone(),
+                ..Default::default()
+            },
+        )
+    }
+
     /// Parses and evaluates MXQL text.
     pub fn query(&self, text: &str) -> Result<QueryResult, MxqlError> {
         let q = parse_query(text)?;
@@ -661,6 +699,7 @@ mod tests {
                     EvalOptions {
                         pushdown: false,
                         hash_join: false,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -27,6 +27,7 @@
 //!   results are concatenated and de-duplicated.
 
 use dtr_model::value::{canonical_path, AtomicValue};
+use dtr_obs::guard::{Budget, GuardError};
 use dtr_obs::ExplainTrace;
 use dtr_query::ast::{
     Binding, CmpOp, Comparison, Condition, Expr, MappingPred, PathExpr, Query, Term,
@@ -39,17 +40,27 @@ use std::fmt;
 pub enum TranslateError {
     /// A construct the translator does not support.
     Unsupported(String),
+    /// The translation exceeded its resource budget (branch explosion,
+    /// deadline, or cancellation).
+    Guard(GuardError),
 }
 
 impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::Unsupported(m) => write!(f, "untranslatable construct: {m}"),
+            TranslateError::Guard(g) => write!(f, "{g}"),
         }
     }
 }
 
 impl std::error::Error for TranslateError {}
+
+impl From<GuardError> for TranslateError {
+    fn from(g: GuardError) -> Self {
+        TranslateError::Guard(g)
+    }
+}
 
 /// How a variable is handled during rewriting.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,6 +133,18 @@ pub fn translate(q: &Query, target_db: &str) -> Result<Vec<Query>, TranslateErro
     translate_explained(q, target_db).map(|(queries, _)| queries)
 }
 
+/// [`translate`] under a resource [`Budget`]: the rewrite loop polls the
+/// budget's deadline/cancellation and trips `max_bindings` on the number of
+/// union branches produced, so a pathological double-arrow predicate stack
+/// cannot explode unbounded.
+pub fn translate_budgeted(
+    q: &Query,
+    target_db: &str,
+    budget: &Budget,
+) -> Result<Vec<Query>, TranslateError> {
+    translate_explained_budgeted(q, target_db, budget).map(|(queries, _)| queries)
+}
+
 /// [`translate`], additionally returning the EXPLAIN trace of every rewrite
 /// step (Section 7.3's four steps, one [`dtr_obs::ExplainStep`] per fired
 /// rule). The `.explain` REPL meta-command renders this trace.
@@ -129,6 +152,17 @@ pub fn translate_explained(
     q: &Query,
     target_db: &str,
 ) -> Result<(Vec<Query>, ExplainTrace), TranslateError> {
+    translate_explained_budgeted(q, target_db, &Budget::unlimited())
+}
+
+/// [`translate_explained`] under a resource [`Budget`].
+pub fn translate_explained_budgeted(
+    q: &Query,
+    target_db: &str,
+    budget: &Budget,
+) -> Result<(Vec<Query>, ExplainTrace), TranslateError> {
+    let mut meter = budget.meter("mxql.translate");
+    meter.poll()?;
     let span = dtr_obs::span("mxql.translate").field("conditions", q.conditions.len());
     let mut trace = ExplainTrace::default();
     let mut ctx = Ctx {
@@ -142,6 +176,7 @@ pub fn translate_explained(
     let mut plans: Vec<PredPlan> = Vec::new();
     for c in &q.conditions {
         let Condition::MapPred(p) = c else { continue };
+        meter.poll()?;
         let plan = plan_pred(p, &mut ctx)?;
         let shared = if plan.shared_conds.is_empty() {
             "no constant constraints".to_string()
@@ -283,6 +318,7 @@ pub fn translate_explained(
         let mut next = Vec::new();
         for (bs, cs) in &branches {
             for variant in &variants {
+                meter.poll()?;
                 let mut bs2 = bs.clone();
                 let mut cs2 = cs.clone();
                 bs2.extend(variant.0.iter().cloned());
@@ -291,6 +327,9 @@ pub fn translate_explained(
                 next.push((bs2, cs2));
             }
         }
+        // The union size doubles per double-arrow predicate; count the
+        // branches against `max_bindings` so the explosion is bounded.
+        meter.check_bindings(next.len() as u64)?;
         branches = next;
     }
 

@@ -19,6 +19,7 @@ use dtr_model::instance::{Instance, NodeData, NodeId, Value};
 use dtr_model::label::Label;
 use dtr_model::schema::{ElementId, ElementKind, Schema};
 use dtr_model::value::AtomicValue;
+use dtr_obs::guard::{Budget, GuardError, Meter};
 use dtr_query::ast::{CmpOp, Condition, Expr, PathExpr, PathStart, Step};
 use dtr_query::check::{check_query, CheckError, ExprKind, SchemaCatalog};
 use dtr_query::eval::{Catalog, EvalError, EvalOptions, Evaluator, Source};
@@ -42,6 +43,15 @@ pub enum ExchangeError {
     /// The generated instance failed conformance (engine bug or malformed
     /// mapping).
     Conformance(String),
+    /// A resource budget was exhausted (see [`ExchangeOptions::budget`]).
+    /// The in-flight mapping's inserts were rolled back, so the target
+    /// holds exactly the first `mappings_completed` mappings.
+    Guard {
+        /// The structured budget violation.
+        error: GuardError,
+        /// Mappings fully applied before the abort.
+        mappings_completed: usize,
+    },
 }
 
 impl fmt::Display for ExchangeError {
@@ -52,6 +62,13 @@ impl fmt::Display for ExchangeError {
             ExchangeError::Unsupported(m) => write!(f, "unsupported mapping construct: {m}"),
             ExchangeError::Conflict(m) => write!(f, "conflicting assignment: {m}"),
             ExchangeError::Conformance(m) => write!(f, "conformance failure: {m}"),
+            ExchangeError::Guard {
+                error,
+                mappings_completed,
+            } => write!(
+                f,
+                "guard abort after {mappings_completed} completed mapping(s): {error}"
+            ),
         }
     }
 }
@@ -109,7 +126,7 @@ impl MappingStats {
 }
 
 /// Options controlling one exchange run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExchangeOptions {
     /// Evaluate independent mappings' foreach queries on scoped worker
     /// threads feeding the single-writer insert stage. The produced
@@ -128,6 +145,14 @@ pub struct ExchangeOptions {
     /// the per-row reference construction kept for differential testing
     /// and as the pre-optimization benchmark baseline.
     pub member_templates: bool,
+    /// Resource budget for the whole exchange: `max_rows` caps the foreach
+    /// rows inserted cumulatively across mappings, `deadline`/`cancel`
+    /// bound the insert stage, and the budget is propagated into the
+    /// foreach evaluations (including parallel workers) so every thread
+    /// observes cancellation. Exceeding it aborts with
+    /// [`ExchangeError::Guard`] after rolling the in-flight mapping's
+    /// inserts back. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for ExchangeOptions {
@@ -137,8 +162,23 @@ impl Default for ExchangeOptions {
             workers: 0,
             eval: EvalOptions::default(),
             member_templates: true,
+            budget: Budget::default(),
         }
     }
+}
+
+/// The evaluator options a run's foreach queries actually use: when the
+/// caller gave `eval` no budget of its own, the exchange budget bounds the
+/// foreach stage too; otherwise the eval budget stands, but the exchange
+/// cancel flag is shared so one `request_cancel` reaches every thread.
+fn effective_eval(opts: &ExchangeOptions) -> EvalOptions {
+    let mut eval = opts.eval.clone();
+    if eval.budget.is_limited() {
+        eval.budget.cancel = std::sync::Arc::clone(&opts.budget.cancel);
+    } else {
+        eval.budget = opts.budget.clone();
+    }
+    eval
 }
 
 /// Statistics of one exchange run.
@@ -699,6 +739,9 @@ pub struct Exchange<'a> {
     /// members split the bucket instead of being folded together.
     merge_index: HashMap<(NodeId, u64), Vec<(Value, NodeId)>>,
     report: ExchangeReport,
+    /// Insert-stage budget enforcement: `max_rows` charges accumulate
+    /// across mappings; deadline/cancellation are polled per row.
+    meter: Meter,
 }
 
 impl<'a> Exchange<'a> {
@@ -723,7 +766,14 @@ impl<'a> Exchange<'a> {
             target,
             merge_index: HashMap::new(),
             report: ExchangeReport::default(),
+            meter: Budget::default().meter("exchange.insert_row"),
         }
+    }
+
+    /// Arms the insert-stage meter with a budget (captures the deadline
+    /// now). Call before running any mapping.
+    pub fn set_budget(&mut self, budget: &Budget) {
+        self.meter = budget.meter("exchange.insert_row");
     }
 
     /// Executes one mapping: evaluates its foreach query over the sources
@@ -752,9 +802,35 @@ impl<'a> Exchange<'a> {
         opts: &ExchangeOptions,
     ) -> Result<(), ExchangeError> {
         let started = std::time::Instant::now();
-        let rows = eval_foreach(&self.sources, self.functions, m, opts.eval);
+        let rows = eval_foreach(&self.sources, self.functions, m, effective_eval(opts));
         let eval_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.insert_mapping_rows(m, rows.map(|r| (r, eval_ns)), opts.member_templates)
+    }
+
+    /// Runs every mapping under the given options: parallel foreach
+    /// evaluation when enabled (and more than one worker resolves), the
+    /// serial engine otherwise. Arms the insert-stage meter with the
+    /// options' budget first. On a guard abort the engine keeps exactly the
+    /// completed mappings (the in-flight one is rolled back), so callers —
+    /// like the fault-injection harness — can still [`Exchange::finish`] to
+    /// inspect the consistent prefix.
+    pub fn run_mappings(
+        &mut self,
+        mappings: &[Mapping],
+        opts: &ExchangeOptions,
+    ) -> Result<(), ExchangeError> {
+        self.set_budget(&opts.budget);
+        // A single worker is pure pipeline overhead over the serial path
+        // (the auto-sized case on a single-core host resolves to one), so
+        // parallel mode only spawns threads when at least two would run.
+        if opts.parallel && resolved_workers(opts, mappings.len()) > 1 {
+            self.run_parallel(mappings, opts)
+        } else {
+            for m in mappings {
+                self.run_mapping_opts(m, opts)?;
+            }
+            Ok(())
+        }
     }
 
     /// The single-writer insert stage for one mapping whose foreach rows
@@ -779,7 +855,17 @@ impl<'a> Exchange<'a> {
         // Plan errors surface before eval errors, exactly as in the fused
         // serial path where planning preceded evaluation.
         let plan = plan_exists(m, self.target_schema)?;
-        let (rows, eval_ns) = rows?;
+        // Rollback snapshot: the arena is append-only, so the target as it
+        // was before this mapping is exactly its first `rollback_len` nodes.
+        let rollback_len = self.target.len();
+        let tuples_len = self.report.tuples.len();
+        let (rows, eval_ns) = match rows {
+            Ok(v) => v,
+            // A guard trip inside the foreach evaluation: nothing was
+            // written for this mapping, surface the structured abort.
+            Err(ExchangeError::Eval(EvalError::Guard(g))) => return Err(self.guard_abort(m, g)),
+            Err(e) => return Err(e),
+        };
         stats.tuples = rows.len();
         self.report.tuples.push((m.name.clone(), rows.len()));
         if plan.select_classes.len() != m.foreach.select.len() {
@@ -794,6 +880,10 @@ impl<'a> Exchange<'a> {
         let mut shapes: Vec<Option<MemberShape>> = Vec::new();
         shapes.resize_with(plan.bindings.len(), || None);
         for row in rows {
+            if let Err(g) = self.meter.charge_rows(1) {
+                self.rollback_mapping(m, rollback_len, tuples_len);
+                return Err(self.guard_abort(m, g));
+            }
             self.insert_row(m, &plan, &row, templates, &mut shapes, &mut stats)?;
         }
         stats.wall_ns =
@@ -836,7 +926,9 @@ impl<'a> Exchange<'a> {
         // list out so `self` stays free for the mutable insert stage.
         let sources = self.sources.clone();
         let functions = self.functions;
-        let eval = opts.eval;
+        // Workers evaluate under the effective budget, sharing the cancel
+        // flag, so a trip or user cancellation drains every thread.
+        let eval = effective_eval(opts);
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
         let mut result: Result<(), ExchangeError> = Ok(());
@@ -846,13 +938,14 @@ impl<'a> Exchange<'a> {
                 let tx = tx.clone();
                 let next = &next;
                 let sources = &sources;
+                let eval = eval.clone();
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let started = std::time::Instant::now();
-                    let rows = eval_foreach(sources, functions, &mappings[i], eval);
+                    let rows = eval_foreach(sources, functions, &mappings[i], eval.clone());
                     let eval_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     if tx.send((i, rows.map(|r| (r, eval_ns)))).is_err() {
                         break;
@@ -1152,6 +1245,49 @@ impl<'a> Exchange<'a> {
         }
     }
 
+    /// Rolls the in-flight mapping's writes back so the target holds
+    /// exactly the mappings that completed: truncates the arena to the
+    /// pre-mapping snapshot, prunes merge-index entries that point at
+    /// discarded nodes, and strips this mapping's `f_mp` annotations from
+    /// the surviving nodes (each mapping runs once per exchange, so the
+    /// name identifies exactly its writes). O(target) — paid only on abort.
+    fn rollback_mapping(&mut self, m: &Mapping, len: usize, tuples_len: usize) {
+        self.target.truncate(len);
+        self.merge_index.retain(|&(set, _), bucket| {
+            if set.index() >= len {
+                return false;
+            }
+            bucket.retain(|&(_, node)| node.index() < len);
+            !bucket.is_empty()
+        });
+        for i in 0..len {
+            self.target.remove_mapping(NodeId(i as u32), &m.name);
+        }
+        self.report.tuples.truncate(tuples_len);
+        dtr_obs::counters().guard_rollbacks.incr();
+    }
+
+    /// Folds a guard trip into the structured exchange error, journaling
+    /// the `guard_abort` outcome against the aborted mapping.
+    fn guard_abort(&self, m: &Mapping, g: GuardError) -> ExchangeError {
+        if dtr_obs::journal::enabled() {
+            dtr_obs::journal::record(
+                dtr_obs::journal::event(
+                    "exchange.guard_abort",
+                    dtr_obs::journal::Outcome::GuardAbort {
+                        resource: g.resource.name(),
+                    },
+                )
+                .mapping(&m.name)
+                .detail(g.to_string()),
+            );
+        }
+        ExchangeError::Guard {
+            error: g,
+            mappings_completed: self.report.per_mapping.len(),
+        }
+    }
+
     /// Finishes the exchange: computes element annotations (conformance
     /// check included) and returns the annotated target instance plus a
     /// report.
@@ -1252,16 +1388,7 @@ pub fn execute_mappings_with(
 ) -> Result<(Instance, ExchangeReport), ExchangeError> {
     let _span = dtr_obs::span("exchange.execute_mappings").field("mappings", mappings.len());
     let mut engine = Exchange::new(sources.to_vec(), target_schema, functions);
-    // A single worker is pure pipeline overhead over the serial path (the
-    // auto-sized case on a single-core host resolves to one), so parallel
-    // mode only spawns threads when at least two workers would run.
-    if opts.parallel && resolved_workers(opts, mappings.len()) > 1 {
-        engine.run_parallel(mappings, opts)?;
-    } else {
-        for m in mappings {
-            engine.run_mapping_opts(m, opts)?;
-        }
-    }
+    engine.run_mappings(mappings, opts)?;
     engine.finish()
 }
 
@@ -2070,5 +2197,238 @@ mod tests {
         };
         let par = execute_mappings_with(&sources, &p_s, &mappings, &funcs, &opts).unwrap_err();
         assert_eq!(serial, par);
+    }
+
+    // ---- Guard semantics (PR 5): abort, rollback, serial ≡ parallel. ----
+
+    /// Values plus per-node mapping annotations — node ids included, so two
+    /// equal snapshots mean the arenas are structurally identical.
+    fn snapshot(inst: &Instance) -> String {
+        let mut out = String::new();
+        for &r in inst.roots() {
+            out.push_str(&format!("{:?}\n", inst.to_value(r)));
+        }
+        for i in 0..inst.len() {
+            let ann = inst.annotation(NodeId(i as u32));
+            let maps: Vec<&str> = ann.mappings.iter().map(|m| m.as_str()).collect();
+            out.push_str(&format!("{i}: {maps:?}\n"));
+        }
+        out
+    }
+
+    fn guard_of(e: &ExchangeError) -> (&dtr_obs::guard::GuardError, usize) {
+        match e {
+            ExchangeError::Guard {
+                error,
+                mappings_completed,
+            } => (error, *mappings_completed),
+            other => panic!("expected a guard error, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_aborts_before_any_insert() {
+        use dtr_obs::guard::{Budget, Resource};
+        let (us_s, _, us_i, _) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = vec![Source {
+            schema: &us_s,
+            instance: &us_i,
+        }];
+        let budget = Budget {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Budget::default()
+        };
+        let mut engine = Exchange::new(sources.clone(), &p_s, &funcs);
+        engine.set_budget(&budget);
+        let eval = EvalOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        let err = engine
+            .run_mapping_with(&figure1_mappings()[0], eval)
+            .unwrap_err();
+        let (g, completed) = guard_of(&err);
+        assert_eq!(g.resource, Resource::Deadline);
+        assert_eq!(completed, 0);
+        let (inst, report) = engine.finish().unwrap();
+        assert!(report.tuples.is_empty());
+        assert!(report.per_mapping.is_empty());
+        let (empty, _) = Exchange::new(sources, &p_s, &funcs).finish().unwrap();
+        assert_eq!(snapshot(&inst), snapshot(&empty));
+    }
+
+    #[test]
+    fn preset_cancel_aborts_before_any_insert() {
+        use dtr_obs::guard::{Budget, Resource};
+        let (us_s, _, us_i, _) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = vec![Source {
+            schema: &us_s,
+            instance: &us_i,
+        }];
+        let budget = Budget::default();
+        budget.request_cancel();
+        let mut engine = Exchange::new(sources.clone(), &p_s, &funcs);
+        engine.set_budget(&budget);
+        let eval = EvalOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        let err = engine
+            .run_mapping_with(&figure1_mappings()[0], eval)
+            .unwrap_err();
+        let (g, _) = guard_of(&err);
+        assert_eq!(g.resource, Resource::Cancelled);
+        let (inst, report) = engine.finish().unwrap();
+        assert!(report.tuples.is_empty());
+        let (empty, _) = Exchange::new(sources, &p_s, &funcs).finish().unwrap();
+        assert_eq!(snapshot(&inst), snapshot(&empty));
+    }
+
+    #[test]
+    fn row_budget_rolls_back_a_half_inserted_mapping() {
+        use dtr_obs::guard::{Budget, Resource};
+        // Two firm-titled houses make m2's foreach yield two rows: the
+        // first is inserted, the second trips `max_rows = 1`, and the
+        // insert must be rolled back — no half-written mapping survives.
+        let us_s = us_schema();
+        let mut us_i = Instance::new("USdb");
+        let house = |hid: &str, aid: &str| {
+            Value::record(vec![
+                ("hid", Value::str(hid)),
+                ("floors", Value::str("2")),
+                ("price", Value::str("500K")),
+                ("aid", Value::str(aid)),
+            ])
+        };
+        us_i.install_root(
+            "US",
+            Value::record(vec![
+                (
+                    "houses",
+                    Value::set(vec![house("H1", "a2"), house("H2", "a2")]),
+                ),
+                (
+                    "agents",
+                    Value::set(vec![Value::record(vec![
+                        ("aid", Value::str("a2")),
+                        ("title", Value::choice("firm", Value::str("HomeGain"))),
+                        ("phone", Value::str("18009468501")),
+                    ])]),
+                ),
+            ]),
+        );
+        us_i.annotate_elements(&us_s).unwrap();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = vec![Source {
+            schema: &us_s,
+            instance: &us_i,
+        }];
+        let budget = Budget {
+            max_rows: Some(1),
+            ..Budget::default()
+        };
+        let m2 = figure1_mappings()[1].clone();
+        let mut engine = Exchange::new(sources.clone(), &p_s, &funcs);
+        engine.set_budget(&budget);
+        let err = engine.run_mapping(&m2).unwrap_err();
+        let (g, completed) = guard_of(&err);
+        assert_eq!(g.resource, Resource::Rows);
+        assert_eq!(g.limit, 1);
+        assert_eq!(g.progress.rows, 2);
+        assert_eq!(completed, 0);
+        let (inst, report) = engine.finish().unwrap();
+        assert!(report.tuples.is_empty());
+        assert!(report.per_mapping.is_empty());
+        let (empty, _) = Exchange::new(sources, &p_s, &funcs).finish().unwrap();
+        assert_eq!(snapshot(&inst), snapshot(&empty));
+        assert!(!snapshot(&inst).contains("m2"));
+    }
+
+    #[test]
+    fn completed_mappings_survive_a_later_guard_abort() {
+        use dtr_obs::guard::{Budget, Resource};
+        // m1 (one row) fits the budget; m2's single row pushes the
+        // cumulative count to 2 > 1 and aborts. The m1 prefix must be
+        // exactly what an m1-only exchange produces.
+        let (us_s, _, us_i, _) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = vec![Source {
+            schema: &us_s,
+            instance: &us_i,
+        }];
+        let budget = Budget {
+            max_rows: Some(1),
+            ..Budget::default()
+        };
+        let ms = figure1_mappings();
+        let mut engine = Exchange::new(sources.clone(), &p_s, &funcs);
+        engine.set_budget(&budget);
+        engine.run_mapping(&ms[0]).unwrap();
+        let err = engine.run_mapping(&ms[1]).unwrap_err();
+        let (g, completed) = guard_of(&err);
+        assert_eq!(g.resource, Resource::Rows);
+        assert_eq!(completed, 1);
+        let (inst, report) = engine.finish().unwrap();
+        assert_eq!(report.tuples, vec![("m1".into(), 1)]);
+        let mut only_m1 = Exchange::new(sources, &p_s, &funcs);
+        only_m1.run_mapping(&ms[0]).unwrap();
+        let (expected, _) = only_m1.finish().unwrap();
+        assert_eq!(snapshot(&inst), snapshot(&expected));
+    }
+
+    #[test]
+    fn parallel_and_serial_return_the_same_guard_error() {
+        use dtr_obs::guard::Budget;
+        let (us_s, eu_s, us_i, eu_i) = full_sources();
+        let p_s = portal_schema();
+        let funcs = FunctionRegistry::with_builtins();
+        let sources = [
+            Source {
+                schema: &us_s,
+                instance: &us_i,
+            },
+            Source {
+                schema: &eu_s,
+                instance: &eu_i,
+            },
+        ];
+        let budget = Budget {
+            max_rows: Some(2),
+            ..Budget::default()
+        };
+        let serial = execute_mappings_with(
+            &sources,
+            &p_s,
+            &figure1_mappings(),
+            &funcs,
+            &ExchangeOptions {
+                budget: budget.clone(),
+                ..ExchangeOptions::default()
+            },
+        )
+        .unwrap_err();
+        let par = execute_mappings_with(
+            &sources,
+            &p_s,
+            &figure1_mappings(),
+            &funcs,
+            &ExchangeOptions {
+                budget,
+                parallel: true,
+                workers: 2,
+                ..ExchangeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(serial, par);
+        let (g, completed) = guard_of(&serial);
+        assert_eq!(g.progress.rows, 3);
+        assert_eq!(completed, 2);
     }
 }

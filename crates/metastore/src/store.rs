@@ -19,10 +19,17 @@
 //! the MXQL translator compares element constants against (the paper's
 //! Example 7.4 writes `e.eid = 'US/agents/title/firm'`, silently treating
 //! paths as ids; the extra column makes that well-typed).
+//!
+//! Robustness contract: the library paths in this module are
+//! `unwrap`/`expect`-free — every fallible encoding step returns a
+//! [`StoreError`] — and the budgeted entry points charge each encoded row
+//! so a deadline, cancellation, or row cap aborts with a structured
+//! [`StoreError::Guard`].
 
 use dtr_mapping::glav::Mapping;
 use dtr_model::schema::{ElementId, Schema};
 use dtr_model::value::MappingName;
+use dtr_obs::guard::{Budget, GuardError, Meter};
 use dtr_query::ast::{Condition, Expr, PathExpr, PathStart, Query};
 use dtr_query::check::{check_query, CheckError, Resolved, SchemaCatalog};
 use std::collections::HashMap;
@@ -151,6 +158,10 @@ pub enum StoreError {
     Check(CheckError),
     /// A query construct the storage schema cannot represent.
     Unsupported(String),
+    /// The encoding exceeded its resource budget. The store may hold a
+    /// partially encoded schema or mapping; callers building a store under
+    /// a budget should discard it on error (see `MetaRunner::new_budgeted`).
+    Guard(GuardError),
 }
 
 impl fmt::Display for StoreError {
@@ -160,6 +171,7 @@ impl fmt::Display for StoreError {
             StoreError::UnknownDb(d) => write!(f, "database `{d}` not stored"),
             StoreError::Check(e) => write!(f, "check error: {e}"),
             StoreError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            StoreError::Guard(g) => write!(f, "{g}"),
         }
     }
 }
@@ -169,6 +181,12 @@ impl std::error::Error for StoreError {}
 impl From<CheckError> for StoreError {
     fn from(e: CheckError) -> Self {
         StoreError::Check(e)
+    }
+}
+
+impl From<GuardError> for StoreError {
+    fn from(g: GuardError) -> Self {
+        StoreError::Guard(g)
     }
 }
 
@@ -192,16 +210,29 @@ impl MetaStore {
     /// Stores a schema: one `Db` row plus one `Element` row per schema
     /// element, with globally unique `eN` ids.
     pub fn add_schema(&mut self, schema: &Schema) -> Result<(), StoreError> {
+        self.add_schema_budgeted(schema, &mut Budget::unlimited().meter("metastore.encode"))
+    }
+
+    /// [`MetaStore::add_schema`] under a resource budget: each encoded row
+    /// charges the meter, so a deadline, cancellation, or `max_rows` cap
+    /// aborts the encoding with [`StoreError::Guard`].
+    pub fn add_schema_budgeted(
+        &mut self,
+        schema: &Schema,
+        meter: &mut Meter,
+    ) -> Result<(), StoreError> {
         let span = dtr_obs::span("metastore.add_schema").field("db", schema.name());
         let before = self.total_rows();
         if self.dbs.iter().any(|d| d.name == schema.name()) {
             return Err(StoreError::DuplicateDb(schema.name().to_owned()));
         }
+        meter.charge_rows(1)?;
         self.dbs.push(DbRow {
             name: schema.name().to_owned(),
         });
         let base = self.elements.len();
         for (id, el) in schema.elements() {
+            meter.charge_rows(1)?;
             let eid = format!("e{}", base + id.index());
             let parent = el.parent.map(|p| format!("e{}", base + p.index()));
             self.eid_index
@@ -253,8 +284,26 @@ impl MetaStore {
         source_schemas: &[&Schema],
         target_schema: &Schema,
     ) -> Result<(), StoreError> {
+        self.add_mapping_budgeted(
+            m,
+            source_schemas,
+            target_schema,
+            &mut Budget::unlimited().meter("metastore.encode"),
+        )
+    }
+
+    /// [`MetaStore::add_mapping`] under a resource budget (see
+    /// [`MetaStore::add_schema_budgeted`]).
+    pub fn add_mapping_budgeted(
+        &mut self,
+        m: &Mapping,
+        source_schemas: &[&Schema],
+        target_schema: &Schema,
+        meter: &mut Meter,
+    ) -> Result<(), StoreError> {
         let span = dtr_obs::span("metastore.add_mapping").field("mid", &m.name);
         let before = self.total_rows();
+        meter.poll()?;
         let src = check_query(&m.foreach, SchemaCatalog::new(source_schemas.to_vec()))?;
         let tgt = check_query(&m.exists, SchemaCatalog::new(vec![target_schema]))?;
 
@@ -262,6 +311,7 @@ impl MetaStore {
         let con_q = self.fresh_query();
         let for_binds = self.encode_query(&m.foreach, &src, &for_q)?;
         let con_binds = self.encode_query(&m.exists, &tgt, &con_q)?;
+        meter.charge_rows((self.total_rows() - before) as u64)?;
         self.mappings.push(MappingRow {
             mid: m.name.to_string(),
             for_q: for_q.clone(),
@@ -271,6 +321,7 @@ impl MetaStore {
         for (fe, ee) in m.foreach.select.iter().zip(&m.exists.select) {
             let (cbid, ceid) = self.expr_parts(ee, &tgt, &con_binds)?;
             for (fbid, feid) in self.expr_parts_multi(fe, &src, &for_binds)? {
+                meter.charge_rows(1)?;
                 self.correspondences.push(CorrespondenceRow {
                     mid: m.name.to_string(),
                     for_bid: fbid.unwrap_or_default(),

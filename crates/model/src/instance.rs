@@ -88,6 +88,18 @@ impl Annotation {
     pub fn has_mapping(&self, m: &MappingName) -> bool {
         self.mappings.binary_search(m).is_ok()
     }
+
+    /// Removes a mapping from the annotation set. Returns `true` if the
+    /// name was present (used when rolling back an aborted mapping).
+    pub fn remove_mapping(&mut self, m: &MappingName) -> bool {
+        match self.mappings.binary_search(m) {
+            Ok(pos) => {
+                self.mappings.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 /// An owned value tree, convenient for construction and deep comparison.
@@ -266,6 +278,41 @@ impl Instance {
     /// name was newly written, `false` if already present.
     pub fn add_mapping(&mut self, id: NodeId, m: MappingName) -> bool {
         self.annots[id.index()].add_mapping(m)
+    }
+
+    /// Removes `m` from the mapping annotation (`f_mp`). Returns `true` if
+    /// the name was present. Used when rolling back an aborted mapping.
+    pub fn remove_mapping(&mut self, id: NodeId, m: &MappingName) -> bool {
+        self.annots[id.index()].remove_mapping(m)
+    }
+
+    /// Rolls the arena back to its first `len` nodes, discarding every node
+    /// (and its annotation) created at position `len` or later: surviving
+    /// complex nodes drop pruned children, pruned roots are forgotten, and
+    /// a choice whose selection was pruned becomes unselected.
+    ///
+    /// Because the arena is append-only, a prefix of it is exactly "the
+    /// instance as it was" when `len == instance.len()` was captured —
+    /// this is the data-exchange abort path: a mapping either completes
+    /// atomically or its inserts are truncated away.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.nodes.len() {
+            return;
+        }
+        self.nodes.truncate(len);
+        self.annots.truncate(len);
+        self.roots.retain(|r| r.index() < len);
+        for node in &mut self.nodes {
+            match &mut node.data {
+                NodeData::Record(kids) | NodeData::Set(kids) => kids.retain(|k| k.index() < len),
+                NodeData::Choice(kid) => {
+                    if matches!(kid, Some(k) if k.index() >= len) {
+                        *kid = None;
+                    }
+                }
+                NodeData::Atomic(_) => {}
+            }
+        }
     }
 
     /// Children of a node: record fields, set members, or the selected
@@ -826,6 +873,55 @@ mod tests {
         let m1 = inst.set_members(estates).unwrap()[1];
         let hid = inst.child_by_label(m1, "hid").unwrap();
         assert_eq!(inst.node_path(hid), "/Portal/estates[1]/hid");
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_a_prefix() {
+        let mut inst = figure3_instance();
+        let snapshot_len = inst.len();
+        let snapshot = inst.to_value(inst.root("Portal").unwrap());
+        // Simulate a partially-applied mapping: new member, new root, and a
+        // mapping annotation on a surviving node.
+        let portal = inst.root("Portal").unwrap();
+        let estates = inst.child_by_label(portal, "estates").unwrap();
+        inst.push_set_member(estates, estate("H9", "3", "700K", "Acme"));
+        inst.install_root("Stray", Value::str("x"));
+        inst.add_mapping(estates, MappingName::new("m9"));
+        inst.truncate(snapshot_len);
+        inst.remove_mapping(estates, &MappingName::new("m9"));
+        assert_eq!(inst.len(), snapshot_len);
+        assert_eq!(inst.roots().len(), 1);
+        assert_eq!(inst.set_members(estates).unwrap().len(), 2);
+        assert!(!inst
+            .annotation(estates)
+            .has_mapping(&MappingName::new("m9")));
+        assert_eq!(inst.to_value(inst.root("Portal").unwrap()), snapshot);
+    }
+
+    #[test]
+    fn truncate_unselects_pruned_choice() {
+        let mut inst = Instance::new("X");
+        let root = inst.push_raw("title".into(), None, NodeData::Choice(None), true);
+        let len_before = inst.len();
+        let kid = inst.push_raw(
+            "firm".into(),
+            Some(root),
+            NodeData::Atomic(AtomicValue::Str("HomeGain".into())),
+            false,
+        );
+        inst.replace_children(root, vec![kid]);
+        inst.truncate(len_before);
+        assert!(inst.choice_selection(root).is_none());
+        assert!(inst.children(root).is_empty());
+    }
+
+    #[test]
+    fn truncate_past_end_is_a_no_op() {
+        let mut inst = figure3_instance();
+        let len = inst.len();
+        inst.truncate(len + 100);
+        inst.truncate(len);
+        assert_eq!(inst.len(), len);
     }
 
     #[test]

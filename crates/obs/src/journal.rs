@@ -25,8 +25,8 @@
 
 use serde_json::{Map, Value};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Global event sequence number (monotonic since the last [`reset`]).
 pub type EventId = u64;
@@ -69,6 +69,12 @@ pub enum Outcome {
         /// The storage relation (e.g. `"Element"`, `"Correspondence"`).
         relation: &'static str,
     },
+    /// A resource budget tripped and the stage aborted (for the exchange,
+    /// after rolling the in-flight mapping's inserts back).
+    GuardAbort {
+        /// [`Resource::name`](crate::guard::Resource::name) of what ran out.
+        resource: &'static str,
+    },
 }
 
 impl Outcome {
@@ -82,6 +88,7 @@ impl Outcome {
             Outcome::AnnotationSuppressed { .. } => "annotation_suppressed",
             Outcome::TranslateStep { .. } => "translate_step",
             Outcome::MetaEncoded { .. } => "meta_encoded",
+            Outcome::GuardAbort { .. } => "guard_abort",
         }
     }
 }
@@ -139,6 +146,9 @@ impl Event {
             Outcome::MetaEncoded { relation } => {
                 obj.insert("relation", Value::from(*relation));
             }
+            Outcome::GuardAbort { resource } => {
+                obj.insert("resource", Value::from(*resource));
+            }
             Outcome::Inserted | Outcome::AnnotationWritten => {}
         }
         if let Some(d) = &self.detail {
@@ -171,6 +181,9 @@ impl Event {
             }
             Outcome::TranslateStep { rule } => line.push_str(&format!("  rule {rule}")),
             Outcome::MetaEncoded { relation } => line.push_str(&format!("  encoded {relation}")),
+            Outcome::GuardAbort { resource } => {
+                line.push_str(&format!("  guard abort ({resource})"))
+            }
         }
         if let Some(d) = &self.detail {
             line.push_str(&format!("  {d}"));
@@ -287,6 +300,9 @@ struct Journal {
     dropped: u64,
     /// `target node → event ids`, pruned on eviction.
     lineage: HashMap<u64, Vec<EventId>>,
+    /// Fault-injection hook: when the event with this id is recorded, the
+    /// flag is set (typically a budget's `cancel`). Fires once.
+    trip: Option<(EventId, Arc<AtomicBool>)>,
 }
 
 impl Journal {
@@ -297,6 +313,7 @@ impl Journal {
             next_id: 0,
             dropped: 0,
             lineage: HashMap::new(),
+            trip: None,
         }
     }
 
@@ -321,6 +338,12 @@ impl Journal {
             self.lineage.entry(t).or_default().push(id);
         }
         self.buf.push_back(event);
+        if let Some((at, flag)) = &self.trip {
+            if id >= *at {
+                flag.store(true, Ordering::Relaxed);
+                self.trip = None;
+            }
+        }
         id
     }
 
@@ -380,9 +403,22 @@ pub fn next_event_id() -> EventId {
 }
 
 /// Clear all events and restart the sequence; the capacity is re-read from
-/// `DTR_JOURNAL_CAP`.
+/// `DTR_JOURNAL_CAP`. Any armed fault-injection trip is disarmed.
 pub fn reset() {
     with_journal(|j| *j = Journal::new(cap_from_env()));
+}
+
+/// Fault injection: arm a one-shot trip that sets `flag` (typically a
+/// budget's `cancel`) the moment the event with id `at` (or any later id)
+/// is recorded. Used by `dtr-check --faults` to stop a run at a
+/// deterministic, seed-derived point. Disarmed by [`reset`] or on firing.
+pub fn arm_trip(at: EventId, flag: Arc<AtomicBool>) {
+    with_journal(|j| j.trip = Some((at, flag)));
+}
+
+/// Disarm any armed fault-injection trip without clearing the journal.
+pub fn disarm_trip() {
+    with_journal(|j| j.trip = None);
 }
 
 /// Override the ring-buffer capacity (truncating oldest events if needed).

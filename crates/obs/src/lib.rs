@@ -40,12 +40,14 @@
 //! `--profile`.
 
 mod explain;
+pub mod guard;
 pub mod journal;
 mod metrics;
 mod profile;
 mod trace;
 
 pub use explain::{ExplainStep, ExplainTrace};
+pub use guard::{Budget, GuardError, GuardReport, Meter, Progress, Resource};
 pub use journal::{
     Event as JournalEvent, EventId, Outcome as JournalOutcome, Summary as JournalSummary,
 };
@@ -90,21 +92,25 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// Clear all collected state (global counters and this thread's span tree).
-/// Call at the start of a region you want to profile in isolation.
+/// Clear all collected state (global counters, this thread's span tree and
+/// the last guard trip). Call at the start of a region you want to profile
+/// in isolation.
 pub fn profile_reset() {
     counters().reset();
     trace::reset_current_thread();
+    guard::reset_report();
 }
 
 /// Snapshot the profile collected since the last [`profile_reset`]: the
 /// span tree of the *current* thread plus the global counter registry. If
-/// the event journal is enabled, its [`JournalSummary`] is embedded too.
+/// the event journal is enabled, its [`JournalSummary`] is embedded too,
+/// and if a budget tripped since the last reset, its [`GuardReport`].
 pub fn profile_snapshot() -> PipelineProfile {
     PipelineProfile {
         stages: trace::snapshot_current_thread(),
         counters: counters().snapshot(),
         journal: journal::enabled().then(journal::summary),
+        guard: guard::last_report(),
     }
 }
 

@@ -130,6 +130,13 @@ pub struct Counters {
     pub xml_annotations_written: Counter,
     /// XML writer: annotation attributes suppressed by PNF sharing.
     pub xml_annotations_suppressed: Counter,
+    /// Guard: deadline/cancellation poll points actually evaluated
+    /// (strided — not every charge).
+    pub guard_checks: Counter,
+    /// Guard: budget violations (each yields one `GuardError`).
+    pub guard_trips: Counter,
+    /// Guard: exchange rollbacks performed after a mid-mapping trip.
+    pub guard_rollbacks: Counter,
     /// Distribution of span durations (ns) across all stages.
     pub span_duration_ns: Histogram,
 }
@@ -148,6 +155,9 @@ static COUNTERS: Counters = Counters {
     translate_branches: Counter::new("translate.branches"),
     xml_annotations_written: Counter::new("xml.annotations_written"),
     xml_annotations_suppressed: Counter::new("xml.annotations_suppressed"),
+    guard_checks: Counter::new("guard.checks"),
+    guard_trips: Counter::new("guard.trips"),
+    guard_rollbacks: Counter::new("guard.rollbacks"),
     span_duration_ns: Histogram::new(),
 };
 
@@ -157,7 +167,7 @@ pub fn counters() -> &'static Counters {
 }
 
 impl Counters {
-    fn all(&self) -> [&Counter; 13] {
+    fn all(&self) -> [&Counter; 16] {
         [
             &self.tuples_scanned,
             &self.bindings_enumerated,
@@ -172,6 +182,9 @@ impl Counters {
             &self.translate_branches,
             &self.xml_annotations_written,
             &self.xml_annotations_suppressed,
+            &self.guard_checks,
+            &self.guard_trips,
+            &self.guard_rollbacks,
         ]
     }
 

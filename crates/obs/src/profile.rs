@@ -4,6 +4,7 @@
 //! lossless JSON round-tripping. Counter and span-field keys are sorted
 //! before serialization so `--json` output diffs are stable across runs.
 
+use crate::guard::GuardReport;
 use crate::journal::Summary as JournalSummary;
 use serde_json::{Map, Value};
 
@@ -30,12 +31,14 @@ pub struct ProfileNode {
 pub type CounterValue = (String, u64);
 
 /// A complete profile: per-stage wall-time tree plus pipeline counters,
-/// plus the event-journal summary when journaling is enabled.
+/// plus the event-journal summary when journaling is enabled and the most
+/// recent guard trip when a budget was exhausted.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineProfile {
     pub stages: Vec<ProfileNode>,
     pub counters: Vec<CounterValue>,
     pub journal: Option<JournalSummary>,
+    pub guard: Option<GuardReport>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -193,6 +196,12 @@ impl PipelineProfile {
                 out.push_str(&format!("  {kind:<width$} {count:>12}\n"));
             }
         }
+        if let Some(g) = &self.guard {
+            out.push_str(&format!(
+                "guard: {} tripped at {} (limit {}) after {} bindings, {} rows, {} bytes\n",
+                g.resource, g.stage, g.limit, g.bindings, g.rows, g.bytes
+            ));
+        }
         out
     }
 
@@ -214,6 +223,9 @@ impl PipelineProfile {
         obj.insert("counters", Value::Object(counters));
         if let Some(journal) = &self.journal {
             obj.insert("journal", journal.to_json());
+        }
+        if let Some(guard) = &self.guard {
+            obj.insert("guard", guard.to_json());
         }
         Value::Object(obj)
     }
@@ -249,10 +261,15 @@ impl PipelineProfile {
             Some(j) => Some(JournalSummary::from_json(j)?),
             None => None,
         };
+        let guard = match value.get("guard") {
+            Some(g) => Some(GuardReport::from_json(g)?),
+            None => None,
+        };
         Ok(PipelineProfile {
             stages,
             counters,
             journal,
+            guard,
         })
     }
 }
@@ -298,6 +315,7 @@ mod tests {
                 ("exchange.rows_merged".into(), 40),
             ],
             journal: None,
+            guard: None,
         }
     }
 
@@ -328,6 +346,24 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_keeps_guard_report() {
+        let mut profile = sample();
+        profile.guard = Some(GuardReport {
+            resource: "rows".to_string(),
+            stage: "exchange.insert_row".to_string(),
+            limit: 100,
+            bindings: 240,
+            rows: 101,
+            bytes: 9_000,
+        });
+        let text = profile.to_json_string();
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(PipelineProfile::from_json(&parsed).unwrap(), profile);
+        let rendered = profile.render();
+        assert!(rendered.contains("guard: rows tripped at exchange.insert_row"));
+    }
+
+    #[test]
     fn json_counters_and_fields_serialize_sorted() {
         let profile = PipelineProfile {
             stages: vec![ProfileNode {
@@ -341,6 +377,7 @@ mod tests {
             }],
             counters: vec![("z.last".into(), 1), ("a.first".into(), 2)],
             journal: None,
+            guard: None,
         };
         let text = profile.to_json_string();
         assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());

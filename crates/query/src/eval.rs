@@ -19,6 +19,7 @@ use crate::functions::{ArgValue, FunctionRegistry, FunctionValue};
 use dtr_model::instance::{Instance, NodeId};
 use dtr_model::schema::Schema;
 use dtr_model::value::{AtomicValue, ElementRef, MappingName};
+use dtr_obs::guard::{Budget, GuardError};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -103,7 +104,7 @@ pub trait MetaEnv {
 }
 
 /// Evaluation options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Apply each comparison as soon as all of its variables are bound
     /// (predicate pushdown). Disabling this evaluates all conditions only
@@ -117,6 +118,10 @@ pub struct EvalOptions {
     /// with `pushdown` (the naive mode has no ready comparisons to join
     /// on).
     pub hash_join: bool,
+    /// Resource budget for one evaluation: binding/row/byte caps, a
+    /// wall-clock deadline and a cooperative cancel flag. Exceeding it
+    /// aborts the run with [`EvalError::Guard`]. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for EvalOptions {
@@ -124,6 +129,7 @@ impl Default for EvalOptions {
         EvalOptions {
             pushdown: true,
             hash_join: true,
+            budget: Budget::default(),
         }
     }
 }
@@ -268,6 +274,8 @@ pub enum EvalError {
     /// A projection label that does not exist on a record value (only
     /// reported in contexts where silent filtering would be wrong).
     BadProjection(String),
+    /// A resource budget was exhausted (see [`EvalOptions::budget`]).
+    Guard(GuardError),
 }
 
 impl fmt::Display for EvalError {
@@ -287,11 +295,18 @@ impl fmt::Display for EvalError {
                 write!(f, "mapping predicates need a mapping setting (MetaEnv)")
             }
             EvalError::BadProjection(p) => write!(f, "bad projection `{p}`"),
+            EvalError::Guard(g) => write!(f, "{g}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<GuardError> for EvalError {
+    fn from(g: GuardError) -> Self {
+        EvalError::Guard(g)
+    }
+}
 
 /// The evaluator.
 pub struct Evaluator<'a> {
@@ -333,6 +348,17 @@ impl Operand<'_> {
 /// (itself `None` when the operand had no valuation).
 type PreSide = Option<Option<AtomicValue>>;
 
+/// Approximate in-memory size of a result value, charged against
+/// `Budget::max_result_bytes`.
+fn approx_value_bytes(v: &AtomicValue) -> u64 {
+    16 + match v {
+        AtomicValue::Str(s) | AtomicValue::Db(s) => s.len() as u64,
+        AtomicValue::Map(m) => m.as_str().len() as u64,
+        AtomicValue::Elem(e) => (e.db.len() + e.path.len()) as u64,
+        AtomicValue::Int(_) | AtomicValue::Float(_) | AtomicValue::Bool(_) => 0,
+    }
+}
+
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator over a catalog with the given function registry.
     pub fn new(catalog: &'a Catalog<'a>, functions: &'a FunctionRegistry) -> Self {
@@ -363,6 +389,7 @@ impl<'a> Evaluator<'a> {
             .field("conditions", q.conditions.len());
         dtr_obs::counters().queries_evaluated.incr();
         let mut stats = EvalStats::default();
+        let mut meter = self.opts.budget.meter("query.eval");
         // Variable slots: declared vars first, then implicit ones.
         let mut var_index: HashMap<&str, usize> = HashMap::new();
         for b in &q.from {
@@ -547,6 +574,7 @@ impl<'a> Evaluator<'a> {
                 };
             let mut next_rows = Vec::new();
             for mut env in rows {
+                meter.poll()?;
                 let mut pre: Vec<(PreSide, PreSide)> = Vec::with_capacity(ready.len());
                 for (k, &ci) in ready.iter().enumerate() {
                     let cmp = comparisons[ci];
@@ -591,6 +619,9 @@ impl<'a> Evaluator<'a> {
                         }
                         if ok {
                             next_rows.push(env.clone());
+                            meter.check_bindings(
+                                stats.bindings_enumerated + next_rows.len() as u64,
+                            )?;
                         }
                     }
                     continue;
@@ -617,11 +648,13 @@ impl<'a> Evaluator<'a> {
                     }
                     if ok {
                         next_rows.push(env.clone());
+                        meter.check_bindings(stats.bindings_enumerated + next_rows.len() as u64)?;
                     }
                 }
             }
             rows = next_rows;
             stats.bindings_enumerated += rows.len() as u64;
+            meter.check_bindings(stats.bindings_enumerated)?;
             if rows.is_empty() {
                 break;
             }
@@ -672,6 +705,7 @@ impl<'a> Evaluator<'a> {
             };
             let mut next_rows = Vec::new();
             for env in &rows {
+                meter.poll()?;
                 if let Some((env_slot, table)) = &pred_index {
                     let Some(Val::Atom(existing)) = &env[*env_slot] else {
                         // A node-bound slot can never unify; the full scan
@@ -697,6 +731,7 @@ impl<'a> Evaluator<'a> {
             }
             rows = next_rows;
             stats.bindings_enumerated += rows.len() as u64;
+            meter.check_bindings(stats.bindings_enumerated)?;
             if self.opts.pushdown {
                 self.apply_ready_comparisons(&comparisons, &mut cmp_done, &var_index, &mut rows)?;
             }
@@ -739,6 +774,8 @@ impl<'a> Evaluator<'a> {
                     None => continue 'rows,
                 }
             }
+            meter.charge_rows(1)?;
+            meter.charge_bytes(tuple.iter().map(|v| approx_value_bytes(&v.value)).sum())?;
             if !q.order_by.is_empty() {
                 let mut keys = Vec::with_capacity(q.order_by.len());
                 for k in &q.order_by {
@@ -1520,6 +1557,7 @@ mod tests {
             .with_options(EvalOptions {
                 pushdown: false,
                 hash_join: false,
+                ..Default::default()
             })
             .run(&q)
             .unwrap();
@@ -1547,6 +1585,7 @@ mod tests {
                 .with_options(EvalOptions {
                     pushdown: true,
                     hash_join: false,
+                    ..Default::default()
                 })
                 .run(&q)
                 .unwrap();
@@ -1613,6 +1652,7 @@ mod tests {
             .with_options(EvalOptions {
                 pushdown: true,
                 hash_join: false,
+                ..Default::default()
             })
             .run(&q)
             .unwrap();
@@ -1711,6 +1751,7 @@ mod tests {
             .with_options(EvalOptions {
                 pushdown: false,
                 hash_join: false,
+                ..Default::default()
             })
             .run(&q)
             .unwrap();
@@ -1741,6 +1782,7 @@ mod tests {
             .with_options(EvalOptions {
                 pushdown: false,
                 hash_join: false,
+                ..Default::default()
             })
             .run(&q)
             .unwrap();

@@ -70,6 +70,9 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut i = 0;
     while i < bytes.len() {
         // Decode a full char so that the Unicode arrows lex correctly.
+        // invariant: `i < bytes.len()` (loop condition) and `i` only ever
+        // advances by whole-char widths, so the slice is non-empty and
+        // starts on a char boundary — `next()` cannot return `None`.
         let c = input[i..].chars().next().expect("in-bounds index");
         let start = i;
         match c {
@@ -296,10 +299,17 @@ fn lex_number(input: &str, start: usize) -> Result<(Tok, usize), ParseError> {
     Ok((tok, j))
 }
 
+/// Maximum expression nesting the recursive-descent parser accepts. Each
+/// nesting level (a function-call argument containing another call) is one
+/// stack frame, so a hostile `f(f(f(…)))` input would otherwise overflow
+/// the stack instead of returning a [`ParseError`].
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
     input_len: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -453,7 +463,23 @@ impl Parser {
     }
 
     /// expr := primary step* ('@' ('map'|'elem'))?
+    ///
+    /// Recursion is bounded: deeper than [`MAX_EXPR_DEPTH`] nested calls is
+    /// a parse error, never a stack overflow.
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(self.error(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        let result = self.expr_unbounded();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_unbounded(&mut self) -> Result<Expr, ParseError> {
         match self.peek().cloned() {
             Some(Tok::Str(s)) => {
                 self.next();
@@ -674,6 +700,7 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
         toks: lex(input)?,
         pos: 0,
         input_len: input.len(),
+        depth: 0,
     };
     let mut q = p.query()?;
     if p.peek().is_some() {
@@ -692,6 +719,7 @@ pub fn parse_mapping_parts(input: &str) -> Result<(Query, Query), ParseError> {
         toks: lex(input)?,
         pos: 0,
         input_len: input.len(),
+        depth: 0,
     };
     p.keyword("foreach")?;
     let mut foreach = p.query()?;
@@ -962,5 +990,30 @@ where s.contact = c.title and e = c.title@elem and <'USdb':'US/agents/title/firm
     fn keywords_case_insensitive() {
         let q = parse_query("SELECT e.hid FROM Portal.estates e WHERE e.hid = 'x'").unwrap();
         assert_eq!(q.select.len(), 1);
+    }
+
+    #[test]
+    fn deep_call_nesting_is_an_error_not_a_stack_overflow() {
+        // 10k nested calls would overflow the stack without the depth
+        // bound; with it, the parser returns a structured error.
+        let depth = 10_000;
+        let mut text = String::from("select ");
+        text.push_str(&"f(".repeat(depth));
+        text.push('x');
+        text.push_str(&")".repeat(depth));
+        text.push_str(" from Portal.estates x");
+        let err = parse_query(&text).unwrap_err();
+        assert!(
+            err.message.contains("nesting exceeds"),
+            "unexpected message: {}",
+            err.message
+        );
+        // The bound leaves reasonable real nesting untouched.
+        let mut ok = String::from("select ");
+        ok.push_str(&"f(".repeat(16));
+        ok.push('x');
+        ok.push_str(&")".repeat(16));
+        ok.push_str(" from Portal.estates x");
+        assert!(parse_query(&ok).is_ok());
     }
 }

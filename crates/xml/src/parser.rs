@@ -4,6 +4,11 @@
 //! This is not a general-purpose XML parser; it supports exactly what the
 //! repository needs for round-trips: elements, attributes, text content,
 //! self-closing tags, the XML declaration, and the standard entities.
+//!
+//! Robustness contract: the library paths in this module are
+//! `unwrap`/`expect`-free — every malformed input returns an [`XmlError`] —
+//! and element recursion is bounded (`MAX_ELEMENT_DEPTH`, 128 levels) so
+//! hostile nesting cannot overflow the stack.
 
 use crate::escape::unescape;
 use crate::writer::MEMBER_TAG;
@@ -55,9 +60,16 @@ impl fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
+/// Maximum element nesting the reader accepts. Each open tag is one stack
+/// frame (both here and in `build_node`, which mirrors the parsed tree), so
+/// a hostile `<a><a><a>…` document would otherwise overflow the stack
+/// instead of returning an [`XmlError`].
+const MAX_ELEMENT_DEPTH: usize = 128;
+
 struct Reader<'a> {
     input: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -95,6 +107,19 @@ impl<'a> Reader<'a> {
     }
 
     fn element(&mut self) -> Result<XmlNode, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_ELEMENT_DEPTH {
+            self.depth -= 1;
+            return Err(self.err(format!(
+                "element nesting exceeds {MAX_ELEMENT_DEPTH} levels"
+            )));
+        }
+        let result = self.element_unbounded();
+        self.depth -= 1;
+        result
+    }
+
+    fn element_unbounded(&mut self) -> Result<XmlNode, XmlError> {
         self.skip_ws();
         if !self.input[self.pos..].starts_with('<') {
             return Err(self.err("expected `<`"));
@@ -222,7 +247,11 @@ impl<'a> Reader<'a> {
 
 /// Parses a single XML document into its root element.
 pub fn parse_document(input: &str) -> Result<XmlNode, XmlError> {
-    let mut r = Reader { input, pos: 0 };
+    let mut r = Reader {
+        input,
+        pos: 0,
+        depth: 0,
+    };
     r.skip_prolog();
     let root = r.element()?;
     r.skip_ws();
@@ -540,5 +569,28 @@ mod tests {
         let schema = schema();
         let err = instance_from_xml("<instance db=\"X\"><Nope/></instance>", &schema).unwrap_err();
         assert!(err.message.contains("no root"));
+    }
+
+    #[test]
+    fn deep_element_nesting_is_an_error_not_a_stack_overflow() {
+        // 10k nested open tags would overflow the stack without the depth
+        // bound; with it, the reader returns a structured error.
+        let depth = 10_000;
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        let err = parse_document(&doc).unwrap_err();
+        assert!(
+            err.message.contains("nesting exceeds"),
+            "unexpected message: {}",
+            err.message
+        );
+        // Reasonable real nesting stays accepted.
+        let shallow = "<a>".repeat(16) + &"</a>".repeat(16);
+        assert!(parse_document(&shallow).is_ok());
     }
 }

@@ -15,16 +15,23 @@
 //! `--profile` (or `DTR_PROFILE=1`) enables the `dtr-obs` span collector and
 //! counter registry; the harness then prints the aggregated profile tree and,
 //! with `--json`, embeds it under the `"profile"` key.
+//!
+//! `--deadline-ms MS` and `--max-rows N` run every exchange and timed query
+//! under a `dtr-obs` resource budget. An exhausted budget aborts the run
+//! cleanly: the harness prints the structured guard error and exits with
+//! status 3 — never a panic, never a half-written result.
 
 use dtr_core::runner::MetaRunner;
-use dtr_core::tagged::TaggedInstance;
+use dtr_core::tagged::{MxqlError, TaggedInstance};
+use dtr_mapping::exchange::ExchangeOptions;
+use dtr_obs::guard::Budget;
 use dtr_portal::nesting::nested_tagged;
 use dtr_portal::scenario::{build, ScenarioConfig};
 use dtr_query::parser::parse_query;
 use dtr_xml::schema_xml::schema_to_xml;
 use dtr_xml::writer::{instance_to_xml, SizeReport, WriteOptions};
 use serde_json::{json, Value as Json};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const MB: f64 = 1024.0 * 1024.0;
 
@@ -33,6 +40,25 @@ struct Args {
     listings_per_source: usize,
     json_path: Option<String>,
     profile: bool,
+    budget: Budget,
+}
+
+/// Unwraps a pipeline result, turning a guard abort into a clean exit
+/// (status 3, structured error on stderr) and any other error into the
+/// panic it always was.
+fn guard_exit<T>(result: Result<T, MxqlError>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => match e.guard() {
+            Some(g) => {
+                eprintln!("experiments: resource budget exhausted during {what}:");
+                eprintln!("  {g}");
+                eprintln!("the run aborted cleanly; raise --deadline-ms / --max-rows to complete");
+                std::process::exit(3);
+            }
+            None => panic!("{what} failed: {e}"),
+        },
+    }
 }
 
 fn parse_args() -> Args {
@@ -41,6 +67,7 @@ fn parse_args() -> Args {
     let mut json_path = None;
     let mut listings = 2000usize;
     let mut profile = false;
+    let mut budget = Budget::unlimited();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,6 +90,20 @@ fn parse_args() -> Args {
             }
             "--json" => json_path = it.next(),
             "--profile" => profile = true,
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--deadline-ms takes a number");
+                budget.deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-rows" => {
+                budget.max_rows = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-rows takes a number"),
+                );
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -77,6 +118,7 @@ fn parse_args() -> Args {
         listings_per_source: if quick { listings / 10 } else { listings },
         json_path,
         profile,
+        budget,
     }
 }
 
@@ -90,14 +132,20 @@ fn mb(bytes: usize) -> f64 {
     bytes as f64 / MB
 }
 
-/// Builds the default scenario once (shared by E1/E2/E4/E7/E9).
-fn default_tagged(n: usize) -> (TaggedInstance, usize) {
+/// Builds the default scenario once (shared by E1/E2/E4/E7/E9). The
+/// exchange runs under `budget`; exhaustion exits cleanly via
+/// [`guard_exit`].
+fn default_tagged(n: usize, budget: &Budget) -> (TaggedInstance, usize) {
     let scenario = build(ScenarioConfig {
         listings_per_source: n,
         ..Default::default()
     });
     let src_bytes = scenario.source_xml_bytes();
-    let tagged = scenario.exchange().expect("exchange succeeds");
+    let opts = ExchangeOptions {
+        budget: budget.clone(),
+        ..ExchangeOptions::default()
+    };
+    let tagged = guard_exit(scenario.exchange_with(&opts), "the portal exchange");
     (tagged, src_bytes)
 }
 
@@ -150,13 +198,13 @@ fn e2(tagged: &TaggedInstance) -> Json {
 
 /// E3 — the PNF overhead stays flat across source data sizes
 /// (paper: "approximately 5.5 % in all the cases").
-fn e3(n_full: usize) -> Json {
+fn e3(n_full: usize, budget: &Budget) -> Json {
     banner("E3", "annotation overhead across source data sizes");
     println!("  listings/source   plain MB    PNF overhead");
     let mut rows = Vec::new();
     for frac in [8usize, 4, 2, 1] {
         let n = (n_full / frac).max(10);
-        let (tagged, _) = default_tagged(n);
+        let (tagged, _) = default_tagged(n, budget);
         let r = SizeReport::measure(tagged.target());
         println!(
             "  {:>14}   {:>8.2}    {:>6.2} %",
@@ -209,7 +257,7 @@ fn e4(tagged: &TaggedInstance) -> Json {
 
 /// E5 — overlapping sources lower the annotation bytes
 /// (paper: 5.5 % → 4.9 %).
-fn e5(n: usize) -> Json {
+fn e5(n: usize, budget: &Budget) -> Json {
     banner("E5", "annotation overhead under source overlap");
     println!("  overlap   houses   naive ann.   naive/src   PNF ann.   PNF/src");
     let mut rows = Vec::new();
@@ -220,7 +268,11 @@ fn e5(n: usize) -> Json {
             ..Default::default()
         });
         let src = scenario.source_xml_bytes();
-        let tagged = scenario.exchange().expect("exchange succeeds");
+        let opts = ExchangeOptions {
+            budget: budget.clone(),
+            ..ExchangeOptions::default()
+        };
+        let tagged = guard_exit(scenario.exchange_with(&opts), "the overlap exchange");
         let r = SizeReport::measure(tagged.target());
         let schema = tagged.setting().target_schema();
         let member = schema
@@ -273,13 +325,13 @@ fn e6() -> Json {
     Json::Array(rows)
 }
 
-fn time_query(tagged: &TaggedInstance, text: &str, reps: usize) -> f64 {
+fn time_query(tagged: &TaggedInstance, text: &str, reps: usize, budget: &Budget) -> f64 {
     let q = parse_query(text).expect("query parses");
     // Warm up + median of `reps`.
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
-            let r = tagged.run(&q).expect("query runs");
+            let r = guard_exit(tagged.run_budgeted(&q, budget), "a timed query");
             std::hint::black_box(r.len());
             t0.elapsed().as_secs_f64() * 1000.0
         })
@@ -288,12 +340,21 @@ fn time_query(tagged: &TaggedInstance, text: &str, reps: usize) -> f64 {
     times[times.len() / 2]
 }
 
-fn time_translated(tagged: &TaggedInstance, runner: &MetaRunner, text: &str, reps: usize) -> f64 {
+fn time_translated(
+    tagged: &TaggedInstance,
+    runner: &MetaRunner,
+    text: &str,
+    reps: usize,
+    budget: &Budget,
+) -> f64 {
     let q = parse_query(text).expect("query parses");
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
-            let r = runner.run(tagged, &q).expect("query runs");
+            let r = guard_exit(
+                runner.run_budgeted(tagged, &q, budget),
+                "a timed translated query",
+            );
             std::hint::black_box(r.len());
             t0.elapsed().as_secs_f64() * 1000.0
         })
@@ -304,9 +365,12 @@ fn time_translated(tagged: &TaggedInstance, runner: &MetaRunner, text: &str, rep
 
 /// E7 — MXQL queries show "no significant execution time increase" over
 /// plain queries; the translated form is also measured.
-fn e7(tagged: &TaggedInstance) -> Json {
+fn e7(tagged: &TaggedInstance, budget: &Budget) -> Json {
     banner("E7", "query execution: plain vs MXQL vs translated MXQL");
-    let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
+    let runner = guard_exit(
+        MetaRunner::new_budgeted(tagged.setting(), budget),
+        "the metastore build",
+    );
     let reps = 5;
     let plain = "select h.hid, h.price from Portal.houses h where h.price > 800000";
     let mxql_map = "select h.hid, h.price, m from Portal.houses h, h.price@map m \
@@ -314,11 +378,11 @@ fn e7(tagged: &TaggedInstance) -> Json {
     let mxql_pred = "select h.hid, m from Portal.houses h, h.price@map m \
                      where h.price > 800000 and e = h.price@elem \
                        and <'Yahoo':'/Yahoo/listings/price' -> m -> 'Portal':e>";
-    let t_plain = time_query(tagged, plain, reps);
-    let t_map = time_query(tagged, mxql_map, reps);
-    let t_pred = time_query(tagged, mxql_pred, reps);
-    let t_tr_map = time_translated(tagged, &runner, mxql_map, reps);
-    let t_tr_pred = time_translated(tagged, &runner, mxql_pred, reps);
+    let t_plain = time_query(tagged, plain, reps, budget);
+    let t_map = time_query(tagged, mxql_map, reps, budget);
+    let t_pred = time_query(tagged, mxql_pred, reps, budget);
+    let t_tr_map = time_translated(tagged, &runner, mxql_map, reps, budget);
+    let t_tr_pred = time_translated(tagged, &runner, mxql_pred, reps, budget);
     println!("  plain selection:                 {t_plain:>9.2} ms");
     println!(
         "  MXQL with @map:                  {t_map:>9.2} ms  ({:+.1} % vs plain)",
@@ -336,7 +400,7 @@ fn e7(tagged: &TaggedInstance) -> Json {
 }
 
 /// E8 — debugging the `housesInNeighborhood` mapping.
-fn e8(n: usize) -> Json {
+fn e8(n: usize, budget: &Budget) -> Json {
     banner(
         "E8",
         "debugging housesInNeighborhood (buggy vs fixed self-join)",
@@ -348,7 +412,11 @@ fn e8(n: usize) -> Json {
             buggy_neighborhood_join: buggy,
             ..Default::default()
         });
-        let tagged = scenario.exchange().expect("exchange succeeds");
+        let opts = ExchangeOptions {
+            budget: budget.clone(),
+            ..ExchangeOptions::default()
+        };
+        let tagged = guard_exit(scenario.exchange_with(&opts), "the debugging exchange");
         // Count cross-city "neighbors" (the misleading data).
         let all = tagged
             .query("select h.hid, h.city from Portal.houses h")
@@ -476,7 +544,7 @@ fn main() {
         .any(|e| ["e1", "e2", "e4", "e7", "e9"].contains(e));
     let shared = if needs_default {
         let t0 = Instant::now();
-        let pair = default_tagged(args.listings_per_source);
+        let pair = default_tagged(args.listings_per_source, &args.budget);
         println!(
             "built + exchanged default scenario in {:.1} s ({} portal nodes)",
             t0.elapsed().as_secs_f64(),
@@ -495,12 +563,12 @@ fn main() {
                 e1(t, *src)
             }
             "e2" => e2(&shared.as_ref().expect("shared scenario").0),
-            "e3" => e3(args.listings_per_source),
+            "e3" => e3(args.listings_per_source, &args.budget),
             "e4" => e4(&shared.as_ref().expect("shared scenario").0),
-            "e5" => e5(args.listings_per_source),
+            "e5" => e5(args.listings_per_source, &args.budget),
             "e6" => e6(),
-            "e7" => e7(&shared.as_ref().expect("shared scenario").0),
-            "e8" => e8(args.listings_per_source),
+            "e7" => e7(&shared.as_ref().expect("shared scenario").0, &args.budget),
+            "e8" => e8(args.listings_per_source, &args.budget),
             "e9" => e9(&shared.as_ref().expect("shared scenario").0),
             other => panic!("unknown experiment {other}"),
         };

@@ -28,6 +28,10 @@
 //! * `.journal [on|off|json|export <file>]` — inspect or export the
 //!   provenance event journal (on by default in this shell; bounded by
 //!   `DTR_JOURNAL_CAP`, default 64k events);
+//! * `.limits [off | <key> <n> ...]` — resource budget for direct and
+//!   translated query execution (`deadline-ms`, `max-rows`,
+//!   `max-bindings`, `max-bytes`); an exhausted budget aborts the query
+//!   with a structured guard error, never a panic;
 //! * `.help`, `.quit`.
 
 use dtr::core::provenance::{provenance_of, ProvenanceKind};
@@ -42,7 +46,9 @@ use dtr::model::schema::Schema;
 use dtr::model::value::MappingName;
 use dtr::portal::scenario::{tagged as portal_tagged, ScenarioConfig};
 use dtr::query::parser::parse_query;
+use dtr_obs::guard::Budget;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 enum Mode {
     Direct,
@@ -93,7 +99,54 @@ fn help() {
     println!("               .journal [on|off|json|export <file>]");
     println!("               .mode direct|translated|virtual  .lint");
     println!("               .whatif <db|m1,m2,...>  .save <file>");
+    println!(
+        "               .limits [off | deadline-ms N | max-rows N | max-bindings N | max-bytes N]"
+    );
     println!("               .profile [on|off|json]  .help  .quit");
+}
+
+/// Parses `.limits` arguments into a fresh budget: `off` clears every
+/// limit; otherwise `<key> <n>` pairs tighten the current one.
+fn parse_limits(rest: &str, current: &Budget) -> Result<Budget, String> {
+    let args: Vec<&str> = rest.split_whitespace().collect();
+    if args == ["off"] {
+        return Ok(Budget::unlimited());
+    }
+    let mut budget = current.clone();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let value: u64 = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("`{key}` takes a number"))?;
+        match *key {
+            "deadline-ms" => budget.deadline = Some(Duration::from_millis(value)),
+            "max-rows" => budget.max_rows = Some(value),
+            "max-bindings" => budget.max_bindings = Some(value),
+            "max-bytes" => budget.max_result_bytes = Some(value),
+            other => return Err(format!("unknown limit `{other}`")),
+        }
+    }
+    Ok(budget)
+}
+
+/// Prints the active limits (the `.limits` no-argument form).
+fn show_limits(budget: &Budget) {
+    if !budget.is_limited() {
+        println!("limits: off (unlimited)");
+        return;
+    }
+    let fmt = |v: Option<u64>| v.map_or("-".to_string(), |n| n.to_string());
+    println!(
+        "limits: deadline-ms {}  max-rows {}  max-bindings {}  max-bytes {}",
+        budget
+            .deadline
+            .map_or("-".to_string(), |d| d.as_millis().to_string()),
+        fmt(budget.max_rows),
+        fmt(budget.max_bindings),
+        fmt(budget.max_result_bytes),
+    );
+    println!("(applies to direct and translated execution; `.limits off` clears)");
 }
 
 /// `.trace`: resolve the target values at `path` (optionally filtered to one
@@ -212,6 +265,7 @@ fn main() {
     let tagged = load();
     let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
     let mut mode = Mode::Direct;
+    let mut limits = Budget::unlimited();
     eprintln!(
         "tagged instance ready: {} target values, {} mappings. Type .help for help.",
         tagged.target().len(),
@@ -398,6 +452,25 @@ fn main() {
                         trace_values(&tagged, path, filter);
                     }
                 }
+                ".limits" => {
+                    if rest.trim().is_empty() {
+                        show_limits(&limits);
+                    } else {
+                        match parse_limits(rest, &limits) {
+                            Ok(b) => {
+                                limits = b;
+                                show_limits(&limits);
+                            }
+                            Err(e) => {
+                                println!("{e}");
+                                println!(
+                                    "usage: .limits [off | deadline-ms N | max-rows N | \
+                                     max-bindings N | max-bytes N]"
+                                );
+                            }
+                        }
+                    }
+                }
                 ".journal" => {
                     let args: Vec<&str> = rest.split_whitespace().collect();
                     match args.as_slice() {
@@ -453,8 +526,10 @@ fn main() {
         }
         let t0 = std::time::Instant::now();
         let result = match mode {
-            Mode::Direct => tagged.query(&text),
-            Mode::Translated => runner.query(&tagged, &text),
+            Mode::Direct => parse_query(&text)
+                .map_err(dtr::core::tagged::MxqlError::from)
+                .and_then(|q| tagged.run_budgeted(&q, &limits)),
+            Mode::Translated => runner.query_budgeted(&tagged, &text, &limits),
             Mode::Virtual => parse_query(&text)
                 .map_err(dtr::core::tagged::MxqlError::from)
                 .and_then(|q| {
