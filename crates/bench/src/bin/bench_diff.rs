@@ -1,0 +1,142 @@
+//! Bench-regression diff: compares two `BENCH_*.json` reports (the schema
+//! `bench_pr4` emits) and reports per-scale, per-config timing deltas.
+//!
+//! ```text
+//! bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N] [--report-only]
+//! ```
+//!
+//! Scales are matched by `listings_per_source` (the intersection of both
+//! reports); configs (`baseline`, `optimized`, `guarded`, `instrumented`)
+//! are compared when present in both entries, so reports from trees before
+//! and after a config was added still diff cleanly. A positive delta means
+//! the candidate is slower. The process exits nonzero when any config's
+//! `total_ms` regressed by more than the threshold (default 10 %) unless
+//! `--report-only` is given — wall-clock benches on shared CI runners are
+//! noisy, so CI runs report-only and humans read the table.
+
+use serde_json::Value;
+use std::process::exit;
+
+/// The per-scale config objects `bench_pr4` may emit, in report order.
+const CONFIGS: &[&str] = &["baseline", "optimized", "guarded", "instrumented"];
+
+struct Entry {
+    scale: u64,
+    /// `(config, total_ms)` for each config present.
+    totals: Vec<(String, f64)>,
+}
+
+fn load(path: &str) -> Vec<Entry> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let v: Value =
+        serde_json::from_str(&text).unwrap_or_else(|_| die(&format!("{path}: not valid JSON")));
+    let Some(results) = v.get("results").and_then(Value::as_array) else {
+        die(&format!("{path}: no `results` array"));
+    };
+    results
+        .iter()
+        .filter_map(|r| {
+            let scale = r.get("listings_per_source").and_then(Value::as_u64)?;
+            let totals = CONFIGS
+                .iter()
+                .filter_map(|&c| {
+                    let ms = r.get(c)?.get("total_ms").and_then(Value::as_f64)?;
+                    Some((c.to_string(), ms))
+                })
+                .collect();
+            Some(Entry { scale, totals })
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    exit(2)
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut report_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold-pct" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threshold-pct takes a number"));
+            }
+            "--report-only" => report_only = true,
+            other if other.starts_with("--") => {
+                die(&format!(
+                    "unknown flag {other}\nusage: bench_diff BASELINE.json CANDIDATE.json \
+                     [--threshold-pct N] [--report-only]"
+                ));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        die("expected exactly two report paths\nusage: bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N] [--report-only]");
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+
+    println!("bench_diff: {base_path} (baseline) vs {cand_path} (candidate)");
+    println!("  threshold: {threshold_pct:.1} % on total_ms (positive delta = candidate slower)");
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for b in &base {
+        let Some(c) = cand.iter().find(|c| c.scale == b.scale) else {
+            println!("  scale {:>6}: only in baseline (skipped)", b.scale);
+            continue;
+        };
+        println!("  scale {:>6}:", b.scale);
+        for (config, base_ms) in &b.totals {
+            let Some((_, cand_ms)) = c.totals.iter().find(|(k, _)| k == config) else {
+                println!("    {config:<12} only in baseline (skipped)");
+                continue;
+            };
+            let delta_pct = 100.0 * (cand_ms - base_ms) / base_ms;
+            let flag = if delta_pct > threshold_pct {
+                regressions.push(format!(
+                    "scale {} {config}: {base_ms:.1} ms -> {cand_ms:.1} ms ({delta_pct:+.1} %)",
+                    b.scale
+                ));
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "    {config:<12} {base_ms:>10.1} ms -> {cand_ms:>10.1} ms  ({delta_pct:+6.1} %){flag}"
+            );
+            compared += 1;
+        }
+    }
+    for c in &cand {
+        if !base.iter().any(|b| b.scale == c.scale) {
+            println!("  scale {:>6}: only in candidate (skipped)", c.scale);
+        }
+    }
+    if compared == 0 {
+        die("no comparable (scale, config) pairs between the two reports");
+    }
+    if regressions.is_empty() {
+        println!("bench_diff: OK — {compared} comparison(s), none past the threshold");
+    } else {
+        println!(
+            "bench_diff: {} of {compared} comparison(s) regressed past {threshold_pct:.1} %:",
+            regressions.len()
+        );
+        for r in &regressions {
+            println!("  {r}");
+        }
+        if report_only {
+            println!("bench_diff: --report-only, exiting 0");
+        } else {
+            exit(1);
+        }
+    }
+}

@@ -11,6 +11,11 @@
 //! and speedups. Criterion is a dev-dependency and not available to bins,
 //! so this runner uses plain `std::time` with repeated runs, keeping the
 //! fastest of each configuration (the usual minimum-is-signal rule).
+//!
+//! A fourth `instrumented` configuration runs the optimized path with the
+//! statistics catalog and EXPLAIN ANALYZE enabled on every query; its
+//! `stats_overhead_pct` is the cost of asking for full observability.
+//! Compare reports across commits with `bench_diff` (same crate).
 
 use dtr_mapping::exchange::ExchangeOptions;
 use dtr_obs::guard::Budget;
@@ -49,11 +54,14 @@ struct PathTiming {
 /// per-query timer noise).
 const QUERY_REPS: usize = 3;
 
-fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
+fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], instrumented: bool) -> PathTiming {
     let scenario = build(ScenarioConfig {
         listings_per_source: n,
         ..Default::default()
     });
+    if instrumented {
+        dtr_obs::stats::set_enabled(true);
+    }
     let t0 = Instant::now();
     let tagged = scenario.exchange_with(opts).expect("exchange succeeds");
     let exchange_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -62,15 +70,27 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
     for _ in 0..QUERY_REPS {
         rows = 0;
         for q in queries {
-            rows += tagged
-                .run_with_options(q, opts.eval.clone())
-                .expect("query succeeds")
-                .len();
+            // The instrumented path is the full EXPLAIN ANALYZE mode: the
+            // statistics catalog records scans/joins and every operator is
+            // timed. Results are byte-identical to the plain path, which
+            // the cross-config row assertion in `main` re-checks.
+            rows += if instrumented {
+                tagged.run_analyzed(q).expect("query succeeds").0.len()
+            } else {
+                tagged
+                    .run_with_options(q, opts.eval.clone())
+                    .expect("query succeeds")
+                    .len()
+            };
         }
+    }
+    let query_ms = t1.elapsed().as_secs_f64() * 1e3;
+    if instrumented {
+        dtr_obs::stats::set_enabled(false);
     }
     PathTiming {
         exchange_ms,
-        query_ms: t1.elapsed().as_secs_f64() * 1e3,
+        query_ms,
         rows,
     }
 }
@@ -82,13 +102,13 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PathTiming {
 fn best_of_each(
     reps: usize,
     n: usize,
-    configs: &[&ExchangeOptions],
+    configs: &[(&ExchangeOptions, bool)],
     queries: &[Query],
 ) -> Vec<PathTiming> {
     let mut best: Vec<Option<PathTiming>> = configs.iter().map(|_| None).collect();
     for _ in 0..reps {
-        for (slot, opts) in best.iter_mut().zip(configs) {
-            let t = run_path(n, opts, queries);
+        for (slot, (opts, instrumented)) in best.iter_mut().zip(configs) {
+            let t = run_path(n, opts, queries, *instrumented);
             let better = match slot {
                 Some(b) => t.exchange_ms + t.query_ms < b.exchange_ms + b.query_ms,
                 None => true,
@@ -178,9 +198,23 @@ fn main() {
         let mut timings = best_of_each(
             reps,
             n,
-            &[&baseline_opts, &optimized_opts, &guarded_opts],
+            &[
+                (&baseline_opts, false),
+                (&optimized_opts, false),
+                (&guarded_opts, false),
+                // The optimized configuration with the full dtr-stats
+                // instrumentation on: statistics catalog collection during
+                // the exchange and EXPLAIN ANALYZE per-operator timing on
+                // every query. The gap between `optimized` (instrumentation
+                // compiled in but disabled) and `instrumented` is what the
+                // observability work costs when you ask for it; `optimized`
+                // against the committed report (via bench_diff) is what it
+                // costs when you don't.
+                (&optimized_opts, true),
+            ],
             &queries,
         );
+        let instrumented = timings.pop().expect("instrumented timing");
         let guarded = timings.pop().expect("guarded timing");
         let opt = timings.pop().expect("optimized timing");
         let base = timings.pop().expect("baseline timing");
@@ -192,13 +226,20 @@ fn main() {
             opt.rows, guarded.rows,
             "guarded run changed workload rows at scale {n}"
         );
+        assert_eq!(
+            opt.rows, instrumented.rows,
+            "EXPLAIN ANALYZE changed workload rows at scale {n}"
+        );
         let total_base = base.exchange_ms + base.query_ms;
         let total_opt = opt.exchange_ms + opt.query_ms;
         let total_guarded = guarded.exchange_ms + guarded.query_ms;
+        let total_instr = instrumented.exchange_ms + instrumented.query_ms;
         let guard_overhead_pct = 100.0 * (total_guarded - total_opt) / total_opt;
+        let stats_overhead_pct = 100.0 * (total_instr - total_opt) / total_opt;
         eprintln!(
             "  serial+nested {total_base:.1} ms vs parallel+hash {total_opt:.1} ms \
-             (speedup {:.2}x); guarded {total_guarded:.1} ms ({guard_overhead_pct:+.2} %)",
+             (speedup {:.2}x); guarded {total_guarded:.1} ms ({guard_overhead_pct:+.2} %); \
+             stats+analyze {total_instr:.1} ms ({stats_overhead_pct:+.2} %)",
             total_base / total_opt
         );
         entries.push(format!(
@@ -209,8 +250,11 @@ fn main() {
              \"exchange_ms\": {oe:.3}, \"query_ms\": {oq:.3}, \"total_ms\": {ot:.3} }},\n      \
              \"guarded\": {{ \"config\": \"optimized + generous resource budget (1h deadline, 1e9-row caps; never trips)\", \
              \"exchange_ms\": {ge:.3}, \"query_ms\": {gq:.3}, \"total_ms\": {gt:.3} }},\n      \
+             \"instrumented\": {{ \"config\": \"optimized + stats catalog + EXPLAIN ANALYZE on every query\", \
+             \"exchange_ms\": {ie:.3}, \"query_ms\": {iq:.3}, \"total_ms\": {it:.3} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
-             \"speedup_total\": {st:.3},\n      \"guard_overhead_pct\": {gp:.3}\n    }}",
+             \"speedup_total\": {st:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
+             \"stats_overhead_pct\": {sp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
             bq = base.query_ms,
@@ -221,10 +265,14 @@ fn main() {
             ge = guarded.exchange_ms,
             gq = guarded.query_ms,
             gt = total_guarded,
+            ie = instrumented.exchange_ms,
+            iq = instrumented.query_ms,
+            it = total_instr,
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,
             st = total_base / total_opt,
             gp = guard_overhead_pct,
+            sp = stats_overhead_pct,
         ));
     }
 

@@ -301,6 +301,79 @@ pub fn law_mxql_queries(
     Ok(())
 }
 
+/// EXPLAIN ANALYZE consistency: running a generated MXQL query in analyzed
+/// mode must (a) produce a result byte-identical to the plain run (same
+/// columns, same rows, same order, annotations included), (b) report a root
+/// operator whose `rows_out` equals the result's row count, and (c) agree
+/// with the reference oracle on that cardinality. Interior operators are
+/// sanity-checked: every node's `rows_out` must be consistent with its
+/// recorded input (an operator cannot emit rows it never saw, except the
+/// binding fan-out stages whose job is to multiply rows).
+pub fn law_analyze(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    tagged: &dtr_core::tagged::TaggedInstance,
+    cfg: &GenConfig,
+) -> Result<(), String> {
+    let catalog = tagged.catalog();
+    for _ in 0..cfg.queries_per_case {
+        let q = generators::gen_mxql_query(rng, scen, cfg);
+        let plain = tagged
+            .run(&q)
+            .map_err(|e| format!("plain run failed on `{q}`: {e}"))?;
+        let (analyzed, plan) = tagged
+            .run_analyzed(&q)
+            .map_err(|e| format!("analyzed run failed on `{q}`: {e}"))?;
+        // (a) Byte-identical result: instrumentation must be observation
+        // only. Debug rendering covers columns, row order, atomic values
+        // and the annotation payloads of every output value.
+        let plain_render = format!("{:?}|{:?}", plain.columns, plain.rows);
+        let analyzed_render = format!("{:?}|{:?}", analyzed.columns, analyzed.rows);
+        if plain_render != analyzed_render {
+            return Err(format!(
+                "EXPLAIN ANALYZE changed the result of `{q}`\nplain: {plain_render}\nanalyzed: {analyzed_render}"
+            ));
+        }
+        // (b) The root operator's actual row count is the result size.
+        if plan.rows_out != analyzed.len() as u64 {
+            return Err(format!(
+                "EXPLAIN ANALYZE root operator reports {} rows but the result has {} on `{q}`\n{}",
+                plan.rows_out,
+                analyzed.len(),
+                plan.render()
+            ));
+        }
+        // (c) Oracle cardinality: the reference evaluator's bag size.
+        let oracle_rows = oracle::eval(&catalog, &q, Some(tagged.setting()))
+            .map_err(|e| format!("oracle failed on `{q}`: {e}"))?;
+        if oracle_rows.len() as u64 != plan.rows_out {
+            return Err(format!(
+                "EXPLAIN ANALYZE root operator reports {} rows but the oracle produced {} on `{q}`",
+                plan.rows_out,
+                oracle_rows.len()
+            ));
+        }
+        // Interior sanity: row-reducing operators cannot emit more rows
+        // than they received. Fan-out stages (scan/bind/hash-probe) grow
+        // the row set by construction and are exempt.
+        let mut stack = vec![&plan];
+        while let Some(node) = stack.pop() {
+            let reducing = matches!(node.op.as_str(), "filter" | "project" | "sort" | "limit");
+            if reducing && node.rows_out > node.rows_in {
+                return Err(format!(
+                    "operator `{}` emitted {} rows from {} inputs on `{q}`\n{}",
+                    node.op,
+                    node.rows_out,
+                    node.rows_in,
+                    plan.render()
+                ));
+            }
+            stack.extend(node.children.iter());
+        }
+    }
+    Ok(())
+}
+
 /// `Display` → parse must reproduce the query AST exactly.
 fn roundtrip_query(q: &Query) -> Result<(), String> {
     let text = q.to_string();

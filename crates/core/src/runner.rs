@@ -147,6 +147,7 @@ impl MetaRunner {
             out.stats.tuples_scanned += r.stats.tuples_scanned;
             out.stats.bindings_enumerated += r.stats.bindings_enumerated;
             out.stats.predicate_triples_tested += r.stats.predicate_triples_tested;
+            out.stats.eval_ns += r.stats.eval_ns;
             for row in r.rows {
                 let key = row
                     .iter()

@@ -457,6 +457,19 @@ impl TaggedInstance {
             .run(&q)?)
     }
 
+    /// [`TaggedInstance::run`] in EXPLAIN ANALYZE mode: evaluates the query
+    /// with per-operator instrumentation and returns the result alongside
+    /// the operator tree. The result is byte-identical to [`TaggedInstance::run`];
+    /// the tree carries actual rows in/out, wall time, and guard charges per
+    /// operator (see `dtr_obs::analyze`).
+    pub fn run_analyzed(&self, q: &Query) -> Result<(QueryResult, dtr_obs::OpNode), MxqlError> {
+        let q = self.setting.normalize_query(q);
+        let catalog = self.catalog();
+        Ok(Evaluator::new(&catalog, &self.functions)
+            .with_meta(&self.setting)
+            .run_analyzed(&q)?)
+    }
+
     /// Evaluates with explicit options (for the ablation benchmarks).
     pub fn run_with_options(&self, q: &Query, opts: EvalOptions) -> Result<QueryResult, MxqlError> {
         let q = self.setting.normalize_query(q);

@@ -363,6 +363,7 @@ pub fn answer_virtually(
         out.stats.tuples_scanned += res.stats.tuples_scanned;
         out.stats.bindings_enumerated += res.stats.bindings_enumerated;
         out.stats.predicate_triples_tested += res.stats.predicate_triples_tested;
+        out.stats.eval_ns += res.stats.eval_ns;
         for row in res.rows {
             let key = row
                 .iter()

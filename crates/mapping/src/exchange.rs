@@ -229,6 +229,55 @@ impl ExchangeReport {
         let end = windows.iter().map(|&(_, e)| e).max()?;
         Some((start, end))
     }
+
+    /// `(p50, p90, p99)` of per-mapping wall time in nanoseconds, or `None`
+    /// when no mapping ran. Exact nearest-rank percentiles over the sorted
+    /// `wall_ns` values — the mapping count is small, so no histogram
+    /// approximation is needed here (queries use the log₂ histograms in
+    /// `dtr_obs::metrics` instead).
+    pub fn latency_percentiles(&self) -> Option<(u64, u64, u64)> {
+        let mut walls: Vec<u64> = self.per_mapping.iter().map(|s| s.wall_ns).collect();
+        if walls.is_empty() {
+            return None;
+        }
+        walls.sort_unstable();
+        let pick = |q: f64| {
+            let rank = ((q * walls.len() as f64).ceil() as usize).clamp(1, walls.len());
+            walls[rank - 1]
+        };
+        Some((pick(0.50), pick(0.90), pick(0.99)))
+    }
+
+    /// Synthesizes an EXPLAIN ANALYZE operator tree for the exchange from
+    /// the per-mapping statistics: each mapping contributes a
+    /// `foreach → nest → pnf-merge` chain (upstream operator as the first
+    /// child, matching the query-side convention), and the root `exchange`
+    /// node aggregates all mappings. Row accounting per mapping:
+    /// `foreach` emits `tuples`, `nest` fans them out into `bindings`
+    /// member instantiations, and `pnf-merge` keeps `rows_inserted` of
+    /// them (the rest folded into existing members).
+    pub fn analyze_plan(&self) -> dtr_obs::OpNode {
+        let mut root =
+            dtr_obs::OpNode::new("exchange", format!("{} mapping(s)", self.per_mapping.len()));
+        for s in &self.per_mapping {
+            let mut foreach = dtr_obs::OpNode::new("foreach", s.mapping.as_str().to_string());
+            foreach.rows_out = s.tuples as u64;
+            foreach.elapsed_ns = s.wall_ns;
+            let mut nest = dtr_obs::OpNode::new("nest", s.mapping.as_str().to_string());
+            nest.rows_in = s.tuples as u64;
+            nest.rows_out = s.bindings as u64;
+            nest.children.push(foreach);
+            let mut merge = dtr_obs::OpNode::new("pnf-merge", s.mapping.as_str().to_string());
+            merge.rows_in = s.bindings as u64;
+            merge.rows_out = s.rows_inserted as u64;
+            merge.children.push(nest);
+            root.rows_in += s.bindings as u64;
+            root.rows_out += s.rows_inserted as u64;
+            root.elapsed_ns += s.wall_ns;
+            root.children.push(merge);
+        }
+        root
+    }
 }
 
 /// Where a target binding's set lives.
@@ -1297,7 +1346,53 @@ impl<'a> Exchange<'a> {
             .annotate_elements(self.target_schema)
             .map_err(|e| ExchangeError::Conformance(e.to_string()))?;
         drop(span);
+        if dtr_obs::stats::enabled() {
+            let mut local = dtr_obs::StatsCatalog::new();
+            for s in &self.sources {
+                collect_instance_stats(&mut local, s.instance);
+            }
+            collect_instance_stats(&mut local, &self.target);
+            dtr_obs::stats::merge(&local);
+        }
         Ok((self.target, self.report))
+    }
+}
+
+/// Walks an instance and records per-schema-path statistics into `catalog`:
+/// every set node contributes one cardinality observation at its path, and
+/// every atomic leaf contributes a tuple count plus a distinct-value
+/// observation. Paths are root-rooted dot paths (`US.houses.price`) with
+/// `->` for choice alternatives — the same convention the query evaluator's
+/// canonicalized statistics keys use, so exchange-collected and
+/// query-collected entries for one schema path merge into one row.
+fn collect_instance_stats(catalog: &mut dtr_obs::StatsCatalog, inst: &Instance) {
+    let mut stack: Vec<(NodeId, String)> = inst
+        .roots()
+        .iter()
+        .map(|&r| (r, inst.label(r).to_string()))
+        .collect();
+    while let Some((id, path)) = stack.pop() {
+        match &inst.node(id).data {
+            NodeData::Atomic(v) => catalog.record_value(&path, &v.to_string()),
+            NodeData::Record(fields) => {
+                for &f in fields {
+                    stack.push((f, format!("{path}.{}", inst.label(f))));
+                }
+            }
+            NodeData::Choice(alt) => {
+                if let Some(a) = *alt {
+                    stack.push((a, format!("{path}->{}", inst.label(a))));
+                }
+            }
+            NodeData::Set(members) => {
+                catalog.record_set(&path, members.len() as u64);
+                // Set members are `*`-labelled; they keep the set's path so
+                // member-field statistics key on `<set path>.<field>`.
+                for &m in members {
+                    stack.push((m, path.clone()));
+                }
+            }
+        }
     }
 }
 
@@ -2430,5 +2525,57 @@ mod tests {
         let (g, completed) = guard_of(&serial);
         assert_eq!(g.progress.rows, 3);
         assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn report_latency_percentiles_and_analyze_plan() {
+        let (_, _, report) = run_exchange();
+        let (p50, p90, p99) = report.latency_percentiles().unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        let plan = report.analyze_plan();
+        assert_eq!(plan.op, "exchange");
+        assert_eq!(plan.children.len(), 3);
+        for (merge, stats) in plan.children.iter().zip(&report.per_mapping) {
+            assert_eq!(merge.op, "pnf-merge");
+            assert_eq!(merge.rows_in, stats.bindings as u64);
+            assert_eq!(merge.rows_out, stats.rows_inserted as u64);
+            let nest = &merge.children[0];
+            assert_eq!(nest.op, "nest");
+            assert_eq!(nest.rows_in, stats.tuples as u64);
+            assert_eq!(nest.rows_out, stats.bindings as u64);
+            let foreach = &nest.children[0];
+            assert_eq!(foreach.op, "foreach");
+            assert_eq!(foreach.rows_out, stats.tuples as u64);
+        }
+        assert_eq!(ExchangeReport::default().latency_percentiles(), None);
+    }
+
+    #[test]
+    fn exchange_collects_instance_statistics_when_enabled() {
+        // The stats gate and catalog are process-global and other tests in
+        // this binary run exchanges concurrently, so every assertion is a
+        // lower bound on what this run must have contributed.
+        dtr_obs::stats::set_enabled(true);
+        let (_, _, report) = run_exchange();
+        dtr_obs::stats::set_enabled(false);
+        assert_eq!(report.per_mapping.len(), 3);
+        let snap = dtr_obs::stats::snapshot();
+        // Source sets and the produced target sets both appear, keyed by
+        // root-rooted dot paths.
+        for path in ["US.houses", "US.agents", "EU.postings", "Portal.estates"] {
+            let stats = snap
+                .paths
+                .get(path)
+                .unwrap_or_else(|| panic!("no stats for {path}"));
+            assert!(stats.sets >= 1, "{path} set observations");
+        }
+        // Atomic leaves under set members key on `<set path>.<field>`, and
+        // the two distinct house prices survive the distinct estimator.
+        let price = snap.paths.get("US.houses.price").unwrap();
+        assert!(price.tuples >= 2);
+        assert!(price.distinct_estimate() >= 2);
+        // Choice alternatives use the `->` convention shared with the
+        // query-side canonicalized keys.
+        assert!(snap.paths.contains_key("US.agents.title->name"));
     }
 }

@@ -206,6 +206,13 @@ impl Meter {
         self.progress
     }
 
+    /// Total budget charges ticked so far (every `poll`/`check_bindings`/
+    /// `charge_rows` call, polled or not). EXPLAIN ANALYZE diffs this
+    /// around each operator to attribute guard charges per operator.
+    pub fn ticks(&self) -> u64 {
+        self.polls
+    }
+
     fn trip(&self, resource: Resource, limit: u64) -> GuardError {
         let err = GuardError {
             resource,

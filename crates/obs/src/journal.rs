@@ -206,6 +206,11 @@ pub struct Summary {
     pub cap: u64,
     /// Retained events per outcome kind, sorted by kind.
     pub by_outcome: Vec<(String, u64)>,
+    /// *Recorded* events per outcome kind since the last reset, sorted by
+    /// kind — a running tally that survives ring-buffer eviction, so rare
+    /// outcomes like `guard_abort` and `collision_split` stay visible even
+    /// after high-volume events push them out of the buffer.
+    pub recorded_by_outcome: Vec<(String, u64)>,
 }
 
 impl Summary {
@@ -215,12 +220,17 @@ impl Summary {
         for (k, v) in &self.by_outcome {
             by.insert(k.clone(), Value::from(*v));
         }
+        let mut recorded_by = Map::new();
+        for (k, v) in &self.recorded_by_outcome {
+            recorded_by.insert(k.clone(), Value::from(*v));
+        }
         let mut obj = Map::new();
         obj.insert("recorded", Value::from(self.recorded));
         obj.insert("retained", Value::from(self.retained));
         obj.insert("dropped", Value::from(self.dropped));
         obj.insert("cap", Value::from(self.cap));
         obj.insert("by_outcome", Value::Object(by));
+        obj.insert("recorded_by_outcome", Value::Object(recorded_by));
         Value::Object(obj)
     }
 
@@ -232,22 +242,27 @@ impl Summary {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("journal summary: missing integer field '{key}'"))
         };
-        let mut by_outcome = Vec::new();
-        if let Some(obj) = value.get("by_outcome").and_then(Value::as_object) {
-            for (k, v) in obj.iter() {
-                let v = v
-                    .as_u64()
-                    .ok_or_else(|| format!("journal summary: outcome '{k}' is not an integer"))?;
-                by_outcome.push((k.clone(), v));
+        let parse_outcomes = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            let mut outcomes = Vec::new();
+            if let Some(obj) = value.get(key).and_then(Value::as_object) {
+                for (k, v) in obj.iter() {
+                    let v = v.as_u64().ok_or_else(|| {
+                        format!("journal summary: outcome '{k}' is not an integer")
+                    })?;
+                    outcomes.push((k.clone(), v));
+                }
             }
-        }
-        by_outcome.sort();
+            outcomes.sort();
+            Ok(outcomes)
+        };
         Ok(Summary {
             recorded: get("recorded")?,
             retained: get("retained")?,
             dropped: get("dropped")?,
             cap: get("cap")?,
-            by_outcome,
+            by_outcome: parse_outcomes("by_outcome")?,
+            // Absent in pre-stats profiles — tolerate and default to empty.
+            recorded_by_outcome: parse_outcomes("recorded_by_outcome")?,
         })
     }
 }
@@ -298,6 +313,9 @@ struct Journal {
     buf: VecDeque<Event>,
     next_id: EventId,
     dropped: u64,
+    /// Recorded events per outcome kind — NOT pruned on eviction, so the
+    /// summary keeps exact totals for outcomes whose events were dropped.
+    tally: HashMap<&'static str, u64>,
     /// `target node → event ids`, pruned on eviction.
     lineage: HashMap<u64, Vec<EventId>>,
     /// Fault-injection hook: when the event with this id is recorded, the
@@ -312,6 +330,7 @@ impl Journal {
             buf: VecDeque::new(),
             next_id: 0,
             dropped: 0,
+            tally: HashMap::new(),
             lineage: HashMap::new(),
             trip: None,
         }
@@ -334,6 +353,7 @@ impl Journal {
         let id = self.next_id;
         self.next_id += 1;
         event.id = id;
+        *self.tally.entry(event.outcome.kind()).or_insert(0) += 1;
         if let Some(t) = event.target {
             self.lineage.entry(t).or_default().push(id);
         }
@@ -355,12 +375,19 @@ impl Journal {
         let mut by_outcome: Vec<(String, u64)> =
             by.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         by_outcome.sort();
+        let mut recorded_by_outcome: Vec<(String, u64)> = self
+            .tally
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        recorded_by_outcome.sort();
         Summary {
             recorded: self.next_id,
             retained: self.buf.len() as u64,
             dropped: self.dropped,
             cap: self.cap as u64,
             by_outcome,
+            recorded_by_outcome,
         }
     }
 }
@@ -573,6 +600,46 @@ mod tests {
         assert_eq!(s.dropped, 6);
         assert_eq!(s.cap, 4);
         assert_eq!(s.by_outcome, vec![("inserted".to_string(), 4)]);
+        // The recorded tally is not pruned by eviction.
+        assert_eq!(s.recorded_by_outcome, vec![("inserted".to_string(), 10)]);
+    }
+
+    #[test]
+    fn recorded_tally_survives_eviction_of_rare_outcomes() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        set_cap(4);
+        // Two rare outcomes first...
+        record(event(
+            "exchange.insert_row",
+            Outcome::CollisionSplit {
+                fingerprint: 0xfeed,
+            },
+        ));
+        record(event(
+            "exchange.run_mapping",
+            Outcome::GuardAbort { resource: "rows" },
+        ));
+        // ...then enough bulk traffic to evict them from the ring.
+        for _ in 0..8u64 {
+            record(event("exchange.insert_row", Outcome::Inserted));
+        }
+        set_enabled(false);
+        let s = summary();
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.dropped, 6);
+        // The retained view has lost the rare outcomes entirely...
+        assert_eq!(s.by_outcome, vec![("inserted".to_string(), 4)]);
+        // ...but the recorded tally still counts them.
+        assert_eq!(
+            s.recorded_by_outcome,
+            vec![
+                ("collision_split".to_string(), 1),
+                ("guard_abort".to_string(), 1),
+                ("inserted".to_string(), 8),
+            ]
+        );
     }
 
     #[test]
@@ -661,9 +728,25 @@ mod tests {
             dropped: 36,
             cap: 64,
             by_outcome: vec![("inserted".to_string(), 40), ("pnf_merged".to_string(), 24)],
+            recorded_by_outcome: vec![
+                ("guard_abort".to_string(), 2),
+                ("inserted".to_string(), 70),
+                ("pnf_merged".to_string(), 28),
+            ],
         };
         let round = Summary::from_json(&s.to_json()).unwrap();
         assert_eq!(round, s);
         assert!(Summary::from_json(&serde_json::json!({})).is_err());
+        // Pre-stats JSON without the recorded tally still parses.
+        let mut legacy = Map::new();
+        if let Some(obj) = s.to_json().as_object() {
+            for (k, v) in obj.iter() {
+                if k != "recorded_by_outcome" {
+                    legacy.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        let parsed = Summary::from_json(&Value::Object(legacy)).unwrap();
+        assert!(parsed.recorded_by_outcome.is_empty());
     }
 }

@@ -39,20 +39,27 @@
 //! code change; the `experiments` and `mxql` binaries also accept
 //! `--profile`.
 
+pub mod analyze;
 mod explain;
 pub mod guard;
 pub mod journal;
 mod metrics;
 mod profile;
+pub mod stats;
 mod trace;
 
+pub use analyze::OpNode;
 pub use explain::{ExplainStep, ExplainTrace};
 pub use guard::{Budget, GuardError, GuardReport, Meter, Progress, Resource};
 pub use journal::{
     Event as JournalEvent, EventId, Outcome as JournalOutcome, Summary as JournalSummary,
 };
-pub use metrics::{counters, Counter, Counters, Histogram, HistogramSnapshot};
+pub use metrics::{
+    bucket_for, bucket_lower, bucket_upper, counters, snapshot_percentile, snapshot_percentiles,
+    Counter, Counters, Histogram, HistogramSnapshot,
+};
 pub use profile::{CounterValue, PipelineProfile, ProfileNode};
+pub use stats::{DistinctEstimator, JoinStats, PathStats, StatsCatalog};
 pub use trace::{span, SpanGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -92,13 +99,15 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// Clear all collected state (global counters, this thread's span tree and
-/// the last guard trip). Call at the start of a region you want to profile
-/// in isolation.
+/// Clear all collected state (global counters, this thread's span tree,
+/// the last guard trip and the last analyzed plan). Call at the start of a
+/// region you want to profile in isolation. The statistics catalog is NOT
+/// cleared — it accumulates across runs by design; use [`stats::reset`].
 pub fn profile_reset() {
     counters().reset();
     trace::reset_current_thread();
     guard::reset_report();
+    analyze::reset_last();
 }
 
 /// Snapshot the profile collected since the last [`profile_reset`]: the
@@ -111,6 +120,7 @@ pub fn profile_snapshot() -> PipelineProfile {
         counters: counters().snapshot(),
         journal: journal::enabled().then(journal::summary),
         guard: guard::last_report(),
+        analyze: analyze::last(),
     }
 }
 

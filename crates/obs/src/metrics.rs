@@ -51,6 +51,37 @@ impl Counter {
 /// Number of log₂ buckets in a [`Histogram`] (covers 1 ns .. ~137 s).
 pub const HISTOGRAM_BUCKETS: usize = 38;
 
+/// The bucket index a value lands in: `floor(log2(v))`, with zero treated
+/// as one (bucket 0) and everything at or above `2^(HISTOGRAM_BUCKETS-1)`
+/// saturating into the top bucket.
+#[inline]
+pub fn bucket_for(value: u64) -> usize {
+    let bucket = (63 - value.max(1).leading_zeros()) as usize;
+    bucket.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` (`2^i`, except bucket 0 which also
+/// absorbs zero).
+pub fn bucket_lower(i: usize) -> u64 {
+    debug_assert!(i < HISTOGRAM_BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`, except the top
+/// bucket which saturates to `u64::MAX`).
+pub fn bucket_upper(i: usize) -> u64 {
+    debug_assert!(i < HISTOGRAM_BUCKETS);
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
 /// A lock-free log₂-bucketed histogram (bucket *i* counts values `v` with
 /// `floor(log2(v)) == i`; zero lands in bucket 0).
 #[derive(Debug)]
@@ -76,9 +107,7 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         if crate::enabled() {
-            let bucket = (63 - value.max(1).leading_zeros()) as usize;
-            let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
-            self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            self.buckets[bucket_for(value)].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -86,11 +115,54 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded values.
+    /// Returns `None` on an empty histogram. See [`snapshot_percentile`].
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        snapshot_percentile(&self.snapshot(), q)
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// Estimate the `q`-quantile (`0.0 ..= 1.0`) from a histogram snapshot.
+///
+/// Walks the buckets until the cumulative count covers `ceil(q * total)`
+/// observations and returns the geometric midpoint of that bucket's bounds
+/// (lower bound for bucket 0 / the saturated top bucket, whose upper bound
+/// is not meaningful). Returns `None` when no observations were recorded.
+pub fn snapshot_percentile(snap: &HistogramSnapshot, q: f64) -> Option<u64> {
+    let total: u64 = snap.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in snap.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            if i == 0 || i == HISTOGRAM_BUCKETS - 1 {
+                return Some(bucket_lower(i));
+            }
+            // Geometric midpoint of [2^i, 2^(i+1)): 2^i * sqrt(2).
+            return Some((bucket_lower(i) as f64 * std::f64::consts::SQRT_2) as u64);
+        }
+    }
+    unreachable!("cumulative count covers rank <= total")
+}
+
+/// The standard reporting percentiles (p50/p90/p99) of a snapshot, or
+/// `None` on an empty histogram.
+pub fn snapshot_percentiles(snap: &HistogramSnapshot) -> Option<(u64, u64, u64)> {
+    Some((
+        snapshot_percentile(snap, 0.50)?,
+        snapshot_percentile(snap, 0.90)?,
+        snapshot_percentile(snap, 0.99)?,
+    ))
 }
 
 impl Default for Histogram {
@@ -229,5 +301,75 @@ mod tests {
         assert_eq!(snap[1], 2);
         assert_eq!(snap[10], 1);
         assert_eq!(snap[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_pinned() {
+        // Zero is absorbed into bucket 0 alongside 1 — no underflow.
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 0);
+        // Powers of two start a new bucket; the value just below belongs
+        // to the previous one.
+        assert_eq!(bucket_for(2), 1);
+        assert_eq!(bucket_for(3), 1);
+        assert_eq!(bucket_for(4), 2);
+        assert_eq!(bucket_for(1023), 9);
+        assert_eq!(bucket_for(1024), 10);
+        // Top-bucket saturation: 2^37 is the first saturated value, and
+        // everything above (through u64::MAX) stays clamped there.
+        assert_eq!(bucket_for((1 << 37) - 1), 36);
+        assert_eq!(bucket_for(1 << 37), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_for(1 << 50), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64_without_gaps() {
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_lower(1), 2);
+        assert_eq!(bucket_upper(1), 3);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_lower(i), bucket_upper(i - 1) + 1);
+            assert_eq!(bucket_for(bucket_lower(i)), i.min(HISTOGRAM_BUCKETS - 1));
+        }
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_from_histogram() {
+        let _guard = crate::test_guard();
+        let h = Histogram::new();
+        crate::set_enabled(true);
+        for _ in 0..90 {
+            h.record(100); // bucket 6: [64, 127]
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 16: [65536, 131071]
+        }
+        crate::set_enabled(false);
+        let p50 = h.percentile(0.50).unwrap();
+        let p90 = h.percentile(0.90).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((bucket_lower(6)..=bucket_upper(6)).contains(&p50));
+        assert!((bucket_lower(6)..=bucket_upper(6)).contains(&p90));
+        assert!((bucket_lower(16)..=bucket_upper(16)).contains(&p99));
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn percentile_empty_and_edge_quantiles() {
+        let _guard = crate::test_guard();
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        crate::set_enabled(true);
+        h.record(0);
+        h.record(u64::MAX);
+        crate::set_enabled(false);
+        // Bucket 0 and the saturated top bucket report their lower bound.
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(1.0), Some(bucket_lower(HISTOGRAM_BUCKETS - 1)));
+        let snap = h.snapshot();
+        assert!(snapshot_percentiles(&snap).is_some());
     }
 }

@@ -4,6 +4,7 @@
 //! lossless JSON round-tripping. Counter and span-field keys are sorted
 //! before serialization so `--json` output diffs are stable across runs.
 
+use crate::analyze::OpNode;
 use crate::guard::GuardReport;
 use crate::journal::Summary as JournalSummary;
 use serde_json::{Map, Value};
@@ -39,9 +40,12 @@ pub struct PipelineProfile {
     pub counters: Vec<CounterValue>,
     pub journal: Option<JournalSummary>,
     pub guard: Option<GuardReport>,
+    /// The most recent EXPLAIN ANALYZE operator tree, when an
+    /// `eval_analyzed` run completed since the last reset.
+    pub analyze: Option<OpNode>,
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -192,7 +196,14 @@ impl PipelineProfile {
                 "journal: {} recorded, {} retained, {} dropped (cap {})\n",
                 j.recorded, j.retained, j.dropped, j.cap
             ));
-            for (kind, count) in &j.by_outcome {
+            // Prefer the recorded (eviction-proof) tally; fall back to the
+            // retained view for pre-stats profiles.
+            let outcomes = if j.recorded_by_outcome.is_empty() {
+                &j.by_outcome
+            } else {
+                &j.recorded_by_outcome
+            };
+            for (kind, count) in outcomes {
                 out.push_str(&format!("  {kind:<width$} {count:>12}\n"));
             }
         }
@@ -201,6 +212,9 @@ impl PipelineProfile {
                 "guard: {} tripped at {} (limit {}) after {} bindings, {} rows, {} bytes\n",
                 g.resource, g.stage, g.limit, g.bindings, g.rows, g.bytes
             ));
+        }
+        if let Some(plan) = &self.analyze {
+            out.push_str(&plan.render());
         }
         out
     }
@@ -226,6 +240,9 @@ impl PipelineProfile {
         }
         if let Some(guard) = &self.guard {
             obj.insert("guard", guard.to_json());
+        }
+        if let Some(plan) = &self.analyze {
+            obj.insert("analyze", plan.to_json());
         }
         Value::Object(obj)
     }
@@ -265,11 +282,16 @@ impl PipelineProfile {
             Some(g) => Some(GuardReport::from_json(g)?),
             None => None,
         };
+        let analyze = match value.get("analyze") {
+            Some(a) => Some(OpNode::from_json(a)?),
+            None => None,
+        };
         Ok(PipelineProfile {
             stages,
             counters,
             journal,
             guard,
+            analyze,
         })
     }
 }
@@ -316,6 +338,7 @@ mod tests {
             ],
             journal: None,
             guard: None,
+            analyze: None,
         }
     }
 
@@ -336,6 +359,7 @@ mod tests {
             dropped: 0,
             cap: 65_536,
             by_outcome: vec![("inserted".to_string(), 8), ("pnf_merged".to_string(), 4)],
+            recorded_by_outcome: vec![("inserted".to_string(), 8), ("pnf_merged".to_string(), 4)],
         });
         let text = profile.to_json_string();
         let parsed = serde_json::from_str(&text).unwrap();
@@ -364,6 +388,26 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_keeps_analyze_plan() {
+        let mut profile = sample();
+        profile.analyze = Some(OpNode {
+            op: "project".into(),
+            label: "2 cols".into(),
+            rows_in: 7,
+            rows_out: 7,
+            elapsed_ns: 1_000,
+            guard_charges: 7,
+            children: vec![OpNode::new("scan", "$x: db:/r")],
+        });
+        let text = profile.to_json_string();
+        let parsed = serde_json::from_str(&text).unwrap();
+        assert_eq!(PipelineProfile::from_json(&parsed).unwrap(), profile);
+        let rendered = profile.render();
+        assert!(rendered.contains("EXPLAIN ANALYZE"));
+        assert!(rendered.contains("rows 7 → 7"));
+    }
+
+    #[test]
     fn json_counters_and_fields_serialize_sorted() {
         let profile = PipelineProfile {
             stages: vec![ProfileNode {
@@ -378,6 +422,7 @@ mod tests {
             counters: vec![("z.last".into(), 1), ("a.first".into(), 2)],
             journal: None,
             guard: None,
+            analyze: None,
         };
         let text = profile.to_json_string();
         assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());

@@ -19,9 +19,11 @@ use crate::functions::{ArgValue, FunctionRegistry, FunctionValue};
 use dtr_model::instance::{Instance, NodeId};
 use dtr_model::schema::Schema;
 use dtr_model::value::{AtomicValue, ElementRef, MappingName};
-use dtr_obs::guard::{Budget, GuardError};
+use dtr_obs::guard::{Budget, GuardError, Meter};
+use dtr_obs::OpNode;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::Instant;
 
 /// One queryable data source: a schema and an instance conforming to it.
 #[derive(Clone, Copy)]
@@ -159,6 +161,10 @@ pub struct EvalStats {
     /// Candidate items tested after a hash-table probe (hash-join mode
     /// only; the nested-loop equivalent is counted in `tuples_scanned`).
     pub hash_probes: u64,
+    /// Wall time of the whole evaluation, in nanoseconds. Summed when
+    /// results are aggregated (translated MXQL branches, virtual unions),
+    /// so latency percentiles can be extracted across repetitions.
+    pub eval_ns: u64,
 }
 
 /// The result of evaluating a query.
@@ -384,12 +390,41 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates a query.
     pub fn run(&self, q: &Query) -> Result<QueryResult, EvalError> {
+        self.run_impl(q, false).map(|(result, _)| result)
+    }
+
+    /// EXPLAIN ANALYZE: evaluates `q` with the exact same plan and row
+    /// order as [`Evaluator::run`], additionally wrapping each logical
+    /// operator (scan, bind, hash-join build/probe, map-pred, filter,
+    /// project, sort, limit) in an [`OpNode`] recording actual rows
+    /// in/out, elapsed wall time and guard charges. Instrumentation is
+    /// read-only, so the result is byte-identical to a plain `run`. The
+    /// finished tree is published to `dtr_obs::analyze::set_last` (so
+    /// `profile_snapshot` embeds it) and every operator's elapsed time is
+    /// folded into the shared log₂ span-duration histogram.
+    pub fn run_analyzed(&self, q: &Query) -> Result<(QueryResult, OpNode), EvalError> {
+        let (result, plan) = self.run_impl(q, true)?;
+        let plan = plan.expect("analyze mode always builds a plan");
+        fold_durations(&plan);
+        dtr_obs::analyze::set_last(plan.clone());
+        Ok((result, plan))
+    }
+
+    fn run_impl(
+        &self,
+        q: &Query,
+        analyze: bool,
+    ) -> Result<(QueryResult, Option<OpNode>), EvalError> {
         let span = dtr_obs::span("query.eval")
             .field("from_len", q.from.len())
             .field("conditions", q.conditions.len());
         dtr_obs::counters().queries_evaluated.incr();
+        let started = Instant::now();
         let mut stats = EvalStats::default();
         let mut meter = self.opts.budget.meter("query.eval");
+        let mut plan: Option<OpNode> = None;
+        let collect_stats = dtr_obs::stats::enabled();
+        let mut local_stats = dtr_obs::StatsCatalog::new();
         // Variable slots: declared vars first, then implicit ones.
         let mut var_index: HashMap<&str, usize> = HashMap::new();
         for b in &q.from {
@@ -457,6 +492,9 @@ impl<'a> Evaluator<'a> {
         // comparisons; only survivors are cloned into the next generation.
         for (bi, b) in q.from.iter().enumerate() {
             let slot = var_index[b.var.as_str()];
+            let stage_rows_in = rows.len() as u64;
+            let probes_before = stats.hash_probes;
+            let stage_t = stage_begin(analyze, &meter);
             let ready = if self.opts.pushdown {
                 ready_at[bi].as_slice()
             } else {
@@ -522,6 +560,7 @@ impl<'a> Evaluator<'a> {
             // probe it per row instead of scanning every item per row.
             // Bucket mates are still confirmed with the real (coercing)
             // comparison, so conservative key sharing is harmless.
+            let build_t = stage_begin(analyze, &meter);
             let join_table: Option<(usize, bool, HashMap<JoinKey, Vec<usize>>)> =
                 match (self.opts.hash_join, &static_items, rows.first()) {
                     (true, Some(items), Some(env0)) => {
@@ -572,6 +611,17 @@ impl<'a> Evaluator<'a> {
                     }
                     _ => None,
                 };
+            let build_node = match (&join_table, &static_items) {
+                (Some(_), Some(items)) => finish_node(
+                    build_t,
+                    &meter,
+                    "hash-build",
+                    format!("{} {}", b.source, b.var),
+                    items.len() as u64,
+                    items.len() as u64,
+                ),
+                _ => None,
+            };
             let mut next_rows = Vec::new();
             for mut env in rows {
                 meter.poll()?;
@@ -655,6 +705,40 @@ impl<'a> Evaluator<'a> {
             rows = next_rows;
             stats.bindings_enumerated += rows.len() as u64;
             meter.check_bindings(stats.bindings_enumerated)?;
+            if analyze {
+                let op = if join_table.is_some() {
+                    "hash-probe"
+                } else if b.source.variables().is_empty() {
+                    "scan"
+                } else {
+                    "bind"
+                };
+                let mut label = format!("{} {}", b.source, b.var);
+                if !ready.is_empty() {
+                    label.push_str(&format!("; {} cond(s)", ready.len()));
+                }
+                push_stage(
+                    &mut plan,
+                    finish_node(stage_t, &meter, op, label, stage_rows_in, rows.len() as u64),
+                    build_node,
+                );
+            }
+            if collect_stats {
+                if let Some(items) = &static_items {
+                    local_stats.record_set(&canonical_expr(&b.source, q), items.len() as u64);
+                }
+                if let Some((jk, _, _)) = &join_table {
+                    local_stats.record_join(
+                        &canonical_join_key(comparisons[ready[*jk]], q),
+                        dtr_obs::JoinStats {
+                            build_rows: static_items.as_ref().map_or(0, |i| i.len() as u64),
+                            probe_rows: stage_rows_in,
+                            probes: stats.hash_probes - probes_before,
+                            matches: rows.len() as u64,
+                        },
+                    );
+                }
+            }
             if rows.is_empty() {
                 break;
             }
@@ -667,6 +751,8 @@ impl<'a> Evaluator<'a> {
             if rows.is_empty() {
                 break;
             }
+            let stage_rows_in = rows.len() as u64;
+            let stage_t = stage_begin(analyze, &meter);
             let meta = self.meta.ok_or(EvalError::NoMetaEnv)?;
             let triples: Vec<PredTriple> = meta
                 .triples(p.double)
@@ -735,9 +821,28 @@ impl<'a> Evaluator<'a> {
             if self.opts.pushdown {
                 self.apply_ready_comparisons(&comparisons, &mut cmp_done, &var_index, &mut rows)?;
             }
+            push_stage(
+                &mut plan,
+                finish_node(
+                    stage_t,
+                    &meter,
+                    "map-pred",
+                    p.to_string(),
+                    stage_rows_in,
+                    rows.len() as u64,
+                ),
+                None,
+            );
         }
 
         // Remaining comparisons.
+        let residual = cmp_done.iter().filter(|done| !**done).count();
+        let filter_rows_in = rows.len() as u64;
+        let filter_t = if residual > 0 {
+            stage_begin(analyze, &meter)
+        } else {
+            None
+        };
         for (i, cmp) in comparisons.iter().enumerate() {
             if cmp_done[i] {
                 continue;
@@ -750,8 +855,24 @@ impl<'a> Evaluator<'a> {
             }
             rows = kept;
         }
+        if residual > 0 {
+            push_stage(
+                &mut plan,
+                finish_node(
+                    filter_t,
+                    &meter,
+                    "filter",
+                    format!("{residual} residual cond(s)"),
+                    filter_rows_in,
+                    rows.len() as u64,
+                ),
+                None,
+            );
+        }
 
         // Project the select clause.
+        let proj_rows_in = rows.len() as u64;
+        let proj_t = stage_begin(analyze, &meter);
         let mut out = QueryResult {
             columns: q.select.iter().map(|e| e.to_string()).collect(),
             rows: Vec::with_capacity(rows.len()),
@@ -785,9 +906,22 @@ impl<'a> Evaluator<'a> {
             }
             out.rows.push(tuple);
         }
+        push_stage(
+            &mut plan,
+            finish_node(
+                proj_t,
+                &meter,
+                "project",
+                format!("{} col(s)", q.select.len()),
+                proj_rows_in,
+                out.rows.len() as u64,
+            ),
+            None,
+        );
 
         // The extension tail: order by, then limit.
         if !q.order_by.is_empty() {
+            let sort_t = stage_begin(analyze, &meter);
             let mut indexed: Vec<usize> = (0..out.rows.len()).collect();
             indexed.sort_by(|&a, &b| {
                 for (ki, k) in q.order_by.iter().enumerate() {
@@ -811,10 +945,38 @@ impl<'a> Evaluator<'a> {
                 reordered.push(std::mem::take(&mut out.rows[i]));
             }
             out.rows = reordered;
+            let n = out.rows.len() as u64;
+            push_stage(
+                &mut plan,
+                finish_node(
+                    sort_t,
+                    &meter,
+                    "sort",
+                    format!("{} key(s)", q.order_by.len()),
+                    n,
+                    n,
+                ),
+                None,
+            );
         }
         if let Some(n) = q.limit {
+            let limit_t = stage_begin(analyze, &meter);
+            let limit_rows_in = out.rows.len() as u64;
             out.rows.truncate(n);
+            push_stage(
+                &mut plan,
+                finish_node(
+                    limit_t,
+                    &meter,
+                    "limit",
+                    format!("limit {n}"),
+                    limit_rows_in,
+                    out.rows.len() as u64,
+                ),
+                None,
+            );
         }
+        stats.eval_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         out.stats = stats;
         let counters = dtr_obs::counters();
         counters.tuples_scanned.add(stats.tuples_scanned);
@@ -823,7 +985,10 @@ impl<'a> Evaluator<'a> {
         span.record("tuples_scanned", stats.tuples_scanned);
         span.record("bindings", stats.bindings_enumerated);
         span.record("rows_out", out.rows.len());
-        Ok(out)
+        if collect_stats {
+            dtr_obs::stats::merge(&local_stats);
+        }
+        Ok((out, plan))
     }
 
     fn apply_ready_comparisons(
@@ -1238,6 +1403,114 @@ enum JoinKey {
 /// The keys a value is findable under. A plain string yields up to two:
 /// its text (matching Str/Db/Map) and its canonical element path
 /// (matching Elem) — mirroring the two branches of `meta_str_compare`.
+/// Starts an EXPLAIN ANALYZE stage timer: wall clock plus the guard
+/// meter's tick count, so the finished node can report both elapsed time
+/// and guard charges. `None` (zero cost) outside analyze mode.
+fn stage_begin(analyze: bool, meter: &Meter) -> Option<(Instant, u64)> {
+    analyze.then(|| (Instant::now(), meter.ticks()))
+}
+
+/// Closes a stage timer into an [`OpNode`]; `None` in, `None` out.
+fn finish_node(
+    t: Option<(Instant, u64)>,
+    meter: &Meter,
+    op: &str,
+    label: String,
+    rows_in: u64,
+    rows_out: u64,
+) -> Option<OpNode> {
+    let (start, ticks0) = t?;
+    let mut node = OpNode::new(op, label);
+    node.rows_in = rows_in;
+    node.rows_out = rows_out;
+    node.elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    node.guard_charges = meter.ticks().saturating_sub(ticks0);
+    Some(node)
+}
+
+/// Chains a finished stage node onto the growing plan: the previous chain
+/// becomes the new node's first child (its upstream input), side inputs
+/// like a hash-build follow.
+fn push_stage(plan: &mut Option<OpNode>, node: Option<OpNode>, extra_child: Option<OpNode>) {
+    let Some(mut node) = node else { return };
+    if let Some(prev) = plan.take() {
+        node.children.push(prev);
+    }
+    if let Some(extra) = extra_child {
+        node.children.push(extra);
+    }
+    *plan = Some(node);
+}
+
+/// Folds every operator's elapsed time into the shared log₂ span-duration
+/// histogram (the "histogram reuse" of the analyze mode).
+fn fold_durations(node: &OpNode) {
+    dtr_obs::counters().span_duration_ns.record(node.elapsed_ns);
+    for child in &node.children {
+        fold_durations(child);
+    }
+}
+
+/// Renders a path expression with variable starts expanded through the
+/// query's `from` chain into root-rooted paths, so statistics keys are
+/// stable under alpha-renaming of query variables.
+fn canonical_path(p: &PathExpr, q: &Query, depth: usize) -> String {
+    let mut out = match &p.start {
+        PathStart::Root(r) => r.to_string(),
+        PathStart::Var(v) => {
+            let source = if depth < 8 {
+                q.from.iter().find(|b| &b.var == v)
+            } else {
+                None
+            };
+            match source {
+                Some(b) => canonical_source(&b.source, q, depth + 1),
+                None => v.clone(),
+            }
+        }
+    };
+    for s in &p.steps {
+        match s {
+            Step::Project(l) => {
+                out.push('.');
+                out.push_str(l.as_ref());
+            }
+            Step::Choice(l) => {
+                out.push_str("->");
+                out.push_str(l.as_ref());
+            }
+        }
+    }
+    out
+}
+
+fn canonical_source(e: &Expr, q: &Query, depth: usize) -> String {
+    match e {
+        Expr::Path(p) => canonical_path(p, q, depth),
+        Expr::ElemOf(p) => format!("{}@elem", canonical_path(p, q, depth)),
+        Expr::MapOf(p) => format!("{}@map", canonical_path(p, q, depth)),
+        Expr::Const(c) => c.display_quoted().to_string(),
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(|a| canonical_source(a, q, depth)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+/// The canonical statistics key of an expression (see `canonical_path`).
+pub fn canonical_expr(e: &Expr, q: &Query) -> String {
+    canonical_source(e, q, 0)
+}
+
+/// Canonicalized equality-join key: both sides expanded to root-rooted
+/// paths and sorted, so `a.id = l.agent` and `l.agent = a.id` land on one
+/// statistics entry regardless of variable names or operand order.
+pub fn canonical_join_key(cmp: &Comparison, q: &Query) -> String {
+    let mut sides = [canonical_expr(&cmp.left, q), canonical_expr(&cmp.right, q)];
+    sides.sort();
+    format!("{} = {}", sides[0], sides[1])
+}
+
 fn join_keys(v: &AtomicValue) -> Vec<JoinKey> {
     match v {
         AtomicValue::Str(s) => {
@@ -1916,6 +2189,90 @@ mod tests {
         let funcs = FunctionRegistry::with_builtins();
         let q = parse_query("select h from US.houses h").unwrap();
         assert!(Evaluator::new(&catalog, &funcs).run(&q).is_err());
+    }
+
+    #[test]
+    fn analyzed_run_is_byte_identical_and_builds_operator_tree() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        // A 3-way join with a sort and a limit exercises every query-side
+        // operator kind at once.
+        let text = "select h.hid, a.phone, g.hid from US.houses h, US.agents a, US.houses g \
+                    where h.aid = a.aid and g.price = h.price order by h.hid limit 10";
+        let q = parse_query(text).unwrap();
+        let ev = Evaluator::new(&catalog, &funcs);
+        let plain = ev.run(&q).unwrap();
+        let (analyzed, plan) = ev.run_analyzed(&q).unwrap();
+        // Instrumentation is read-only: identical columns and rows
+        // (values AND fact positions), in identical order.
+        assert_eq!(plain.columns, analyzed.columns);
+        assert_eq!(plain.rows, analyzed.rows);
+        // The root operator's output is the result cardinality.
+        assert_eq!(plan.rows_out, analyzed.rows.len() as u64);
+        assert_eq!(plan.op, "limit");
+        for op in ["scan", "hash-build", "hash-probe", "project", "sort"] {
+            assert!(plan.find(op).is_some(), "missing operator {op}");
+        }
+        // Both equi-joins ran as hash joins over the static sources.
+        let probe = plan.find("hash-probe").unwrap();
+        assert!(probe.rows_in > 0);
+        // The projection charges the guard meter per emitted row.
+        assert!(plan.find("project").unwrap().guard_charges > 0);
+        let rendered = plan.render();
+        assert!(rendered.contains("EXPLAIN ANALYZE"));
+        assert!(rendered.contains("hash-probe"));
+        // The plan is published for profile_snapshot embedding.
+        assert_eq!(
+            dtr_obs::analyze::last().map(|p| p.rows_out),
+            Some(plan.rows_out)
+        );
+    }
+
+    #[test]
+    fn analyzed_run_without_joins_matches_plain() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select h.hid from US.houses h where h.price > 500000").unwrap();
+        let ev = Evaluator::new(&catalog, &funcs);
+        let plain = ev.run(&q).unwrap();
+        let (analyzed, plan) = ev.run_analyzed(&q).unwrap();
+        assert_eq!(plain.rows, analyzed.rows);
+        assert_eq!(plan.op, "project");
+        assert_eq!(plan.rows_out, 2);
+        let scan = plan.find("scan").unwrap();
+        assert_eq!(scan.rows_out, 2);
+    }
+
+    #[test]
+    fn stats_catalog_records_scans_and_joins() {
+        dtr_obs::stats::set_enabled(true);
+        let r = run("select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid");
+        dtr_obs::stats::set_enabled(false);
+        assert_eq!(r.len(), 3);
+        let cat = dtr_obs::stats::snapshot();
+        // Other tests may run concurrently while the gate is open, so
+        // assert lower bounds, not exact counts.
+        let houses = cat.paths.get("US.houses").expect("US.houses scanned");
+        assert!(houses.sets >= 1);
+        let join = cat
+            .joins
+            .get("US.agents.aid = US.houses.aid")
+            .expect("join key canonicalized through the from-chain");
+        assert!(join.build_rows >= 2);
+        assert!(join.matches >= 3);
+        assert!(join.selectivity().is_some());
     }
 
     use dtr_model::value::MappingName;

@@ -13,8 +13,15 @@
 //! ```
 //!
 //! `--profile` (or `DTR_PROFILE=1`) enables the `dtr-obs` span collector and
-//! counter registry; the harness then prints the aggregated profile tree and,
-//! with `--json`, embeds it under the `"profile"` key.
+//! counter registry; the harness then prints the aggregated profile tree
+//! (plus p50/p90/p99 span latency) and, with `--json`, embeds it under the
+//! `"profile"` key with the percentiles under `"latency_ns"`.
+//!
+//! `--stats` (or `DTR_STATS=1`) enables the statistics catalog: per-path
+//! tuple counts, distinct-value estimates, set-cardinality histograms, and
+//! observed join selectivities collected while the exchanges and timed
+//! queries run. The harness prints a summary and, with `--json`, embeds the
+//! full catalog under the `"stats"` key.
 //!
 //! `--deadline-ms MS` and `--max-rows N` run every exchange and timed query
 //! under a `dtr-obs` resource budget. An exhausted budget aborts the run
@@ -40,6 +47,7 @@ struct Args {
     listings_per_source: usize,
     json_path: Option<String>,
     profile: bool,
+    stats: bool,
     budget: Budget,
 }
 
@@ -67,6 +75,7 @@ fn parse_args() -> Args {
     let mut json_path = None;
     let mut listings = 2000usize;
     let mut profile = false;
+    let mut stats = false;
     let mut budget = Budget::unlimited();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
             }
             "--json" => json_path = it.next(),
             "--profile" => profile = true,
+            "--stats" => stats = true,
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
@@ -118,6 +128,7 @@ fn parse_args() -> Args {
         listings_per_source: if quick { listings / 10 } else { listings },
         json_path,
         profile,
+        stats,
         budget,
     }
 }
@@ -530,8 +541,14 @@ fn main() {
     if args.profile {
         dtr_obs::set_enabled(true);
     }
+    if args.stats {
+        dtr_obs::stats::set_enabled(true);
+    }
     if dtr_obs::enabled() {
         dtr_obs::profile_reset();
+    }
+    if dtr_obs::stats::enabled() {
+        dtr_obs::stats::reset();
     }
     println!(
         "Section 8 experiment harness — {} listings per source ({} total)",
@@ -578,7 +595,22 @@ fn main() {
     let profile = if dtr_obs::enabled() {
         let p = dtr_obs::profile_snapshot();
         println!("\n{}", p.render());
+        let snap = dtr_obs::counters().span_duration_ns.snapshot();
+        if let Some((p50, p90, p99)) = dtr_obs::snapshot_percentiles(&snap) {
+            println!("span latency: p50 {p50} ns, p90 {p90} ns, p99 {p99} ns");
+        }
         Some(p)
+    } else {
+        None
+    };
+    let stats = if dtr_obs::stats::enabled() {
+        let c = dtr_obs::stats::snapshot();
+        println!(
+            "\nstatistics catalog: {} path(s), {} join key(s)",
+            c.paths.len(),
+            c.joins.len()
+        );
+        Some(c)
     } else {
         None
     };
@@ -586,6 +618,16 @@ fn main() {
     if let Some(path) = args.json_path {
         if let Some(p) = &profile {
             results.insert("profile".to_string(), p.to_json());
+            let snap = dtr_obs::counters().span_duration_ns.snapshot();
+            if let Some((p50, p90, p99)) = dtr_obs::snapshot_percentiles(&snap) {
+                results.insert(
+                    "latency_ns".to_string(),
+                    json!({"span_p50": p50, "span_p90": p90, "span_p99": p99}),
+                );
+            }
+        }
+        if let Some(c) = &stats {
+            results.insert("stats".to_string(), c.to_json());
         }
         std::fs::write(
             &path,

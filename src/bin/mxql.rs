@@ -22,6 +22,15 @@
 //!   (also enabled by `--profile` or `DTR_PROFILE=1`);
 //! * `.explain <query>;` — translation EXPLAIN: every Section 7.3 rewrite
 //!   step plus the final plain quer(ies);
+//! * `.analyze <query>;` — EXPLAIN ANALYZE: run the query with
+//!   per-operator instrumentation and print the operator tree (actual rows
+//!   in/out, wall time, guard charges per scan/bind/filter/hash-join
+//!   stage); the result is byte-identical to a plain run;
+//! * `.stats [on|off|json]` — dump (or toggle) the statistics catalog
+//!   gathered while queries and exchanges run: per-path tuple counts,
+//!   distinct-value estimates, set-cardinality histograms, and observed
+//!   equality-join selectivities (on by default in this shell; also
+//!   `DTR_STATS=1`);
 //! * `.trace <path> [value]` — replay a target value's journal lineage
 //!   (mapping → source binding → insert/merge events), cross-checked
 //!   against the Section 6 where-provenance query;
@@ -64,6 +73,12 @@ fn load() -> TaggedInstance {
     if std::env::var("DTR_JOURNAL").is_err() {
         dtr_obs::journal::set_enabled(true);
     }
+    // Statistics collection likewise defaults on in the shell: the catalog
+    // is a handful of maps updated once per run, and having the exchange's
+    // instance walk in it is what makes `.stats` useful immediately.
+    if std::env::var("DTR_STATS").is_err() {
+        dtr_obs::stats::set_enabled(true);
+    }
     let mut portal: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,8 +110,8 @@ fn help() {
     println!("enter an MXQL query terminated by `;`, e.g.");
     println!("  select x.hid, m from Portal.estates x, x.value@map m;");
     println!("meta commands: .mappings  .schema <db>  .store  .translate <q>;");
-    println!("               .explain <q>;  .trace <path> [value]");
-    println!("               .journal [on|off|json|export <file>]");
+    println!("               .explain <q>;  .analyze <q>;  .trace <path> [value]");
+    println!("               .journal [on|off|json|export <file>]  .stats [on|off|json]");
     println!("               .mode direct|translated|virtual  .lint");
     println!("               .whatif <db|m1,m2,...>  .save <file>");
     println!(
@@ -442,6 +457,47 @@ fn main() {
                         Err(e) => println!("parse error: {e}"),
                     }
                 }
+                ".analyze" => {
+                    let text = rest.trim().trim_end_matches(';');
+                    if text.is_empty() {
+                        println!("usage: .analyze <query>;");
+                    } else {
+                        match parse_query(text) {
+                            Ok(q) => {
+                                let t0 = std::time::Instant::now();
+                                match tagged.run_analyzed(&q) {
+                                    Ok((r, plan)) => {
+                                        print!("{}", r.to_table());
+                                        println!(
+                                            "({} rows in {:.1} ms)",
+                                            r.len(),
+                                            t0.elapsed().as_secs_f64() * 1e3
+                                        );
+                                        print!("{}", plan.render());
+                                    }
+                                    Err(e) => println!("error: {e}"),
+                                }
+                            }
+                            Err(e) => println!("parse error: {e}"),
+                        }
+                    }
+                }
+                ".stats" => match rest.trim() {
+                    "on" => {
+                        dtr_obs::stats::set_enabled(true);
+                        println!("statistics collection on");
+                    }
+                    "off" => {
+                        dtr_obs::stats::set_enabled(false);
+                        println!("statistics collection off (catalog kept; `.stats` still dumps)");
+                    }
+                    "json" => println!("{}", dtr_obs::stats::snapshot().to_json_string()),
+                    "reset" => {
+                        dtr_obs::stats::reset();
+                        println!("statistics catalog cleared");
+                    }
+                    _ => print!("{}", dtr_obs::stats::snapshot().render()),
+                },
                 ".trace" => {
                     let mut parts = rest.split_whitespace();
                     let path = parts.next().unwrap_or("");
@@ -500,7 +556,10 @@ fn main() {
                                 "journal: {} recorded, {} retained, {} dropped (cap {})",
                                 s.recorded, s.retained, s.dropped, s.cap
                             );
-                            for (kind, n) in &s.by_outcome {
+                            // The recorded tally survives ring eviction, so
+                            // rare outcomes (guard aborts, collision splits)
+                            // stay visible even after heavy churn.
+                            for (kind, n) in &s.recorded_by_outcome {
                                 println!("  {kind:<24} {n:>8}");
                             }
                         }
