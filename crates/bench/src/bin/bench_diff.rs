@@ -2,28 +2,44 @@
 //! `bench_pr4` emits) and reports per-scale, per-config timing deltas.
 //!
 //! ```text
-//! bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N] [--report-only]
+//! bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N]
+//!            [--latency-threshold-pct N] [--report-only]
 //! ```
 //!
 //! Scales are matched by `listings_per_source` (the intersection of both
-//! reports); configs (`baseline`, `optimized`, `guarded`, `instrumented`)
-//! are compared when present in both entries, so reports from trees before
-//! and after a config was added still diff cleanly. A positive delta means
-//! the candidate is slower. The process exits nonzero when any config's
-//! `total_ms` regressed by more than the threshold (default 10 %) unless
-//! `--report-only` is given — wall-clock benches on shared CI runners are
-//! noisy, so CI runs report-only and humans read the table.
+//! reports); configs (`baseline`, `optimized`, `guarded`, `instrumented`,
+//! `flight`) are compared when present in both entries, so reports from
+//! trees before and after a config was added still diff cleanly. A positive
+//! delta means the candidate is slower. Two metrics are checked:
+//!
+//! * `total_ms` per config, against `--threshold-pct` (default 10 %);
+//! * per-mapping exchange latency percentiles (`latency_ns.p50` /
+//!   `latency_ns.p99`), against `--latency-threshold-pct` (default 25 % —
+//!   tail percentiles quantize to histogram-ish steps and jitter more than
+//!   totals). Reports without `latency_ns` (pre-flight-recorder trees) skip
+//!   the latency comparison silently.
+//!
+//! The process exits nonzero when any comparison regressed past its
+//! threshold unless `--report-only` is given — wall-clock benches on shared
+//! CI runners are noisy, so CI runs report-only and humans read the table.
 
+use dtr_obs::health::delta_pct;
 use serde_json::Value;
 use std::process::exit;
 
 /// The per-scale config objects `bench_pr4` may emit, in report order.
-const CONFIGS: &[&str] = &["baseline", "optimized", "guarded", "instrumented"];
+const CONFIGS: &[&str] = &["baseline", "optimized", "guarded", "instrumented", "flight"];
+
+struct ConfigNumbers {
+    config: String,
+    total_ms: f64,
+    /// `(p50, p99)` exchange latency in ns, when the report carries it.
+    latency_ns: Option<(f64, f64)>,
+}
 
 struct Entry {
     scale: u64,
-    /// `(config, total_ms)` for each config present.
-    totals: Vec<(String, f64)>,
+    configs: Vec<ConfigNumbers>,
 }
 
 fn load(path: &str) -> Vec<Entry> {
@@ -38,14 +54,25 @@ fn load(path: &str) -> Vec<Entry> {
         .iter()
         .filter_map(|r| {
             let scale = r.get("listings_per_source").and_then(Value::as_u64)?;
-            let totals = CONFIGS
+            let configs = CONFIGS
                 .iter()
                 .filter_map(|&c| {
-                    let ms = r.get(c)?.get("total_ms").and_then(Value::as_f64)?;
-                    Some((c.to_string(), ms))
+                    let obj = r.get(c)?;
+                    let total_ms = obj.get("total_ms").and_then(Value::as_f64)?;
+                    let latency_ns = obj.get("latency_ns").and_then(|l| {
+                        Some((
+                            l.get("p50").and_then(Value::as_f64)?,
+                            l.get("p99").and_then(Value::as_f64)?,
+                        ))
+                    });
+                    Some(ConfigNumbers {
+                        config: c.to_string(),
+                        total_ms,
+                        latency_ns,
+                    })
                 })
                 .collect();
-            Some(Entry { scale, totals })
+            Some(Entry { scale, configs })
         })
         .collect()
 }
@@ -58,6 +85,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold_pct = 10.0f64;
+    let mut latency_threshold_pct = 25.0f64;
     let mut report_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -68,24 +96,33 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threshold-pct takes a number"));
             }
+            "--latency-threshold-pct" => {
+                latency_threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--latency-threshold-pct takes a number"));
+            }
             "--report-only" => report_only = true,
             other if other.starts_with("--") => {
                 die(&format!(
                     "unknown flag {other}\nusage: bench_diff BASELINE.json CANDIDATE.json \
-                     [--threshold-pct N] [--report-only]"
+                     [--threshold-pct N] [--latency-threshold-pct N] [--report-only]"
                 ));
             }
             path => paths.push(path.to_string()),
         }
     }
     let [base_path, cand_path] = paths.as_slice() else {
-        die("expected exactly two report paths\nusage: bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N] [--report-only]");
+        die("expected exactly two report paths\nusage: bench_diff BASELINE.json CANDIDATE.json [--threshold-pct N] [--latency-threshold-pct N] [--report-only]");
     };
     let base = load(base_path);
     let cand = load(cand_path);
 
     println!("bench_diff: {base_path} (baseline) vs {cand_path} (candidate)");
-    println!("  threshold: {threshold_pct:.1} % on total_ms (positive delta = candidate slower)");
+    println!(
+        "  thresholds: {threshold_pct:.1} % on total_ms, {latency_threshold_pct:.1} % on \
+         latency_ns p50/p99 (positive delta = candidate slower)"
+    );
     let mut compared = 0usize;
     let mut regressions: Vec<String> = Vec::new();
     for b in &base {
@@ -94,25 +131,49 @@ fn main() {
             continue;
         };
         println!("  scale {:>6}:", b.scale);
-        for (config, base_ms) in &b.totals {
-            let Some((_, cand_ms)) = c.totals.iter().find(|(k, _)| k == config) else {
+        for bc in &b.configs {
+            let config = &bc.config;
+            let Some(cc) = c.configs.iter().find(|cc| cc.config == *config) else {
                 println!("    {config:<12} only in baseline (skipped)");
                 continue;
             };
-            let delta_pct = 100.0 * (cand_ms - base_ms) / base_ms;
-            let flag = if delta_pct > threshold_pct {
+            let total_delta = delta_pct(bc.total_ms, cc.total_ms);
+            let flag = if total_delta > threshold_pct {
                 regressions.push(format!(
-                    "scale {} {config}: {base_ms:.1} ms -> {cand_ms:.1} ms ({delta_pct:+.1} %)",
-                    b.scale
+                    "scale {} {config} total_ms: {:.1} ms -> {:.1} ms ({total_delta:+.1} %)",
+                    b.scale, bc.total_ms, cc.total_ms
                 ));
                 "  REGRESSION"
             } else {
                 ""
             };
             println!(
-                "    {config:<12} {base_ms:>10.1} ms -> {cand_ms:>10.1} ms  ({delta_pct:+6.1} %){flag}"
+                "    {config:<12} {:>10.1} ms -> {:>10.1} ms  ({total_delta:+6.1} %){flag}",
+                bc.total_ms, cc.total_ms
             );
             compared += 1;
+            // Latency percentiles compare only when both reports carry
+            // them: older reports predate the flight-recorder work.
+            if let (Some((bp50, bp99)), Some((cp50, cp99))) = (bc.latency_ns, cc.latency_ns) {
+                for (name, base_ns, cand_ns) in [("p50", bp50, cp50), ("p99", bp99, cp99)] {
+                    let delta = delta_pct(base_ns, cand_ns);
+                    let flag = if delta > latency_threshold_pct {
+                        regressions.push(format!(
+                            "scale {} {config} latency {name}: {base_ns:.0} ns -> {cand_ns:.0} ns \
+                             ({delta:+.1} %)",
+                            b.scale
+                        ));
+                        "  REGRESSION"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "    {:<12} {base_ns:>10.0} ns -> {cand_ns:>10.0} ns  ({delta:+6.1} %){flag}",
+                        format!("  {name}")
+                    );
+                    compared += 1;
+                }
+            }
         }
     }
     for c in &cand {
@@ -127,7 +188,7 @@ fn main() {
         println!("bench_diff: OK — {compared} comparison(s), none past the threshold");
     } else {
         println!(
-            "bench_diff: {} of {compared} comparison(s) regressed past {threshold_pct:.1} %:",
+            "bench_diff: {} of {compared} comparison(s) regressed past the threshold:",
             regressions.len()
         );
         for r in &regressions {

@@ -14,8 +14,11 @@
 //!
 //! A fourth `instrumented` configuration runs the optimized path with the
 //! statistics catalog and EXPLAIN ANALYZE enabled on every query; its
-//! `stats_overhead_pct` is the cost of asking for full observability.
-//! Compare reports across commits with `bench_diff` (same crate).
+//! `stats_overhead_pct` is the cost of asking for full observability. A
+//! fifth `flight` configuration runs the optimized path with the flight
+//! recorder and audit log capturing; its `flight_overhead_pct` is the
+//! marginal cost of the always-on time-domain tiers. Compare reports
+//! across commits with `bench_diff` (same crate).
 
 use dtr_mapping::exchange::ExchangeOptions;
 use dtr_obs::guard::Budget;
@@ -46,6 +49,24 @@ struct PathTiming {
     exchange_ms: f64,
     query_ms: f64,
     rows: usize,
+    /// Per-mapping exchange wall-time percentiles `(p50, p90, p99)` in ns.
+    latency_ns: Option<(u64, u64, u64)>,
+}
+
+/// What observability runs alongside a configuration.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Instrumentation compiled in but every tier gated off.
+    Plain,
+    /// Statistics catalog + EXPLAIN ANALYZE on every query (the PR6 cost).
+    Instrumented,
+    /// Optimized plus the time-domain tiers this PR adds: the flight
+    /// recorder (span events feed its ring whether or not full profiling
+    /// is on) and the audit log. The gap to `optimized` is
+    /// `flight_overhead_pct` — the marginal cost of always-on recording.
+    /// (Profile spans, the decision journal, and EXPLAIN ANALYZE have
+    /// their own dedicated overhead measurements and stay off here.)
+    Flight,
 }
 
 /// How many times the query workload runs against each exchanged portal.
@@ -54,13 +75,17 @@ struct PathTiming {
 /// per-query timer noise).
 const QUERY_REPS: usize = 3;
 
-fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], instrumented: bool) -> PathTiming {
+fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], mode: Mode) -> PathTiming {
     let scenario = build(ScenarioConfig {
         listings_per_source: n,
         ..Default::default()
     });
-    if instrumented {
+    if mode == Mode::Instrumented {
         dtr_obs::stats::set_enabled(true);
+    }
+    if mode == Mode::Flight {
+        dtr_obs::recorder::set_enabled(true);
+        dtr_obs::audit::set_enabled(true);
     }
     let t0 = Instant::now();
     let tagged = scenario.exchange_with(opts).expect("exchange succeeds");
@@ -74,7 +99,10 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], instrumented: b
             // statistics catalog records scans/joins and every operator is
             // timed. Results are byte-identical to the plain path, which
             // the cross-config row assertion in `main` re-checks.
-            rows += if instrumented {
+            // The flight path runs the same plain query loop (the recorder
+            // and audit log capture it from the inside), so its gap to
+            // `optimized` isolates the time-domain tiers.
+            rows += if mode == Mode::Instrumented {
                 tagged.run_analyzed(q).expect("query succeeds").0.len()
             } else {
                 tagged
@@ -85,13 +113,20 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], instrumented: b
         }
     }
     let query_ms = t1.elapsed().as_secs_f64() * 1e3;
-    if instrumented {
+    if mode == Mode::Instrumented {
         dtr_obs::stats::set_enabled(false);
+    }
+    if mode == Mode::Flight {
+        dtr_obs::recorder::set_enabled(false);
+        dtr_obs::audit::set_enabled(false);
+        dtr_obs::recorder::reset();
+        dtr_obs::audit::reset();
     }
     PathTiming {
         exchange_ms,
         query_ms,
         rows,
+        latency_ns: tagged.report().latency_percentiles(),
     }
 }
 
@@ -102,13 +137,13 @@ fn run_path(n: usize, opts: &ExchangeOptions, queries: &[Query], instrumented: b
 fn best_of_each(
     reps: usize,
     n: usize,
-    configs: &[(&ExchangeOptions, bool)],
+    configs: &[(&ExchangeOptions, Mode)],
     queries: &[Query],
 ) -> Vec<PathTiming> {
     let mut best: Vec<Option<PathTiming>> = configs.iter().map(|_| None).collect();
     for _ in 0..reps {
-        for (slot, (opts, instrumented)) in best.iter_mut().zip(configs) {
-            let t = run_path(n, opts, queries, *instrumented);
+        for (slot, (opts, mode)) in best.iter_mut().zip(configs) {
+            let t = run_path(n, opts, queries, *mode);
             let better = match slot {
                 Some(b) => t.exchange_ms + t.query_ms < b.exchange_ms + b.query_ms,
                 None => true,
@@ -121,6 +156,17 @@ fn best_of_each(
     best.into_iter()
         .map(|b| b.expect("at least one rep"))
         .collect()
+}
+
+/// The `latency_ns` fragment of one config's JSON object (empty when the
+/// exchange produced no per-mapping timings).
+fn latency_json(l: Option<(u64, u64, u64)>) -> String {
+    match l {
+        Some((p50, p90, p99)) => {
+            format!(", \"latency_ns\": {{ \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99} }}")
+        }
+        None => String::new(),
+    }
 }
 
 fn main() {
@@ -143,7 +189,10 @@ fn main() {
     } else {
         &[25, 50, 100, 200, 400]
     };
-    let reps = if quick { 1 } else { 5 };
+    // Even quick runs take 3 interleaved reps: the overhead percentages
+    // compare configs pairwise, and min-of-1 on a shared runner is pure
+    // noise.
+    let reps = if quick { 3 } else { 5 };
 
     let queries: Vec<Query> = QUERIES
         .iter()
@@ -199,9 +248,9 @@ fn main() {
             reps,
             n,
             &[
-                (&baseline_opts, false),
-                (&optimized_opts, false),
-                (&guarded_opts, false),
+                (&baseline_opts, Mode::Plain),
+                (&optimized_opts, Mode::Plain),
+                (&guarded_opts, Mode::Plain),
                 // The optimized configuration with the full dtr-stats
                 // instrumentation on: statistics catalog collection during
                 // the exchange and EXPLAIN ANALYZE per-operator timing on
@@ -210,10 +259,14 @@ fn main() {
                 // observability work costs when you ask for it; `optimized`
                 // against the committed report (via bench_diff) is what it
                 // costs when you don't.
-                (&optimized_opts, true),
+                (&optimized_opts, Mode::Instrumented),
+                // Optimized plus the flight recorder and audit log. The
+                // gap to `optimized` is `flight_overhead_pct`.
+                (&optimized_opts, Mode::Flight),
             ],
             &queries,
         );
+        let flight = timings.pop().expect("flight timing");
         let instrumented = timings.pop().expect("instrumented timing");
         let guarded = timings.pop().expect("guarded timing");
         let opt = timings.pop().expect("optimized timing");
@@ -230,49 +283,67 @@ fn main() {
             opt.rows, instrumented.rows,
             "EXPLAIN ANALYZE changed workload rows at scale {n}"
         );
+        assert_eq!(
+            opt.rows, flight.rows,
+            "flight recording changed workload rows at scale {n}"
+        );
         let total_base = base.exchange_ms + base.query_ms;
         let total_opt = opt.exchange_ms + opt.query_ms;
         let total_guarded = guarded.exchange_ms + guarded.query_ms;
         let total_instr = instrumented.exchange_ms + instrumented.query_ms;
+        let total_flight = flight.exchange_ms + flight.query_ms;
         let guard_overhead_pct = 100.0 * (total_guarded - total_opt) / total_opt;
         let stats_overhead_pct = 100.0 * (total_instr - total_opt) / total_opt;
+        let flight_overhead_pct = 100.0 * (total_flight - total_opt) / total_opt;
         eprintln!(
             "  serial+nested {total_base:.1} ms vs parallel+hash {total_opt:.1} ms \
              (speedup {:.2}x); guarded {total_guarded:.1} ms ({guard_overhead_pct:+.2} %); \
-             stats+analyze {total_instr:.1} ms ({stats_overhead_pct:+.2} %)",
+             stats+analyze {total_instr:.1} ms ({stats_overhead_pct:+.2} %); \
+             flight+audit {total_flight:.1} ms ({flight_overhead_pct:+.2} %)",
             total_base / total_opt
         );
         entries.push(format!(
             "    {{\n      \"listings_per_source\": {n},\n      \"workload_rows\": {rows},\n      \
              \"baseline\": {{ \"config\": \"serial exchange + nested-loop eval + per-row member construction\", \
-             \"exchange_ms\": {be:.3}, \"query_ms\": {bq:.3}, \"total_ms\": {bt:.3} }},\n      \
+             \"exchange_ms\": {be:.3}, \"query_ms\": {bq:.3}, \"total_ms\": {bt:.3}{bl} }},\n      \
              \"optimized\": {{ \"config\": \"parallel exchange (auto-sized) + hash-join eval + member templates\", \
-             \"exchange_ms\": {oe:.3}, \"query_ms\": {oq:.3}, \"total_ms\": {ot:.3} }},\n      \
+             \"exchange_ms\": {oe:.3}, \"query_ms\": {oq:.3}, \"total_ms\": {ot:.3}{ol} }},\n      \
              \"guarded\": {{ \"config\": \"optimized + generous resource budget (1h deadline, 1e9-row caps; never trips)\", \
-             \"exchange_ms\": {ge:.3}, \"query_ms\": {gq:.3}, \"total_ms\": {gt:.3} }},\n      \
+             \"exchange_ms\": {ge:.3}, \"query_ms\": {gq:.3}, \"total_ms\": {gt:.3}{gl} }},\n      \
              \"instrumented\": {{ \"config\": \"optimized + stats catalog + EXPLAIN ANALYZE on every query\", \
-             \"exchange_ms\": {ie:.3}, \"query_ms\": {iq:.3}, \"total_ms\": {it:.3} }},\n      \
+             \"exchange_ms\": {ie:.3}, \"query_ms\": {iq:.3}, \"total_ms\": {it:.3}{il} }},\n      \
+             \"flight\": {{ \"config\": \"optimized + flight recorder + audit log\", \
+             \"exchange_ms\": {fe:.3}, \"query_ms\": {fq:.3}, \"total_ms\": {ft:.3}{fl} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
              \"speedup_total\": {st:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
-             \"stats_overhead_pct\": {sp:.3}\n    }}",
+             \"stats_overhead_pct\": {sp:.3},\n      \"flight_overhead_pct\": {fp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
             bq = base.query_ms,
             bt = total_base,
+            bl = latency_json(base.latency_ns),
             oe = opt.exchange_ms,
             oq = opt.query_ms,
             ot = total_opt,
+            ol = latency_json(opt.latency_ns),
             ge = guarded.exchange_ms,
             gq = guarded.query_ms,
             gt = total_guarded,
+            gl = latency_json(guarded.latency_ns),
             ie = instrumented.exchange_ms,
             iq = instrumented.query_ms,
             it = total_instr,
+            il = latency_json(instrumented.latency_ns),
+            fe = flight.exchange_ms,
+            fq = flight.query_ms,
+            ft = total_flight,
+            fl = latency_json(flight.latency_ns),
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,
             st = total_base / total_opt,
             gp = guard_overhead_pct,
             sp = stats_overhead_pct,
+            fp = flight_overhead_pct,
         ));
     }
 

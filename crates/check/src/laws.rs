@@ -443,6 +443,95 @@ pub fn law_parallel_exchange(scen: &Scenario) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// Flight recorder / audit transparency
+// ---------------------------------------------------------------------------
+
+/// Everything one run shows the comparison: the canonical target, the
+/// rendered per-mapping decision counts, and each query's canonical rows
+/// or error text.
+type FlightOutcome = (String, String, Vec<Result<Vec<String>, String>>);
+
+/// The time-domain observability tiers are pure observers: running the
+/// exchange and a query workload with the flight recorder and audit log
+/// capturing must produce byte-identical canonical targets, per-mapping
+/// decision counts, and query results (or identical errors) to a run with
+/// both gates off.
+pub fn law_flight(rng: &mut TestRng, scen: &Scenario, cfg: &GenConfig) -> Result<(), String> {
+    // Draw the query workload once so both runs see identical queries.
+    let queries: Vec<Query> = (0..cfg.queries_per_case)
+        .map(|_| generators::gen_mxql_query(rng, scen, cfg))
+        .collect();
+    let run_all = |scen: &Scenario| -> Result<FlightOutcome, String> {
+        let tagged = scen
+            .tagged()
+            .map_err(|e| format!("exchange failed on generated scenario: {e}"))?;
+        let target = canon(tagged.target());
+        let decisions = format!(
+            "{:?}",
+            tagged
+                .report()
+                .per_mapping
+                .iter()
+                .map(|s| {
+                    (
+                        s.mapping.clone(),
+                        s.tuples,
+                        s.bindings,
+                        s.rows_inserted,
+                        s.rows_merged,
+                        s.annotations_written,
+                        s.annotations_suppressed,
+                    )
+                })
+                .collect::<Vec<_>>()
+        );
+        let results = queries
+            .iter()
+            .map(|q| {
+                tagged
+                    .run(q)
+                    .map(|r| oracle::canonical_multiset(&r.tuples()))
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        Ok((target, decisions, results))
+    };
+    let was_flight = dtr_obs::recorder::enabled();
+    let was_audit = dtr_obs::audit::enabled();
+    dtr_obs::recorder::set_enabled(false);
+    dtr_obs::audit::set_enabled(false);
+    let off = run_all(scen);
+    dtr_obs::recorder::set_enabled(true);
+    dtr_obs::audit::set_enabled(true);
+    let on = run_all(scen);
+    dtr_obs::recorder::set_enabled(was_flight);
+    dtr_obs::audit::set_enabled(was_audit);
+    let (off_target, off_decisions, off_results) = off?;
+    let (on_target, on_decisions, on_results) = on?;
+    if off_target != on_target {
+        return Err(format!(
+            "flight recorder changed the target instance\noff: {off_target}\non: {on_target}"
+        ));
+    }
+    if off_decisions != on_decisions {
+        return Err(format!(
+            "flight recorder changed per-mapping decisions\noff: {off_decisions}\non: {on_decisions}"
+        ));
+    }
+    for (q, (off_r, on_r)) in queries
+        .iter()
+        .zip(off_results.iter().zip(on_results.iter()))
+    {
+        if off_r != on_r {
+            return Err(format!(
+                "flight recorder changed the result of `{q}`\noff: {off_r:?}\non: {on_r:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Mapping laws
 // ---------------------------------------------------------------------------
 

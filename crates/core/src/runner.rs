@@ -112,6 +112,22 @@ impl MetaRunner {
         q: &Query,
         budget: &Budget,
     ) -> Result<QueryResult, MxqlError> {
+        if !dtr_obs::audit::enabled() {
+            return self.run_translated(tagged, q, budget);
+        }
+        let request = q.to_string();
+        let started = std::time::Instant::now();
+        let result = self.run_translated(tagged, q, budget);
+        crate::tagged::audit_query("translate", request, started, result.as_ref());
+        result
+    }
+
+    fn run_translated(
+        &self,
+        tagged: &TaggedInstance,
+        q: &Query,
+        budget: &Budget,
+    ) -> Result<QueryResult, MxqlError> {
         let q = tagged.setting().normalize_query(q);
         // Order/limit (the extension tail) apply to the whole union; each
         // order key must be one of the select expressions so the sort can
@@ -334,6 +350,76 @@ mod tests {
         let mut mids: Vec<String> = r.tuples().into_iter().map(|t| t[0].to_string()).collect();
         mids.sort();
         assert_eq!(mids, ["m1", "m2", "m3"]);
+    }
+
+    #[test]
+    fn audit_records_exchange_query_and_translate() {
+        let was_on = dtr_obs::audit::enabled();
+        dtr_obs::audit::set_enabled(true);
+        // figure1() performs the exchange while auditing is on, so all
+        // three request kinds land in the log.
+        let tagged = figure1();
+        let marker = "select e.hid, e.value from Portal.estates e where e.contact = 'HomeGain'";
+        let direct = tagged.query(marker).unwrap();
+        let runner = MetaRunner::new(tagged.setting()).unwrap();
+        let translated = runner.query(&tagged, marker).unwrap();
+        let records = dtr_obs::audit::records();
+        dtr_obs::audit::set_enabled(was_on);
+        // Filter by our own request text: the log is global and other
+        // tests (or a CI soak with DTR_AUDIT=1) may interleave records.
+        let queries: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == "query" && r.request.contains("HomeGain"))
+            .collect();
+        let translates: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == "translate" && r.request.contains("HomeGain"))
+            .collect();
+        let exchanges: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == "exchange" && r.request == "m1,m2,m3")
+            .collect();
+        assert!(!queries.is_empty() && !translates.is_empty() && !exchanges.is_empty());
+        let q = queries.last().unwrap();
+        assert_eq!(q.rows, direct.rows.len() as u64);
+        assert_eq!(q.outcome, "ok");
+        assert!(q.wall_ns > 0);
+        assert!(q.tuples_scanned > 0);
+        assert_eq!(q.fingerprint.len(), 16);
+        let t = translates.last().unwrap();
+        assert_eq!(t.rows, translated.rows.len() as u64);
+        // Direct and translated runs of the same text share a fingerprint,
+        // so the two paths join on it in the audit view.
+        assert_eq!(q.fingerprint, t.fingerprint);
+        let x = exchanges.last().unwrap();
+        assert!(x.rows > 0);
+    }
+
+    #[test]
+    fn audit_records_guard_outcome() {
+        let was_on = dtr_obs::audit::enabled();
+        dtr_obs::audit::set_enabled(true);
+        let tagged = figure1();
+        let marker = "select a.hid, b.hid from Portal.estates a, Portal.estates b";
+        let q = dtr_query::parser::parse_query(marker).unwrap();
+        let budget = Budget {
+            max_rows: Some(1),
+            ..Budget::default()
+        };
+        let err = tagged.run_budgeted(&q, &budget).unwrap_err();
+        assert!(err.guard().is_some());
+        let records = dtr_obs::audit::records();
+        dtr_obs::audit::set_enabled(was_on);
+        let mine: Vec<_> = records
+            .iter()
+            .filter(|r| r.request.contains("Portal.estates b"))
+            .collect();
+        assert!(!mine.is_empty());
+        assert!(
+            mine.last().unwrap().outcome.starts_with("guard:"),
+            "expected guard outcome, got {:?}",
+            mine.last().unwrap().outcome
+        );
     }
 
     #[test]

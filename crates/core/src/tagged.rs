@@ -297,6 +297,38 @@ impl MetaEnv for MappingSetting {
     }
 }
 
+/// Audit-log outcome string for a failed request: `"guard:<resource>"`
+/// when a resource budget tripped, `"error"` otherwise.
+fn audit_outcome(err: &MxqlError) -> String {
+    match err.guard() {
+        Some(g) => format!("guard:{}", g.resource.name()),
+        None => "error".to_string(),
+    }
+}
+
+/// Records a completed query-shaped request in the audit log, filling the
+/// `EvalStats` columns from the result. Called only when auditing is on.
+pub(crate) fn audit_query(
+    kind: &str,
+    request: String,
+    started: std::time::Instant,
+    out: Result<&QueryResult, &MxqlError>,
+) {
+    let mut rec = dtr_obs::AuditRecord::new(kind, request);
+    rec.wall_ns = started.elapsed().as_nanos() as u64;
+    match out {
+        Ok(result) => {
+            rec.rows = result.rows.len() as u64;
+            rec.tuples_scanned = result.stats.tuples_scanned;
+            rec.bindings_enumerated = result.stats.bindings_enumerated;
+            rec.predicate_triples_tested = result.stats.predicate_triples_tested;
+            rec.hash_probes = result.stats.hash_probes;
+        }
+        Err(e) => rec.outcome = audit_outcome(e),
+    }
+    dtr_obs::audit::record(rec);
+}
+
 /// A tagged instance (Definition 5.2): the annotated target instance plus
 /// its mapping setting and source instances, ready for MXQL querying.
 pub struct TaggedInstance {
@@ -321,6 +353,38 @@ impl TaggedInstance {
     /// [`TaggedInstance::exchange`] with explicit exchange options
     /// (evaluator engine selection and parallel foreach evaluation).
     pub fn exchange_with_options(
+        setting: MappingSetting,
+        source_instances: Vec<Instance>,
+        opts: &ExchangeOptions,
+    ) -> Result<Self, MxqlError> {
+        if !dtr_obs::audit::enabled() {
+            return Self::exchange_inner(setting, source_instances, opts);
+        }
+        let request = {
+            let mut names: Vec<&str> = setting.mappings.iter().map(|m| m.name.as_str()).collect();
+            names.sort_unstable();
+            names.join(",")
+        };
+        let started = std::time::Instant::now();
+        let result = Self::exchange_inner(setting, source_instances, opts);
+        let mut rec = dtr_obs::AuditRecord::new("exchange", request);
+        rec.wall_ns = started.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(tagged) => {
+                rec.rows = tagged
+                    .report
+                    .per_mapping
+                    .iter()
+                    .map(|s| s.rows_inserted as u64)
+                    .sum();
+            }
+            Err(e) => rec.outcome = audit_outcome(e),
+        }
+        dtr_obs::audit::record(rec);
+        result
+    }
+
+    fn exchange_inner(
         setting: MappingSetting,
         mut source_instances: Vec<Instance>,
         opts: &ExchangeOptions,
@@ -450,11 +514,17 @@ impl TaggedInstance {
     /// Evaluates a parsed (MXQL or plain) query directly — the native
     /// implementation of the Section 5 semantics.
     pub fn run(&self, q: &Query) -> Result<QueryResult, MxqlError> {
+        let audit = dtr_obs::audit::enabled().then(|| (q.to_string(), std::time::Instant::now()));
         let q = self.setting.normalize_query(q);
         let catalog = self.catalog();
-        Ok(Evaluator::new(&catalog, &self.functions)
+        let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
-            .run(&q)?)
+            .run(&q)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query", request, started, result.as_ref());
+        }
+        result
     }
 
     /// [`TaggedInstance::run`] in EXPLAIN ANALYZE mode: evaluates the query
@@ -463,21 +533,33 @@ impl TaggedInstance {
     /// the tree carries actual rows in/out, wall time, and guard charges per
     /// operator (see `dtr_obs::analyze`).
     pub fn run_analyzed(&self, q: &Query) -> Result<(QueryResult, dtr_obs::OpNode), MxqlError> {
+        let audit = dtr_obs::audit::enabled().then(|| (q.to_string(), std::time::Instant::now()));
         let q = self.setting.normalize_query(q);
         let catalog = self.catalog();
-        Ok(Evaluator::new(&catalog, &self.functions)
+        let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
-            .run_analyzed(&q)?)
+            .run_analyzed(&q)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query", request, started, result.as_ref().map(|(r, _)| r));
+        }
+        result
     }
 
     /// Evaluates with explicit options (for the ablation benchmarks).
     pub fn run_with_options(&self, q: &Query, opts: EvalOptions) -> Result<QueryResult, MxqlError> {
+        let audit = dtr_obs::audit::enabled().then(|| (q.to_string(), std::time::Instant::now()));
         let q = self.setting.normalize_query(q);
         let catalog = self.catalog();
-        Ok(Evaluator::new(&catalog, &self.functions)
+        let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
             .with_options(opts)
-            .run(&q)?)
+            .run(&q)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query", request, started, result.as_ref());
+        }
+        result
     }
 
     /// Evaluates under a resource [`Budget`] (deadline, cancellation, row

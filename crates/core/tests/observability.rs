@@ -138,6 +138,11 @@ fn exchange_profile_round_trips_through_serde_json() {
 fn disabled_profiling_records_nothing() {
     let _guard = GUARD.lock().unwrap();
     dtr_obs::set_enabled(false);
+    // The counter registry also ticks while the flight recorder is live
+    // (so `DTR_FLIGHT=1` alone yields counter samples); park it so this
+    // test observes the fully-disabled path even under that env.
+    let flight_was_on = dtr_obs::recorder::enabled();
+    dtr_obs::recorder::set_enabled(false);
     dtr_obs::profile_reset();
 
     let tagged = two_mapping_tagged();
@@ -155,4 +160,5 @@ fn disabled_profiling_records_nothing() {
         .expect("query runs");
     assert!(r.stats.tuples_scanned > 0);
     assert!(r.stats.bindings_enumerated > 0);
+    dtr_obs::recorder::set_enabled(flight_was_on);
 }

@@ -950,6 +950,19 @@ impl<'a> Exchange<'a> {
         span.record("tuples", stats.tuples);
         span.record("rows_inserted", stats.rows_inserted);
         span.record("rows_merged", stats.rows_merged);
+        if dtr_obs::recorder::enabled() {
+            // The flight recorder gets this mapping's completed exchange
+            // window plus a forced counter sample, so counter tracks in the
+            // exported trace bracket every mapping boundary.
+            dtr_obs::recorder::record_mapping_window(
+                m.name.as_str(),
+                stats.tuples as u64,
+                stats.rows_inserted as u64,
+                stats.rows_merged as u64,
+                stats.wall_ns,
+            );
+            dtr_obs::recorder::sample_counters();
+        }
         self.report.per_mapping.push(stats);
         Ok(())
     }

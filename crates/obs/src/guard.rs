@@ -222,6 +222,9 @@ impl Meter {
         };
         record_trip(&err);
         crate::counters().guard_trips.incr();
+        if crate::recorder::enabled() {
+            crate::recorder::record_guard_trip(resource.name(), self.stage);
+        }
         err
     }
 

@@ -1,0 +1,488 @@
+//! Baseline drift detection: is today's run anomalous?
+//!
+//! A [`HealthSnapshot`] captures the observable shape of a run — the
+//! counter registry, the [`StatsCatalog`] footprint,
+//! and the span-latency percentiles — and [`compare`] diffs a live
+//! snapshot against a committed baseline with warn/fail thresholds,
+//! producing a machine-readable [`HealthReport`]. The `experiments
+//! health` mode wraps this into a `dtr-doctor`-style CLI: exit 0 when the
+//! run matches the baseline, nonzero on drift past the fail threshold.
+//!
+//! The threshold arithmetic ([`delta_pct`] / [`past_threshold`]) is the
+//! same relative-delta rule `bench_diff` applies to bench reports, shared
+//! here so "regressed" means one thing across the tooling.
+//!
+//! Work counters (rows, bindings, probes) are deterministic for a fixed
+//! workload, so they check against tight thresholds; wall-clock latency
+//! percentiles vary by machine and are capped at **warn** severity —
+//! drift detection must not turn CI red because a runner was slow.
+
+use serde_json::{Map, Value};
+
+use crate::stats::StatsCatalog;
+
+/// Relative delta in percent, the `bench_diff` rule: positive means the
+/// live value is larger. A zero baseline with a nonzero live value
+/// reports 100 % per unit (so `0 → 3` is 300 %), keeping the value finite
+/// and JSON-serializable.
+pub fn delta_pct(base: f64, live: f64) -> f64 {
+    if base == 0.0 {
+        if live == 0.0 {
+            0.0
+        } else {
+            100.0 * live
+        }
+    } else {
+        100.0 * (live - base) / base
+    }
+}
+
+/// Has an absolute delta crossed a threshold? (Drift counts in both
+/// directions: doing *less* work than the baseline is as anomalous as
+/// doing more.)
+pub fn past_threshold(delta_pct: f64, threshold_pct: f64) -> bool {
+    delta_pct.abs() > threshold_pct
+}
+
+/// Counters excluded from snapshots: their values depend on machine
+/// shape (core count), not on the workload.
+pub const VOLATILE_COUNTERS: &[&str] = &["exchange.parallel_workers"];
+
+/// The observable shape of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthSnapshot {
+    /// `(name, value)` for every non-volatile registry counter, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Paths tracked by the statistics catalog.
+    pub stats_paths: u64,
+    /// Join keys tracked by the statistics catalog.
+    pub stats_joins: u64,
+    /// Total tuples observed across all tracked paths.
+    pub stats_tuples: u64,
+    /// Span-latency percentiles `(p50, p90, p99)` in nanoseconds, when
+    /// any span was recorded.
+    pub latency_ns: Option<(u64, u64, u64)>,
+}
+
+impl HealthSnapshot {
+    /// Capture the current process state: the counter registry (minus
+    /// [`VOLATILE_COUNTERS`]), the given statistics catalog, and the
+    /// span-duration histogram percentiles.
+    pub fn capture(stats: &StatsCatalog) -> Self {
+        let counters = crate::counters()
+            .snapshot()
+            .into_iter()
+            .filter(|(name, _)| !VOLATILE_COUNTERS.contains(&name.as_str()))
+            .collect();
+        let snap = crate::counters().span_duration_ns.snapshot();
+        HealthSnapshot {
+            counters,
+            stats_paths: stats.paths.len() as u64,
+            stats_joins: stats.joins.len() as u64,
+            stats_tuples: stats.paths.values().map(|p| p.tuples).sum(),
+            latency_ns: crate::snapshot_percentiles(&snap),
+        }
+    }
+
+    /// Structured JSON form (inverse of [`HealthSnapshot::from_json`]).
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), Value::from(*v));
+        }
+        let mut stats = Map::new();
+        stats.insert("paths", Value::from(self.stats_paths));
+        stats.insert("joins", Value::from(self.stats_joins));
+        stats.insert("tuples", Value::from(self.stats_tuples));
+        let mut obj = Map::new();
+        obj.insert("counters", Value::Object(counters));
+        obj.insert("stats", Value::Object(stats));
+        if let Some((p50, p90, p99)) = self.latency_ns {
+            let mut lat = Map::new();
+            lat.insert("p50", Value::from(p50));
+            lat.insert("p90", Value::from(p90));
+            lat.insert("p99", Value::from(p99));
+            obj.insert("latency_ns", Value::Object(lat));
+        }
+        Value::Object(obj)
+    }
+
+    /// Parse the structure produced by [`HealthSnapshot::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let counters_obj = value
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or("health snapshot: missing counters object")?;
+        let mut counters = Vec::new();
+        for (k, v) in counters_obj.iter() {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("health snapshot: counter '{k}' is not an integer"))?;
+            counters.push((k.clone(), v));
+        }
+        counters.sort();
+        let stats = value
+            .get("stats")
+            .and_then(Value::as_object)
+            .ok_or("health snapshot: missing stats object")?;
+        let stat = |key: &str| -> Result<u64, String> {
+            stats
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("health snapshot: missing stats field '{key}'"))
+        };
+        let latency_ns = match value.get("latency_ns") {
+            Some(lat) => {
+                let get = |key: &str| -> Result<u64, String> {
+                    lat.get(key)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("health snapshot: missing latency field '{key}'"))
+                };
+                Some((get("p50")?, get("p90")?, get("p99")?))
+            }
+            None => None,
+        };
+        Ok(HealthSnapshot {
+            counters,
+            stats_paths: stat("paths")?,
+            stats_joins: stat("joins")?,
+            stats_tuples: stat("tuples")?,
+            latency_ns,
+        })
+    }
+}
+
+/// Severity of one check (ordered: `Ok < Warn < Fail`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Status {
+    /// Within the warn threshold.
+    #[default]
+    Ok,
+    /// Past the warn threshold (or any drift on a warn-only metric).
+    Warn,
+    /// Past the fail threshold on a deterministic metric.
+    Fail,
+}
+
+impl Status {
+    /// Stable lowercase tag used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Warn => "warn",
+            Status::Fail => "fail",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthCheck {
+    /// Metric name (counter name, `stats.paths`, `latency_ns.p99`, ...).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Live value.
+    pub live: f64,
+    /// [`delta_pct`] of the two.
+    pub delta_pct: f64,
+    /// Check outcome.
+    pub status: Status,
+}
+
+/// The full drift report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// Every compared metric, report order (counters, stats, latency).
+    pub checks: Vec<HealthCheck>,
+    /// Worst check status.
+    pub status: Status,
+    /// Warn threshold applied (percent).
+    pub warn_pct: f64,
+    /// Fail threshold applied (percent).
+    pub fail_pct: f64,
+}
+
+impl HealthReport {
+    /// Machine-readable JSON form.
+    pub fn to_json(&self) -> Value {
+        let mut checks = Vec::new();
+        for c in &self.checks {
+            let mut obj = Map::new();
+            obj.insert("name", Value::from(c.name.as_str()));
+            obj.insert("baseline", Value::from(c.baseline));
+            obj.insert("live", Value::from(c.live));
+            obj.insert("delta_pct", Value::from(c.delta_pct));
+            obj.insert("status", Value::from(c.status.name()));
+            checks.push(Value::Object(obj));
+        }
+        let mut obj = Map::new();
+        obj.insert("status", Value::from(self.status.name()));
+        obj.insert("warn_pct", Value::from(self.warn_pct));
+        obj.insert("fail_pct", Value::from(self.fail_pct));
+        obj.insert("checks", Value::Array(checks));
+        Value::Object(obj)
+    }
+
+    /// Human rendering: one line per non-ok check plus a verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut shown = 0;
+        for c in &self.checks {
+            if c.status != Status::Ok {
+                out.push_str(&format!(
+                    "  {:<5} {:<32} {:>12.0} -> {:>12.0}  ({:+.1} %)\n",
+                    c.status.name(),
+                    c.name,
+                    c.baseline,
+                    c.live,
+                    c.delta_pct
+                ));
+                shown += 1;
+            }
+        }
+        out.push_str(&format!(
+            "health: {} — {} check(s), {} drifted (warn > {:.1} %, fail > {:.1} %)",
+            self.status.name(),
+            self.checks.len(),
+            shown,
+            self.warn_pct,
+            self.fail_pct
+        ));
+        out
+    }
+}
+
+/// Drift thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Deltas past this mark a check `Warn`.
+    pub warn_pct: f64,
+    /// Deltas past this mark a deterministic check `Fail`.
+    pub fail_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            warn_pct: 5.0,
+            fail_pct: 25.0,
+        }
+    }
+}
+
+fn classify(delta: f64, t: &Thresholds, warn_only: bool) -> Status {
+    if past_threshold(delta, t.fail_pct) && !warn_only {
+        Status::Fail
+    } else if past_threshold(delta, t.warn_pct) {
+        Status::Warn
+    } else {
+        Status::Ok
+    }
+}
+
+/// Compare a live snapshot against a baseline. Counter and statistics
+/// checks can fail; latency checks are warn-only (see module docs).
+pub fn compare(baseline: &HealthSnapshot, live: &HealthSnapshot, t: &Thresholds) -> HealthReport {
+    let mut checks = Vec::new();
+    let mut push = |name: String, base: f64, live: f64, warn_only: bool| {
+        let delta = delta_pct(base, live);
+        checks.push(HealthCheck {
+            name,
+            baseline: base,
+            live,
+            delta_pct: delta,
+            status: classify(delta, t, warn_only),
+        });
+    };
+    // Union of counter names: a counter missing on one side reads as 0,
+    // so newly added (or vanished) activity shows up as drift.
+    let mut names: Vec<&String> = baseline
+        .counters
+        .iter()
+        .chain(live.counters.iter())
+        .map(|(k, _)| k)
+        .collect();
+    names.sort();
+    names.dedup();
+    let value = |snap: &HealthSnapshot, name: &str| -> f64 {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v as f64)
+            .unwrap_or(0.0)
+    };
+    for name in names {
+        push(
+            name.clone(),
+            value(baseline, name),
+            value(live, name),
+            false,
+        );
+    }
+    push(
+        "stats.paths".into(),
+        baseline.stats_paths as f64,
+        live.stats_paths as f64,
+        false,
+    );
+    push(
+        "stats.joins".into(),
+        baseline.stats_joins as f64,
+        live.stats_joins as f64,
+        false,
+    );
+    push(
+        "stats.tuples".into(),
+        baseline.stats_tuples as f64,
+        live.stats_tuples as f64,
+        false,
+    );
+    if let (Some(b), Some(l)) = (baseline.latency_ns, live.latency_ns) {
+        push("latency_ns.p50".into(), b.0 as f64, l.0 as f64, true);
+        push("latency_ns.p90".into(), b.1 as f64, l.1 as f64, true);
+        push("latency_ns.p99".into(), b.2 as f64, l.2 as f64, true);
+    }
+    let status = checks.iter().map(|c| c.status).max().unwrap_or(Status::Ok);
+    HealthReport {
+        checks,
+        status,
+        warn_pct: t.warn_pct,
+        fail_pct: t.fail_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rows: u64, tuples: u64, p99: u64) -> HealthSnapshot {
+        HealthSnapshot {
+            counters: vec![
+                ("eval.tuples_scanned".to_string(), tuples),
+                ("exchange.rows_inserted".to_string(), rows),
+            ],
+            stats_paths: 4,
+            stats_joins: 2,
+            stats_tuples: tuples,
+            latency_ns: Some((100, 500, p99)),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_are_ok() {
+        let base = snap(100, 1000, 900);
+        let report = compare(&base, &base.clone(), &Thresholds::default());
+        assert_eq!(report.status, Status::Ok);
+        assert!(report.checks.iter().all(|c| c.status == Status::Ok));
+        assert!(report.checks.len() >= 8);
+    }
+
+    #[test]
+    fn counter_drift_fails_latency_only_warns() {
+        let base = snap(100, 1000, 900);
+        // 3x the rows: way past the default 25 % fail threshold.
+        let live = snap(300, 1000, 900);
+        let report = compare(&base, &live, &Thresholds::default());
+        assert_eq!(report.status, Status::Fail);
+        let rows = report
+            .checks
+            .iter()
+            .find(|c| c.name == "exchange.rows_inserted")
+            .unwrap();
+        assert_eq!(rows.status, Status::Fail);
+        assert!((rows.delta_pct - 200.0).abs() < 1e-9);
+
+        // 10x p99 latency: still only a warning.
+        let slow = snap(100, 1000, 9000);
+        let report = compare(&base, &slow, &Thresholds::default());
+        assert_eq!(report.status, Status::Warn);
+        let p99 = report
+            .checks
+            .iter()
+            .find(|c| c.name == "latency_ns.p99")
+            .unwrap();
+        assert_eq!(p99.status, Status::Warn);
+    }
+
+    #[test]
+    fn drift_counts_in_both_directions() {
+        let base = snap(100, 1000, 900);
+        let live = snap(10, 1000, 900); // 90 % fewer rows
+        let report = compare(&base, &live, &Thresholds::default());
+        assert_eq!(report.status, Status::Fail);
+    }
+
+    #[test]
+    fn missing_counter_reads_as_zero_drift() {
+        let base = snap(100, 1000, 900);
+        let mut live = snap(100, 1000, 900);
+        live.counters.push(("guard.trips".to_string(), 7));
+        live.counters.sort();
+        let report = compare(&base, &live, &Thresholds::default());
+        let trips = report
+            .checks
+            .iter()
+            .find(|c| c.name == "guard.trips")
+            .unwrap();
+        assert_eq!(trips.baseline, 0.0);
+        assert_eq!(trips.status, Status::Fail);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = snap(42, 4242, 999);
+        let round = HealthSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(round, s);
+        assert!(HealthSnapshot::from_json(&serde_json::json!({})).is_err());
+        // No latency section parses as None.
+        let mut no_lat = s.clone();
+        no_lat.latency_ns = None;
+        let round = HealthSnapshot::from_json(&no_lat.to_json()).unwrap();
+        assert_eq!(round.latency_ns, None);
+    }
+
+    #[test]
+    fn delta_rule_matches_bench_diff() {
+        assert_eq!(delta_pct(100.0, 110.0), 10.0);
+        assert_eq!(delta_pct(100.0, 90.0), -10.0);
+        assert_eq!(delta_pct(0.0, 0.0), 0.0);
+        assert_eq!(delta_pct(0.0, 3.0), 300.0);
+        assert!(past_threshold(10.1, 10.0));
+        assert!(past_threshold(-10.1, 10.0));
+        assert!(!past_threshold(10.0, 10.0));
+    }
+
+    #[test]
+    fn capture_excludes_volatile_counters() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        crate::profile_reset();
+        crate::counters().parallel_workers.add(8);
+        crate::counters().rows_inserted.add(3);
+        crate::set_enabled(false);
+        let snap = HealthSnapshot::capture(&StatsCatalog::new());
+        assert!(snap
+            .counters
+            .iter()
+            .all(|(k, _)| k != "exchange.parallel_workers"));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "exchange.rows_inserted" && *v == 3));
+    }
+
+    #[test]
+    fn report_json_is_machine_readable() {
+        let base = snap(100, 1000, 900);
+        let live = snap(130, 1000, 900);
+        let report = compare(&base, &live, &Thresholds::default());
+        let json = report.to_json();
+        assert_eq!(json.get("status").unwrap(), &Value::from("fail"));
+        let checks = json.get("checks").unwrap().as_array().unwrap();
+        assert!(checks.iter().any(|c| c.get("name")
+            == Some(&Value::from("exchange.rows_inserted"))
+            && c.get("status") == Some(&Value::from("fail"))));
+        assert!(report.render().contains("health: fail"));
+    }
+}

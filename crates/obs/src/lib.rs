@@ -40,15 +40,20 @@
 //! `--profile`.
 
 pub mod analyze;
+pub mod audit;
+pub mod chrome_trace;
 mod explain;
 pub mod guard;
+pub mod health;
 pub mod journal;
 mod metrics;
 mod profile;
+pub mod recorder;
 pub mod stats;
 mod trace;
 
 pub use analyze::OpNode;
+pub use audit::{AuditRecord, AuditSink};
 pub use explain::{ExplainStep, ExplainTrace};
 pub use guard::{Budget, GuardError, GuardReport, Meter, Progress, Resource};
 pub use journal::{
@@ -59,6 +64,7 @@ pub use metrics::{
     Counter, Counters, Histogram, HistogramSnapshot,
 };
 pub use profile::{CounterValue, PipelineProfile, ProfileNode};
+pub use recorder::{FlightEvent, FlightKind, Summary as FlightSummary};
 pub use stats::{DistinctEstimator, JoinStats, PathStats, StatsCatalog};
 pub use trace::{span, SpanGuard};
 
@@ -97,6 +103,14 @@ fn init_from_env() -> bool {
 /// Force profiling on or off, overriding `DTR_PROFILE`.
 pub fn set_enabled(on: bool) {
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Is any counter-consuming tier live? The registry also ticks while the
+/// flight recorder is on (its periodic `C`-track samples read it), so
+/// `DTR_FLIGHT=1` alone produces counter data without full profiling.
+#[inline]
+pub(crate) fn counters_live() -> bool {
+    enabled() || recorder::enabled()
 }
 
 /// Clear all collected state (global counters, this thread's span tree,
@@ -139,6 +153,10 @@ mod tests {
     fn disabled_spans_record_nothing() {
         let _guard = test_guard();
         set_enabled(false);
+        // The registry also feeds the flight recorder; force that tier off
+        // too so this asserts the fully-disabled hot path (the CI soak
+        // reruns the suite under DTR_FLIGHT=1).
+        recorder::set_enabled(false);
         profile_reset();
         {
             let _s = span("exchange.run_mapping").field("mapping", "m1");

@@ -25,10 +25,11 @@ impl Counter {
         self.name
     }
 
-    /// Add `n`; a no-op while profiling is disabled.
+    /// Add `n`; a no-op while both profiling and flight recording are
+    /// disabled.
     #[inline]
     pub fn add(&self, n: u64) {
-        if crate::enabled() {
+        if crate::counters_live() {
             self.cell.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -102,11 +103,11 @@ impl Histogram {
         }
     }
 
-    /// Record one observation (typically nanoseconds); a no-op while
-    /// profiling is disabled.
+    /// Record one observation (typically nanoseconds); a no-op while both
+    /// profiling and flight recording are disabled.
     #[inline]
     pub fn record(&self, value: u64) {
-        if crate::enabled() {
+        if crate::counters_live() {
             self.buckets[bucket_for(value)].fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -126,20 +126,32 @@ thread_local! {
 }
 
 /// Open a span. Returns a guard that records the elapsed wall time into the
-/// current thread's profile tree when dropped. Free when profiling is
-/// disabled.
+/// current thread's profile tree when dropped, and — when the flight
+/// recorder is on — emits timestamped begin/end events with this thread's
+/// id. Free when both profiling and flight recording are disabled (two
+/// relaxed atomic loads).
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !crate::enabled() {
-        return SpanGuard { live: None };
+    let profiled = crate::enabled();
+    let flight = crate::recorder::enabled();
+    if !profiled && !flight {
+        return SpanGuard {
+            live: None,
+            flight: None,
+        };
     }
-    let index = COLLECTOR.with(|c| c.borrow_mut().open(name));
-    SpanGuard {
-        live: Some(LiveSpan {
-            index,
+    let live = profiled.then(|| LiveSpan {
+        index: COLLECTOR.with(|c| c.borrow_mut().open(name)),
+        start: Instant::now(),
+    });
+    let flight = flight.then(|| {
+        crate::recorder::record_span_begin(name);
+        FlightSpan {
+            name,
             start: Instant::now(),
-        }),
-    }
+        }
+    });
+    SpanGuard { live, flight }
 }
 
 #[derive(Debug)]
@@ -148,11 +160,18 @@ struct LiveSpan {
     start: Instant,
 }
 
+#[derive(Debug)]
+struct FlightSpan {
+    name: &'static str,
+    start: Instant,
+}
+
 /// RAII guard for an open span; see [`span`].
 #[derive(Debug)]
 #[must_use = "a span guard records its timing when dropped; binding it to _ closes it immediately"]
 pub struct SpanGuard {
     live: Option<LiveSpan>,
+    flight: Option<FlightSpan>,
 }
 
 impl SpanGuard {
@@ -177,10 +196,22 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(live) = self.live.take() {
+        let profiled = if let Some(live) = self.live.take() {
             let elapsed_ns = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             crate::counters().span_duration_ns.record(elapsed_ns);
             COLLECTOR.with(|c| c.borrow_mut().close(live.index, elapsed_ns));
+            true
+        } else {
+            false
+        };
+        if let Some(flight) = self.flight.take() {
+            let elapsed_ns = u64::try_from(flight.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if !profiled {
+                // Flight-only runs still feed the duration histogram so
+                // counter samples carry latency percentiles.
+                crate::counters().span_duration_ns.record(elapsed_ns);
+            }
+            crate::recorder::record_span_end(flight.name, elapsed_ns);
         }
     }
 }

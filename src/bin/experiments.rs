@@ -48,6 +48,10 @@ struct Args {
     json_path: Option<String>,
     profile: bool,
     stats: bool,
+    trace_out: Option<String>,
+    audit_out: Option<String>,
+    parallel: bool,
+    workers: usize,
     budget: Budget,
 }
 
@@ -76,6 +80,10 @@ fn parse_args() -> Args {
     let mut listings = 2000usize;
     let mut profile = false;
     let mut stats = false;
+    let mut trace_out = None;
+    let mut audit_out = None;
+    let mut parallel = false;
+    let mut workers = 0usize;
     let mut budget = Budget::unlimited();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +108,16 @@ fn parse_args() -> Args {
             "--json" => json_path = it.next(),
             "--profile" => profile = true,
             "--stats" => stats = true,
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out takes a path")),
+            "--parallel" => parallel = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a number");
+                parallel = true;
+            }
+            "--audit-out" => audit_out = Some(it.next().expect("--audit-out takes a path")),
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
@@ -129,6 +147,10 @@ fn parse_args() -> Args {
         json_path,
         profile,
         stats,
+        trace_out,
+        audit_out,
+        parallel,
+        workers,
         budget,
     }
 }
@@ -146,7 +168,12 @@ fn mb(bytes: usize) -> f64 {
 /// Builds the default scenario once (shared by E1/E2/E4/E7/E9). The
 /// exchange runs under `budget`; exhaustion exits cleanly via
 /// [`guard_exit`].
-fn default_tagged(n: usize, budget: &Budget) -> (TaggedInstance, usize) {
+fn default_tagged(
+    n: usize,
+    budget: &Budget,
+    parallel: bool,
+    workers: usize,
+) -> (TaggedInstance, usize) {
     let scenario = build(ScenarioConfig {
         listings_per_source: n,
         ..Default::default()
@@ -154,6 +181,8 @@ fn default_tagged(n: usize, budget: &Budget) -> (TaggedInstance, usize) {
     let src_bytes = scenario.source_xml_bytes();
     let opts = ExchangeOptions {
         budget: budget.clone(),
+        parallel,
+        workers,
         ..ExchangeOptions::default()
     };
     let tagged = guard_exit(scenario.exchange_with(&opts), "the portal exchange");
@@ -209,13 +238,13 @@ fn e2(tagged: &TaggedInstance) -> Json {
 
 /// E3 — the PNF overhead stays flat across source data sizes
 /// (paper: "approximately 5.5 % in all the cases").
-fn e3(n_full: usize, budget: &Budget) -> Json {
+fn e3(n_full: usize, budget: &Budget, parallel: bool, workers: usize) -> Json {
     banner("E3", "annotation overhead across source data sizes");
     println!("  listings/source   plain MB    PNF overhead");
     let mut rows = Vec::new();
     for frac in [8usize, 4, 2, 1] {
         let n = (n_full / frac).max(10);
-        let (tagged, _) = default_tagged(n, budget);
+        let (tagged, _) = default_tagged(n, budget, parallel, workers);
         let r = SizeReport::measure(tagged.target());
         println!(
             "  {:>14}   {:>8.2}    {:>6.2} %",
@@ -537,12 +566,28 @@ fn e9(tagged: &TaggedInstance) -> Json {
 }
 
 fn main() {
+    // `experiments health ...` is a separate mode: a fixed workload whose
+    // observable shape is compared against a committed baseline.
+    if std::env::args().nth(1).as_deref() == Some("health") {
+        health_mode(std::env::args().skip(2).collect());
+    }
     let args = parse_args();
     if args.profile {
         dtr_obs::set_enabled(true);
     }
     if args.stats {
         dtr_obs::stats::set_enabled(true);
+    }
+    if args.trace_out.is_some() {
+        dtr_obs::recorder::set_enabled(true);
+        dtr_obs::recorder::reset();
+    }
+    if let Some(path) = &args.audit_out {
+        dtr_obs::audit::set_enabled(true);
+        dtr_obs::audit::reset();
+        let sink =
+            dtr_obs::audit::FileSink::create(std::path::Path::new(path)).expect("open audit sink");
+        dtr_obs::audit::set_sink(Some(Box::new(sink)));
     }
     if dtr_obs::enabled() {
         dtr_obs::profile_reset();
@@ -561,7 +606,12 @@ fn main() {
         .any(|e| ["e1", "e2", "e4", "e7", "e9"].contains(e));
     let shared = if needs_default {
         let t0 = Instant::now();
-        let pair = default_tagged(args.listings_per_source, &args.budget);
+        let pair = default_tagged(
+            args.listings_per_source,
+            &args.budget,
+            args.parallel,
+            args.workers,
+        );
         println!(
             "built + exchanged default scenario in {:.1} s ({} portal nodes)",
             t0.elapsed().as_secs_f64(),
@@ -580,7 +630,12 @@ fn main() {
                 e1(t, *src)
             }
             "e2" => e2(&shared.as_ref().expect("shared scenario").0),
-            "e3" => e3(args.listings_per_source, &args.budget),
+            "e3" => e3(
+                args.listings_per_source,
+                &args.budget,
+                args.parallel,
+                args.workers,
+            ),
             "e4" => e4(&shared.as_ref().expect("shared scenario").0),
             "e5" => e5(args.listings_per_source, &args.budget),
             "e6" => e6(),
@@ -615,6 +670,24 @@ fn main() {
         None
     };
 
+    if let Some(path) = &args.trace_out {
+        let doc = dtr_obs::chrome_trace::export_current();
+        let summary = dtr_obs::chrome_trace::validate(&doc).expect("exported trace is valid");
+        std::fs::write(path, serde_json::to_string(&doc).expect("serializable"))
+            .expect("write trace");
+        println!(
+            "\nflight trace written to {path}: {} event(s) ({} duration, {} counter) \
+             across {} thread(s) — load it in Perfetto or chrome://tracing",
+            summary.events, summary.duration_events, summary.counter_events, summary.distinct_tids
+        );
+    }
+    if let Some(path) = &args.audit_out {
+        let (recorded, _, dropped, _) = dtr_obs::audit::counts();
+        println!(
+            "audit log written to {path}: {recorded} record(s) ({dropped} dropped by the ring)"
+        );
+    }
+
     if let Some(path) = args.json_path {
         if let Some(p) = &profile {
             results.insert("profile".to_string(), p.to_json());
@@ -636,4 +709,144 @@ fn main() {
         .expect("write JSON");
         println!("\nresults written to {path}");
     }
+}
+
+/// The fixed query mix of the health workload (a subset of E7 plus a
+/// metadata lookup), chosen so exchange, direct evaluation, and the
+/// translated pipeline all contribute counters.
+const HEALTH_QUERIES: &[&str] = &[
+    "select h.hid, h.price from Portal.houses h where h.price > 800000",
+    "select h.hid, h.price, m from Portal.houses h, h.price@map m where h.price > 800000",
+    "select h.hid, m from Portal.houses h, h.price@map m \
+     where h.price > 800000 and e = h.price@elem \
+       and <'Yahoo':'/Yahoo/listings/price' -> m -> 'Portal':e>",
+];
+
+/// `experiments health`: run a deterministic sequential workload, capture
+/// its observable shape (counters, statistics catalog, span latency), and
+/// compare it against a committed baseline with `dtr_obs::health`.
+///
+/// ```text
+/// experiments health --update                    # (re)write the baseline
+/// experiments health                             # compare, exit 2 on fail
+/// experiments health --report-only               # compare, always exit 0
+/// experiments health --inject-drift              # synthetic drift (self-test)
+/// ```
+///
+/// Exit status: 0 on `ok`/`warn` (latency checks are machine-dependent and
+/// warn-only), 2 on `fail` — unless `--report-only`.
+fn health_mode(argv: Vec<String>) -> ! {
+    let mut baseline_path = "HEALTH_BASELINE.json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut thresholds = dtr_obs::health::Thresholds::default();
+    let mut update = false;
+    let mut inject_drift = false;
+    let mut report_only = false;
+    let mut scale = 200usize;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = it.next().expect("--baseline takes a path"),
+            "--out" => out_path = it.next(),
+            "--warn-pct" => {
+                thresholds.warn_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--warn-pct takes a number");
+            }
+            "--fail-pct" => {
+                thresholds.fail_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fail-pct takes a number");
+            }
+            "--update" => update = true,
+            "--inject-drift" => inject_drift = true,
+            "--report-only" => report_only = true,
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            other => {
+                eprintln!("unknown health flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The workload must produce the same counters on every machine: spans
+    // and stats on, sequential exchange, fixed scale and query mix.
+    dtr_obs::set_enabled(true);
+    dtr_obs::stats::set_enabled(true);
+    dtr_obs::profile_reset();
+    dtr_obs::stats::reset();
+    let scenario = build(ScenarioConfig {
+        listings_per_source: scale,
+        ..Default::default()
+    });
+    let tagged = scenario
+        .exchange_with(&ExchangeOptions::default())
+        .expect("health exchange");
+    let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
+    for text in HEALTH_QUERIES {
+        let q = parse_query(text).expect("health query parses");
+        std::hint::black_box(tagged.run(&q).expect("health query runs").len());
+    }
+    // The translated pipeline exercises the metastore path too.
+    let q = parse_query(HEALTH_QUERIES[1]).expect("health query parses");
+    std::hint::black_box(
+        runner
+            .run(&tagged, &q)
+            .expect("translated health query")
+            .len(),
+    );
+
+    let catalog = dtr_obs::stats::snapshot();
+    let mut live = dtr_obs::health::HealthSnapshot::capture(&catalog);
+    if inject_drift {
+        // Synthetic anomaly: the engine "did three times the work".
+        for (_, v) in live.counters.iter_mut() {
+            *v = *v * 3 + 1000;
+        }
+        live.stats_tuples = live.stats_tuples * 3 + 1000;
+    }
+
+    if update {
+        std::fs::write(
+            &baseline_path,
+            serde_json::to_string_pretty(&live.to_json()).expect("serializable"),
+        )
+        .expect("write baseline");
+        println!(
+            "health baseline written to {baseline_path}: {} counter(s), {} stats path(s)",
+            live.counters.len(),
+            live.stats_paths
+        );
+        std::process::exit(0);
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("health: cannot read baseline {baseline_path}: {e}");
+        eprintln!("run `experiments health --update` to create it");
+        std::process::exit(2);
+    });
+    let doc: Json = serde_json::from_str(&text).expect("baseline parses as JSON");
+    let baseline = dtr_obs::health::HealthSnapshot::from_json(&doc).expect("baseline is valid");
+    let report = dtr_obs::health::compare(&baseline, &live, &thresholds);
+    println!("{}", report.render());
+    if let Some(path) = out_path {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report.to_json()).expect("serializable"),
+        )
+        .expect("write report");
+        println!("health report written to {path}");
+    }
+    let code = match report.status {
+        dtr_obs::health::Status::Fail if !report_only => 2,
+        _ => 0,
+    };
+    std::process::exit(code);
 }

@@ -37,11 +37,19 @@
 //! * `.journal [on|off|json|export <file>]` — inspect or export the
 //!   provenance event journal (on by default in this shell; bounded by
 //!   `DTR_JOURNAL_CAP`, default 64k events);
+//! * `.timeline [on|off|export <file>]` — the flight recorder: a bounded
+//!   ring of timestamped span/counter/guard/exchange events (`DTR_FLIGHT=1`
+//!   to capture from process start); `export` writes Chrome Trace Event
+//!   JSON loadable in Perfetto or `chrome://tracing`;
+//! * `.audit [on|off|last|export <file>]` — the per-request audit log: one
+//!   record per query/exchange/translation with fingerprint, row counts,
+//!   wall latency, and guard outcome (`DTR_AUDIT=1`); `export` writes
+//!   JSONL;
 //! * `.limits [off | <key> <n> ...]` — resource budget for direct and
 //!   translated query execution (`deadline-ms`, `max-rows`,
 //!   `max-bindings`, `max-bytes`); an exhausted budget aborts the query
 //!   with a structured guard error, never a panic;
-//! * `.help`, `.quit`.
+//! * `.help` (the full listing), `.quit`.
 
 use dtr::core::provenance::{provenance_of, ProvenanceKind};
 use dtr::core::runner::MetaRunner;
@@ -106,18 +114,69 @@ fn load() -> TaggedInstance {
     }
 }
 
+/// Every dot-command the dispatch in `main` understands, with the
+/// one-line description `.help` prints. A unit test asserts this table
+/// stays in sync with the dispatch `match` — add new commands here first.
+const COMMANDS: &[(&str, &str)] = &[
+    (".mappings", "list the mappings of the setting"),
+    (".schema", "<db> — print a schema as an element tree"),
+    (".store", "dump the Figure 5 metastore relations"),
+    (".translate", "<query>; — show the Section 7.3 translation"),
+    (
+        ".explain",
+        "<query>; — every translation rewrite step plus the final plain queries",
+    ),
+    (
+        ".analyze",
+        "<query>; — EXPLAIN ANALYZE: per-operator rows, wall time, guard charges",
+    ),
+    (
+        ".mode",
+        "direct|translated|virtual — switch the execution engine",
+    ),
+    (".lint", "run the mapping diagnostics"),
+    (".whatif", "<db|m1,m2,...> — impact analysis"),
+    (".save", "<file> — write the annotated instance as XML"),
+    (
+        ".profile",
+        "[on|off|json] — toggle or dump the dtr-obs profile tree",
+    ),
+    (
+        ".stats",
+        "[on|off|json|reset] — the statistics catalog (paths, joins, histograms)",
+    ),
+    (
+        ".trace",
+        "<path> [value] — replay a target value's journal lineage",
+    ),
+    (
+        ".journal",
+        "[on|off|json|export <file>] — the provenance event journal",
+    ),
+    (
+        ".timeline",
+        "[on|off|export <file>] — the flight recorder; export is Perfetto-loadable",
+    ),
+    (
+        ".audit",
+        "[on|off|last|export <file>] — the per-request audit log (JSONL)",
+    ),
+    (
+        ".limits",
+        "[off | deadline-ms N | max-rows N | max-bindings N | max-bytes N]",
+    ),
+    (".help", "this listing"),
+    (".quit", "leave the shell"),
+    (".exit", "alias of .quit"),
+];
+
 fn help() {
     println!("enter an MXQL query terminated by `;`, e.g.");
     println!("  select x.hid, m from Portal.estates x, x.value@map m;");
-    println!("meta commands: .mappings  .schema <db>  .store  .translate <q>;");
-    println!("               .explain <q>;  .analyze <q>;  .trace <path> [value]");
-    println!("               .journal [on|off|json|export <file>]  .stats [on|off|json]");
-    println!("               .mode direct|translated|virtual  .lint");
-    println!("               .whatif <db|m1,m2,...>  .save <file>");
-    println!(
-        "               .limits [off | deadline-ms N | max-rows N | max-bindings N | max-bytes N]"
-    );
-    println!("               .profile [on|off|json]  .help  .quit");
+    println!("meta commands:");
+    for (name, desc) in COMMANDS {
+        println!("  {name:<11} {desc}");
+    }
 }
 
 /// Parses `.limits` arguments into a fresh budget: `off` clears every
@@ -296,6 +355,7 @@ fn main() {
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
             let (cmd, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+            // DISPATCH-BEGIN (the sync test scans this range for dot-command arms)
             match cmd {
                 ".quit" | ".exit" => break,
                 ".help" => help(),
@@ -565,8 +625,82 @@ fn main() {
                         }
                     }
                 }
+                ".timeline" => {
+                    let args: Vec<&str> = rest.split_whitespace().collect();
+                    match args.as_slice() {
+                        ["on"] => {
+                            dtr_obs::recorder::set_enabled(true);
+                            println!("flight recorder on (reload to capture the exchange itself)");
+                        }
+                        ["off"] => {
+                            dtr_obs::recorder::set_enabled(false);
+                            println!(
+                                "flight recorder off (ring kept; `.timeline export` still works)"
+                            );
+                        }
+                        ["export", file] => {
+                            let doc = dtr_obs::chrome_trace::export_current();
+                            match dtr_obs::chrome_trace::validate(&doc) {
+                                Ok(s) => {
+                                    let text = doc.to_string();
+                                    match std::fs::write(file, &text) {
+                                        Ok(()) => println!(
+                                            "wrote {} trace event(s) across {} thread(s) to {file} \
+                                             — load it in Perfetto or chrome://tracing",
+                                            s.events, s.distinct_tids
+                                        ),
+                                        Err(e) => println!("cannot write {file}: {e}"),
+                                    }
+                                }
+                                Err(e) => println!("trace export failed validation: {e}"),
+                            }
+                        }
+                        _ => print!("{}", dtr_obs::recorder::summary().render()),
+                    }
+                }
+                ".audit" => {
+                    let args: Vec<&str> = rest.split_whitespace().collect();
+                    match args.as_slice() {
+                        ["on"] => {
+                            dtr_obs::audit::set_enabled(true);
+                            println!("audit log on (one record per query/exchange/translation)");
+                        }
+                        ["off"] => {
+                            dtr_obs::audit::set_enabled(false);
+                            println!("audit log off (ring kept; `.audit export` still works)");
+                        }
+                        ["last"] => match dtr_obs::audit::records().last() {
+                            Some(r) => println!("{}", r.render()),
+                            None => println!("audit log is empty (`.audit on` to start recording)"),
+                        },
+                        ["export", file] => {
+                            let jsonl = dtr_obs::audit::to_jsonl();
+                            match std::fs::write(file, &jsonl) {
+                                Ok(()) => println!(
+                                    "wrote {} record(s) ({} bytes) to {file}",
+                                    jsonl.lines().count(),
+                                    jsonl.len()
+                                ),
+                                Err(e) => println!("cannot write {file}: {e}"),
+                            }
+                        }
+                        _ => {
+                            let (recorded, retained, dropped, cap) = dtr_obs::audit::counts();
+                            println!(
+                                "audit: {} (recorded {recorded}, retained {retained}, \
+                                 dropped {dropped}, cap {cap})",
+                                if dtr_obs::audit::enabled() {
+                                    "on"
+                                } else {
+                                    "off"
+                                }
+                            );
+                        }
+                    }
+                }
                 other => println!("unknown command {other}; try .help"),
             }
+            // DISPATCH-END
             print!("mxql> ");
             let _ = std::io::stdout().flush();
             continue;
@@ -618,4 +752,47 @@ fn main() {
         let _ = std::io::stdout().flush();
     }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::COMMANDS;
+    use std::collections::BTreeSet;
+
+    /// `.help` is generated from [`COMMANDS`]; this test keeps that table
+    /// in lockstep with the dispatch `match` in `main` by scanning the
+    /// marked source range for `".command"` string literals.
+    #[test]
+    fn help_listing_matches_dispatch_table() {
+        let src = include_str!("mxql.rs");
+        let begin = src.find("// DISPATCH-BEGIN").expect("begin marker");
+        let end = src.find("// DISPATCH-END").expect("end marker");
+        let body = &src[begin..end];
+        // String literals are the odd chunks when splitting on `"` (the
+        // dispatch range contains no escaped quotes); a dispatch arm is a
+        // literal of the exact shape `.lowercaseword`.
+        let dispatched: BTreeSet<&str> = body
+            .split('"')
+            .skip(1)
+            .step_by(2)
+            .filter(|s| {
+                s.len() > 1 && s.starts_with('.') && s[1..].chars().all(|c| c.is_ascii_lowercase())
+            })
+            .collect();
+        let listed: BTreeSet<&str> = COMMANDS.iter().map(|(name, _)| *name).collect();
+        // `.help` appears in the unknown-command hint, not as its own arm
+        // text requirement; both sets must nevertheless agree exactly.
+        assert_eq!(
+            dispatched, listed,
+            "dispatch arms and the .help COMMANDS table diverged — \
+             add the command to both"
+        );
+    }
+
+    #[test]
+    fn descriptions_are_single_line() {
+        for (name, desc) in COMMANDS {
+            assert!(!desc.contains('\n'), "{name} description spans lines");
+        }
+    }
 }
