@@ -28,7 +28,17 @@ use serde_json::Value;
 use std::process::exit;
 
 /// The per-scale config objects `bench_pr4` may emit, in report order.
-const CONFIGS: &[&str] = &["baseline", "optimized", "guarded", "instrumented", "flight"];
+const CONFIGS: &[&str] = &[
+    "baseline",
+    "optimized",
+    "guarded",
+    "instrumented",
+    "flight",
+    // `total_ms` for the incremental config is the combined 1 % + 10 %
+    // churn delta-apply time (its full-re-exchange yardstick is priced
+    // separately inside bench_pr4).
+    "incremental",
+];
 
 struct ConfigNumbers {
     config: String,

@@ -17,14 +17,22 @@
 //! `stats_overhead_pct` is the cost of asking for full observability. A
 //! fifth `flight` configuration runs the optimized path with the flight
 //! recorder and audit log capturing; its `flight_overhead_pct` is the
-//! marginal cost of the always-on time-domain tiers. Compare reports
-//! across commits with `bench_diff` (same crate).
+//! marginal cost of the always-on time-domain tiers. A sixth `incremental`
+//! configuration prices delta-driven maintenance: 1 % and 10 % modify
+//! churn on `Yahoo.listings` applied through an `IncrementalSession`
+//! versus a full re-exchange over the same mutated sources; the ratio at
+//! 1 % churn is `delta_speedup`. Compare reports across commits with
+//! `bench_diff` (same crate).
 
-use dtr_mapping::exchange::ExchangeOptions;
+use dtr_core::incremental::IncrementalSession;
+use dtr_mapping::delta::SourceDelta;
+use dtr_mapping::exchange::{execute_mappings_with, ExchangeOptions};
+use dtr_model::instance::Value;
 use dtr_obs::guard::Budget;
 use dtr_portal::scenario::{build, ScenarioConfig};
 use dtr_query::ast::Query;
-use dtr_query::eval::EvalOptions;
+use dtr_query::eval::{EvalOptions, Source};
+use dtr_query::functions::FunctionRegistry;
 use dtr_query::parser::parse_query;
 use std::time::{Duration, Instant};
 
@@ -156,6 +164,106 @@ fn best_of_each(
     best.into_iter()
         .map(|b| b.expect("at least one rep"))
         .collect()
+}
+
+/// Timings for the `incremental` configuration: delta-driven maintenance
+/// at 1 % and 10 % churn versus a full re-exchange over the same mutated
+/// sources.
+struct IncrementalTiming {
+    build_ms: f64,
+    delta_1pct_ms: f64,
+    delta_10pct_ms: f64,
+    full_reexchange_ms: f64,
+    edits_1pct: usize,
+    edits_10pct: usize,
+}
+
+/// A churn batch: modifies the first `frac·n` members of `Yahoo.listings`
+/// (rewriting their free-text `comments` field so every touched member is
+/// a genuine change). Indices descend so each modify (a delete + append
+/// under batch resolution) leaves the earlier targets in place.
+fn churn_delta(session: &IncrementalSession, frac: f64, tag: &str) -> (SourceDelta, usize) {
+    let inst = &session.sources()[0];
+    let root = inst.root("Yahoo").expect("Yahoo root");
+    let set = inst.child_by_label(root, "listings").expect("listings set");
+    let members = inst.set_members(set).expect("set members").to_vec();
+    let k = ((frac * members.len() as f64).ceil() as usize).clamp(1, members.len());
+    let mut delta = SourceDelta::new();
+    for i in (0..k).rev() {
+        let mut v = inst.to_value(members[i]);
+        if let Value::Record(fields) = &mut v {
+            for (l, f) in fields.iter_mut() {
+                if l.as_str() == "comments" {
+                    *f = Value::str(format!("churn-{tag}-{i}"));
+                }
+            }
+        }
+        delta = delta.modify("Yahoo.listings", i, v);
+    }
+    (delta, k)
+}
+
+/// One rep of the incremental path: build the session (a full exchange plus
+/// the retraction index), apply a 1 % then a 10 % churn batch, then price a
+/// full re-exchange over the same mutated sources — what a non-incremental
+/// pipeline pays for the identical update.
+fn run_incremental(n: usize, opts: &ExchangeOptions, rep: usize) -> IncrementalTiming {
+    let scenario = build(ScenarioConfig {
+        listings_per_source: n,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    let mut session =
+        IncrementalSession::with_options(scenario.setting, scenario.sources, opts.clone())
+            .expect("incremental session builds");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (d1, edits_1pct) = churn_delta(&session, 0.01, &format!("a{rep}"));
+    let t1 = Instant::now();
+    session.apply(&d1).expect("1% churn applies");
+    let delta_1pct_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (d10, edits_10pct) = churn_delta(&session, 0.10, &format!("b{rep}"));
+    let t10 = Instant::now();
+    session.apply(&d10).expect("10% churn applies");
+    let delta_10pct_ms = t10.elapsed().as_secs_f64() * 1e3;
+    let views: Vec<Source> = session
+        .setting()
+        .source_schemas()
+        .iter()
+        .zip(session.sources())
+        .map(|(schema, instance)| Source { schema, instance })
+        .collect();
+    let funcs = FunctionRegistry::with_builtins();
+    let tf = Instant::now();
+    execute_mappings_with(
+        &views,
+        session.setting().target_schema(),
+        session.setting().mappings(),
+        &funcs,
+        opts,
+    )
+    .expect("full re-exchange succeeds");
+    let full_reexchange_ms = tf.elapsed().as_secs_f64() * 1e3;
+    IncrementalTiming {
+        build_ms,
+        delta_1pct_ms,
+        delta_10pct_ms,
+        full_reexchange_ms,
+        edits_1pct,
+        edits_10pct,
+    }
+}
+
+/// Best-of-`reps` for the incremental path, keeping the rep with the best
+/// combined delta + full-re-exchange time (the two sides of the ratio).
+fn best_incremental(reps: usize, n: usize, opts: &ExchangeOptions) -> IncrementalTiming {
+    (0..reps)
+        .map(|r| run_incremental(n, opts, r))
+        .min_by(|a, b| {
+            let ka = a.delta_1pct_ms + a.delta_10pct_ms + a.full_reexchange_ms;
+            let kb = b.delta_1pct_ms + b.delta_10pct_ms + b.full_reexchange_ms;
+            ka.total_cmp(&kb)
+        })
+        .expect("at least one rep")
 }
 
 /// The `latency_ns` fragment of one config's JSON object (empty when the
@@ -295,6 +403,21 @@ fn main() {
         let guard_overhead_pct = 100.0 * (total_guarded - total_opt) / total_opt;
         let stats_overhead_pct = 100.0 * (total_instr - total_opt) / total_opt;
         let flight_overhead_pct = 100.0 * (total_flight - total_opt) / total_opt;
+        // The incremental configuration: delta maintenance at 1 %/10 %
+        // churn against a full re-exchange over the same mutated sources.
+        let inc = best_incremental(reps.min(3), n, &optimized_opts);
+        let delta_speedup = inc.full_reexchange_ms / inc.delta_1pct_ms;
+        eprintln!(
+            "  incremental: build {:.1} ms; 1% churn ({} edit(s)) {:.2} ms vs full \
+             re-exchange {:.1} ms (delta_speedup {:.1}x); 10% churn ({} edit(s)) {:.2} ms",
+            inc.build_ms,
+            inc.edits_1pct,
+            inc.delta_1pct_ms,
+            inc.full_reexchange_ms,
+            delta_speedup,
+            inc.edits_10pct,
+            inc.delta_10pct_ms,
+        );
         eprintln!(
             "  serial+nested {total_base:.1} ms vs parallel+hash {total_opt:.1} ms \
              (speedup {:.2}x); guarded {total_guarded:.1} ms ({guard_overhead_pct:+.2} %); \
@@ -314,8 +437,11 @@ fn main() {
              \"exchange_ms\": {ie:.3}, \"query_ms\": {iq:.3}, \"total_ms\": {it:.3}{il} }},\n      \
              \"flight\": {{ \"config\": \"optimized + flight recorder + audit log\", \
              \"exchange_ms\": {fe:.3}, \"query_ms\": {fq:.3}, \"total_ms\": {ft:.3}{fl} }},\n      \
+             \"incremental\": {{ \"config\": \"delta-driven maintenance (IncrementalSession) vs full re-exchange, modify churn on Yahoo.listings\", \
+             \"build_ms\": {nb:.3}, \"delta_1pct_ms\": {n1:.3}, \"delta_10pct_ms\": {n10:.3}, \
+             \"full_reexchange_ms\": {nf:.3}, \"edits_1pct\": {k1}, \"edits_10pct\": {k10}, \"total_ms\": {nt:.3} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
-             \"speedup_total\": {st:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
+             \"speedup_total\": {st:.3},\n      \"delta_speedup\": {ds:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
              \"stats_overhead_pct\": {sp:.3},\n      \"flight_overhead_pct\": {fp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
@@ -338,6 +464,14 @@ fn main() {
             fq = flight.query_ms,
             ft = total_flight,
             fl = latency_json(flight.latency_ns),
+            nb = inc.build_ms,
+            n1 = inc.delta_1pct_ms,
+            n10 = inc.delta_10pct_ms,
+            nf = inc.full_reexchange_ms,
+            k1 = inc.edits_1pct,
+            k10 = inc.edits_10pct,
+            nt = inc.delta_1pct_ms + inc.delta_10pct_ms,
+            ds = delta_speedup,
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,
             st = total_base / total_opt,

@@ -165,7 +165,7 @@ pub fn gen_schema(rng: &mut TestRng, db: &str, root: &str, cfg: &GenConfig) -> S
 // Instances (Definition 4.2)
 // ---------------------------------------------------------------------------
 
-fn gen_value(rng: &mut TestRng, ty: &Type, cfg: &GenConfig) -> Value {
+pub(crate) fn gen_value(rng: &mut TestRng, ty: &Type, cfg: &GenConfig) -> Value {
     match ty {
         Type::Atomic(AtomicType::Integer) => Value::int(rng.below(cfg.value_pool) as i64),
         Type::Atomic(_) => Value::str(format!("v{}", rng.below(cfg.value_pool))),
@@ -822,6 +822,75 @@ pub fn gen_scenario(rng: &mut TestRng, cfg: &GenConfig) -> Scenario {
         target,
         mappings,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Update streams (incremental exchange)
+// ---------------------------------------------------------------------------
+
+/// A seeded stream of edit batches over the scenario's top-level relation
+/// sets — the granularity the incremental exchange engine edits at. Each
+/// step is one [`dtr_mapping::delta::SourceDelta`] of 1..=3 insert/delete/
+/// modify edits; member
+/// values come from the same constructive generator as the instances, so
+/// every edit conforms by construction, and deletes/modifies track live
+/// cardinalities so indices are always in range.
+pub fn gen_update_stream(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    cfg: &GenConfig,
+    steps: usize,
+) -> Vec<dtr_mapping::delta::SourceDelta> {
+    use dtr_mapping::delta::SourceDelta;
+    // (dot path, member type, live cardinality) per editable relation set.
+    let mut rels: Vec<(String, Type, usize)> = Vec::new();
+    for (schema, inst) in &scen.sources {
+        for &root in schema.roots() {
+            let rl = schema.element(root).label.clone();
+            for &c in &schema.element(root).children {
+                if schema.element(c).kind != ElementKind::Set {
+                    continue;
+                }
+                let Type::Set(member) = schema.type_of(c) else {
+                    continue;
+                };
+                let label = schema.element(c).label.clone();
+                let card = inst
+                    .root(rl.as_str())
+                    .and_then(|r| inst.child_by_label(r, label.as_str()))
+                    .and_then(|s| inst.set_members(s))
+                    .map_or(0, <[_]>::len);
+                rels.push((format!("{rl}.{label}"), *member, card));
+            }
+        }
+    }
+    if rels.is_empty() {
+        return Vec::new();
+    }
+    (0..steps)
+        .map(|_| {
+            let mut delta = SourceDelta::new();
+            for _ in 0..=rng.below(3) {
+                let ri = rng.below(saturating_u64(rels.len())) as usize;
+                let (path, member_ty, card) = &mut rels[ri];
+                match if *card == 0 { 0 } else { rng.below(3) } {
+                    0 => {
+                        delta = delta.insert(path.clone(), gen_value(rng, member_ty, cfg));
+                        *card += 1;
+                    }
+                    1 => {
+                        delta = delta.delete(path.clone(), rng.below(*card as u64) as usize);
+                        *card -= 1;
+                    }
+                    _ => {
+                        let idx = rng.below(*card as u64) as usize;
+                        delta = delta.modify(path.clone(), idx, gen_value(rng, member_ty, cfg));
+                    }
+                }
+            }
+            delta
+        })
+        .collect()
 }
 
 /// A nested source + instance + mapping bundle for grafting into external

@@ -532,6 +532,86 @@ pub fn law_flight(rng: &mut TestRng, scen: &Scenario, cfg: &GenConfig) -> Result
 }
 
 // ---------------------------------------------------------------------------
+// Incremental exchange ≡ full re-exchange (update-stream conformance)
+// ---------------------------------------------------------------------------
+
+/// After every prefix of a seeded update stream, the incrementally
+/// maintained target must be byte-identical (canonical rendering,
+/// annotations included) to a full re-exchange over the mutated sources,
+/// and the synthesized report must agree with the full run on every
+/// per-mapping decision count.
+pub fn law_incremental(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    cfg: &GenConfig,
+    exchange: &dtr_mapping::exchange::ExchangeOptions,
+) -> Result<(), String> {
+    use dtr_mapping::exchange::execute_mappings_with;
+    use dtr_mapping::incremental::IncrementalExchange;
+    let funcs = FunctionRegistry::with_builtins();
+    let schemas: Vec<dtr_model::schema::Schema> =
+        scen.sources.iter().map(|(s, _)| s.clone()).collect();
+    let mut instances: Vec<Instance> = scen.sources.iter().map(|(_, i)| i.clone()).collect();
+    for (inst, schema) in instances.iter_mut().zip(&schemas) {
+        inst.annotate_elements(schema)
+            .map_err(|e| format!("source annotation failed: {e}"))?;
+    }
+    let mut inc = IncrementalExchange::new(
+        schemas.clone(),
+        instances,
+        scen.target.clone(),
+        scen.mappings.clone(),
+        funcs.clone(),
+        exchange.clone(),
+    )
+    .map_err(|e| format!("incremental engine failed to build: {e}"))?;
+    let stream = generators::gen_update_stream(rng, scen, cfg, 4);
+    let decisions = |r: &dtr_mapping::exchange::ExchangeReport| {
+        r.per_mapping
+            .iter()
+            .map(|s| {
+                (
+                    s.mapping.clone(),
+                    s.tuples,
+                    s.bindings,
+                    s.rows_inserted,
+                    s.rows_merged,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    for (step, delta) in stream.iter().enumerate() {
+        inc.apply(delta)
+            .map_err(|e| format!("incremental apply failed at step {step} ({delta:?}): {e}"))?;
+        let views: Vec<dtr_query::eval::Source> = schemas
+            .iter()
+            .zip(inc.sources())
+            .map(|(schema, instance)| dtr_query::eval::Source { schema, instance })
+            .collect();
+        let (full, full_report) =
+            execute_mappings_with(&views, &scen.target, &scen.mappings, &funcs, exchange)
+                .map_err(|e| format!("full re-exchange failed at step {step}: {e}"))?;
+        let inc_canon = canon(inc.target());
+        let full_canon = canon(&full);
+        if inc_canon != full_canon {
+            return Err(format!(
+                "incremental target diverged from full re-exchange after step {step} \
+                 ({delta:?})\nincremental: {inc_canon}\nfull: {full_canon}"
+            ));
+        }
+        if decisions(inc.report()) != decisions(&full_report) {
+            return Err(format!(
+                "incremental report diverged from full re-exchange after step {step}\n\
+                 incremental: {:?}\nfull: {:?}",
+                decisions(inc.report()),
+                decisions(&full_report)
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Mapping laws
 // ---------------------------------------------------------------------------
 

@@ -51,6 +51,7 @@ pub fn run_case_with(seed: u64, cfg: &GenConfig, exchange: &ExchangeOptions) -> 
     laws::law_xml_roundtrip(&scen, &tagged)?;
     laws::law_parallel_exchange(&scen)?;
     laws::law_flight(&mut rng, &scen, cfg)?;
+    laws::law_incremental(&mut rng, &scen, cfg, exchange)?;
     Ok(())
 }
 

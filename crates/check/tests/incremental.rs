@@ -1,0 +1,387 @@
+//! Hand-crafted retraction paths for the incremental exchange engine.
+//!
+//! `law_incremental` covers randomly generated update streams; these tests
+//! pin the nasty deterministic cases by construction: a delete that
+//! un-merges a PNF-merged member, a delete under a forced fingerprint
+//! collision split, a modify that flips a choice alternative (moving rows
+//! between mappings), and a `Budget` tripping mid-batch (abort-or-identical
+//! holds for deltas too). Every step is checked byte-identically against a
+//! full re-exchange over the mutated sources.
+
+use dtr_check::laws::canon;
+use dtr_mapping::delta::SourceDelta;
+use dtr_mapping::exchange::{execute_mappings_with, ExchangeOptions};
+use dtr_mapping::glav::Mapping;
+use dtr_mapping::incremental::IncrementalExchange;
+use dtr_model::instance::{Instance, Value};
+use dtr_model::schema::Schema;
+use dtr_model::types::{AtomicType, Type};
+use dtr_obs::guard::Budget;
+use dtr_query::eval::Source;
+use dtr_query::functions::FunctionRegistry;
+
+// --- Figure 1 fixtures (US + EU real-estate sources into the portal) -----
+
+fn us_schema() -> Schema {
+    Schema::build(
+        "USdb",
+        vec![(
+            "US",
+            Type::record(vec![
+                (
+                    "houses",
+                    Type::relation(vec![
+                        ("hid", AtomicType::String),
+                        ("floors", AtomicType::String),
+                        ("price", AtomicType::String),
+                        ("aid", AtomicType::String),
+                    ]),
+                ),
+                (
+                    "agents",
+                    Type::set(Type::record(vec![
+                        ("aid", Type::string()),
+                        (
+                            "title",
+                            Type::choice(vec![("name", Type::string()), ("firm", Type::string())]),
+                        ),
+                        ("phone", Type::string()),
+                    ])),
+                ),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+fn eu_schema() -> Schema {
+    Schema::build(
+        "EUdb",
+        vec![(
+            "EU",
+            Type::record(vec![(
+                "postings",
+                Type::set(Type::record(vec![
+                    ("hid", Type::string()),
+                    ("levels", Type::string()),
+                    ("totalVal", Type::string()),
+                    (
+                        "agents",
+                        Type::set(Type::record(vec![
+                            ("agentName", Type::string()),
+                            ("agentPhone", Type::string()),
+                        ])),
+                    ),
+                ])),
+            )]),
+        )],
+    )
+    .unwrap()
+}
+
+fn portal_schema() -> Schema {
+    Schema::build(
+        "Pdb",
+        vec![(
+            "Portal",
+            Type::record(vec![
+                (
+                    "estates",
+                    Type::relation(vec![
+                        ("hid", AtomicType::String),
+                        ("stories", AtomicType::String),
+                        ("value", AtomicType::String),
+                        ("contact", AtomicType::String),
+                    ]),
+                ),
+                (
+                    "contacts",
+                    Type::relation(vec![
+                        ("title", AtomicType::String),
+                        ("phone", AtomicType::String),
+                    ]),
+                ),
+            ]),
+        )],
+    )
+    .unwrap()
+}
+
+fn house(hid: &str, floors: &str, price: &str, aid: &str) -> Value {
+    Value::record(vec![
+        ("hid", Value::str(hid)),
+        ("floors", Value::str(floors)),
+        ("price", Value::str(price)),
+        ("aid", Value::str(aid)),
+    ])
+}
+
+fn agent(aid: &str, alt: &str, title: &str, phone: &str) -> Value {
+    Value::record(vec![
+        ("aid", Value::str(aid)),
+        ("title", Value::choice(alt, Value::str(title))),
+        ("phone", Value::str(phone)),
+    ])
+}
+
+fn us_instance() -> Instance {
+    let mut inst = Instance::new("USdb");
+    inst.install_root(
+        "US",
+        Value::record(vec![
+            (
+                "houses",
+                Value::set(vec![
+                    house("H522", "2", "500K", "a2"),
+                    house("H7", "1", "250K", "a1"),
+                ]),
+            ),
+            (
+                "agents",
+                Value::set(vec![
+                    agent("a1", "name", "Smith", "555-1111"),
+                    agent("a2", "firm", "HomeGain", "18009468501"),
+                ]),
+            ),
+        ]),
+    );
+    inst
+}
+
+fn eu_instance() -> Instance {
+    let mut inst = Instance::new("EUdb");
+    inst.install_root(
+        "EU",
+        Value::record(vec![(
+            "postings",
+            Value::set(vec![Value::record(vec![
+                ("hid", Value::str("H2525")),
+                ("levels", Value::str("1")),
+                ("totalVal", Value::str("300K")),
+                (
+                    "agents",
+                    Value::set(vec![Value::record(vec![
+                        ("agentName", Value::str("HomeGain")),
+                        ("agentPhone", Value::str("18009468501")),
+                    ])]),
+                ),
+            ])]),
+        )]),
+    );
+    inst
+}
+
+fn figure1_mappings() -> Vec<Mapping> {
+    vec![
+        Mapping::parse(
+            "m1",
+            "foreach
+               select h.hid, h.floors, h.price, n, a.phone
+               from US.houses h, US.agents a, a.title->name n
+               where h.aid = a.aid
+             exists
+               select e.hid, e.stories, e.value, c.title, c.phone
+               from Portal.estates e, Portal.contacts c
+               where e.contact = c.title",
+        )
+        .unwrap(),
+        Mapping::parse(
+            "m2",
+            "foreach
+               select h.hid, h.floors, h.price, f, a.phone
+               from US.houses h, US.agents a, a.title->firm f
+               where h.aid = a.aid
+             exists
+               select e.hid, e.stories, e.value, c.title, c.phone
+               from Portal.estates e, Portal.contacts c
+               where e.contact = c.title",
+        )
+        .unwrap(),
+        Mapping::parse(
+            "m3",
+            "foreach
+               select p.hid, p.levels, p.totalVal, a.agentName, a.agentPhone
+               from EU.postings p, p.agents a
+             exists
+               select e.hid, e.stories, e.value, c.title, c.phone
+               from Portal.estates e, Portal.contacts c
+               where e.contact = c.title",
+        )
+        .unwrap(),
+    ]
+}
+
+fn engine_with(opts: ExchangeOptions) -> IncrementalExchange {
+    let us_s = us_schema();
+    let eu_s = eu_schema();
+    let mut us_i = us_instance();
+    let mut eu_i = eu_instance();
+    us_i.annotate_elements(&us_s).unwrap();
+    eu_i.annotate_elements(&eu_s).unwrap();
+    IncrementalExchange::new(
+        vec![us_s, eu_s],
+        vec![us_i, eu_i],
+        portal_schema(),
+        figure1_mappings(),
+        FunctionRegistry::with_builtins(),
+        opts,
+    )
+    .unwrap()
+}
+
+fn engine() -> IncrementalExchange {
+    engine_with(ExchangeOptions::default())
+}
+
+/// The incremental target must equal a full re-exchange over the engine's
+/// (mutated) sources, canonical rendering with annotations included.
+fn assert_matches_full(inc: &IncrementalExchange, ctx: &str) {
+    let views: Vec<Source> = inc
+        .source_schemas()
+        .iter()
+        .zip(inc.sources())
+        .map(|(schema, instance)| Source { schema, instance })
+        .collect();
+    let funcs = FunctionRegistry::with_builtins();
+    let (full, _) = execute_mappings_with(
+        &views,
+        inc.target_schema(),
+        inc.mappings(),
+        &funcs,
+        &ExchangeOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        canon(inc.target()),
+        canon(&full),
+        "incremental target diverged from full re-exchange: {ctx}"
+    );
+}
+
+fn estates_count(inc: &IncrementalExchange) -> usize {
+    let t = inc.target();
+    let root = t.root("Portal").unwrap();
+    let set = t.child_by_label(root, "estates").unwrap();
+    t.set_members(set).map_or(0, <[_]>::len)
+}
+
+// --- The nasty paths -----------------------------------------------------
+
+/// Inserting an exact duplicate source tuple PNF-merges into the existing
+/// target member; deleting one copy must keep the member alive (the class
+/// still holds the surviving row), and deleting the last copy must retract
+/// it entirely.
+#[test]
+fn delete_unmerges_a_pnf_merged_member() {
+    let mut inc = engine();
+    let before = estates_count(&inc);
+    let td = inc
+        .apply(&SourceDelta::new().insert("US.houses", house("H7", "1", "250K", "a1")))
+        .unwrap();
+    assert_matches_full(&inc, "after duplicate insert");
+    assert_eq!(estates_count(&inc), before, "duplicate merges");
+    assert!(td.rows_added > 0);
+
+    // Delete the duplicate (appended last): the merged member survives on
+    // the original row.
+    inc.apply(&SourceDelta::new().delete("US.houses", 2))
+        .unwrap();
+    assert_matches_full(&inc, "after deleting one merged copy");
+    assert_eq!(estates_count(&inc), before);
+
+    // Delete the original H7 too: now the member is fully retracted.
+    let td = inc
+        .apply(&SourceDelta::new().delete("US.houses", 1))
+        .unwrap();
+    assert_matches_full(&inc, "after deleting the last copy");
+    assert_eq!(estates_count(&inc), before - 1);
+    assert!(!td.retracted.is_empty());
+}
+
+/// A constant fingerprint forces every member into one merge-index bucket;
+/// merges are structurally confirmed, so the final target is unchanged —
+/// and retraction must split only the right member out of the shared
+/// bucket.
+#[test]
+fn delete_under_fingerprint_collision_split() {
+    let mut inc = engine();
+    inc.set_member_fingerprinter(|_| 42).unwrap();
+    assert_matches_full(&inc, "after collision rebase");
+
+    inc.apply(&SourceDelta::new().insert("US.houses", house("H900", "3", "900K", "a2")))
+        .unwrap();
+    assert_matches_full(&inc, "collision: after insert");
+
+    inc.apply(&SourceDelta::new().delete("US.houses", 0))
+        .unwrap();
+    assert_matches_full(&inc, "collision: after deleting H522");
+
+    inc.apply(&SourceDelta::new().delete("EU.postings", 0))
+        .unwrap();
+    assert_matches_full(&inc, "collision: after draining EU");
+}
+
+/// Modifying an agent's choice alternative moves its join rows from m1
+/// (`title->name`) to m2 (`title->firm`): the old member is retracted under
+/// m1's class and re-inserted under m2's, annotations included.
+#[test]
+fn modify_flips_a_choice_alternative() {
+    let mut inc = engine();
+    let flipped = agent("a1", "firm", "Smith Realty", "555-1111");
+    let td = inc
+        .apply(&SourceDelta::new().modify("US.agents", 0, flipped))
+        .unwrap();
+    assert_matches_full(&inc, "after choice flip");
+    assert!(td.rows_removed > 0, "m1 lost its row");
+    assert!(td.rows_added > 0, "m2 gained a row");
+
+    // Flip back: the original target must be reproduced exactly.
+    let original = agent("a1", "name", "Smith", "555-1111");
+    inc.apply(&SourceDelta::new().modify("US.agents", 0, original))
+        .unwrap();
+    assert_matches_full(&inc, "after flipping back");
+}
+
+/// A `Budget` tripping mid-batch must leave the engine exactly as it was
+/// before the apply — abort-or-identical holds for deltas — and the engine
+/// must stay usable afterwards.
+#[test]
+fn budget_trip_mid_batch_is_abort_or_identical() {
+    let mut inc = engine_with(ExchangeOptions {
+        budget: Budget {
+            max_rows: Some(8),
+            ..Budget::unlimited()
+        },
+        ..Default::default()
+    });
+    let target_before = canon(inc.target());
+    let sources_before: Vec<String> = inc.sources().iter().map(canon).collect();
+    let report_before = format!("{:?}", inc.report().per_mapping);
+
+    // One batch of a dozen fresh houses blows the 8-row cap mid-way.
+    let mut big = SourceDelta::new();
+    for i in 0..12 {
+        big = big.insert("US.houses", house(&format!("HX{i}"), "1", "1K", "a1"));
+    }
+    let err = inc.apply(&big).unwrap_err();
+    assert!(
+        err.to_string().contains("budget") || err.to_string().contains("rows"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(canon(inc.target()), target_before, "target rolled back");
+    assert_eq!(
+        inc.sources().iter().map(canon).collect::<Vec<_>>(),
+        sources_before,
+        "sources rolled back"
+    );
+    assert_eq!(
+        format!("{:?}", inc.report().per_mapping),
+        report_before,
+        "report rolled back"
+    );
+
+    // A batch that fits still applies and tracks the full re-exchange.
+    inc.apply(&SourceDelta::new().insert("US.houses", house("H901", "2", "2K", "a2")))
+        .unwrap();
+    assert_matches_full(&inc, "after post-abort apply");
+}

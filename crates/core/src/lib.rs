@@ -15,6 +15,8 @@
 //! * [`provenance`] — where/what/why-provenance and the Theorem 6.1 / 6.4
 //!   characterizations (Section 6).
 //! * [`inclusion`] — element inclusion between queries (Definition 6.3).
+//! * [`incremental`] — continuous-ingest sessions over the delta-driven
+//!   exchange engine.
 //! * [`mod@virtualize`] — virtual integration by query rewriting (the
 //!   conclusion's future work).
 //! * [`whatif`] — impact analysis for sources and mappings (the
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod inclusion;
+pub mod incremental;
 pub mod provenance;
 pub mod runner;
 pub mod tagged;
@@ -46,6 +49,7 @@ pub mod whatif;
 /// Convenient glob-import of the most used names.
 pub mod prelude {
     pub use crate::inclusion::element_included;
+    pub use crate::incremental::IncrementalSession;
     pub use crate::provenance::{
         check_theorem_6_1, check_theorem_6_4, provenance_of, provenance_query, Provenance,
         ProvenanceKind,

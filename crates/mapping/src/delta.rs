@@ -1,0 +1,250 @@
+//! The delta model for incremental exchange: [`SourceDelta`] describes
+//! insert/delete/modify edits against source tuples addressed by
+//! root-rooted set paths, and [`TargetDelta`] summarizes what one
+//! [`crate::incremental::IncrementalExchange::apply`] did to the target —
+//! which members were inserted or retracted, how many member classes were
+//! rebuilt, and how the mapping set was pruned.
+//!
+//! Addressing convention: an edit path is a dot path of record projections
+//! from a source root to a *top-level* set (`Yahoo.listings`,
+//! `Portal.estates`). Members are addressed positionally by their current
+//! index in that set. Changes inside a member — including its nested sets —
+//! are expressed as a [`EditOp::Modify`] replacing the whole member, which
+//! matches the granularity of the paper's foreach tuples: a source tuple
+//! is a top-level set member, and `f_mp` retraction happens at tuple
+//! granularity.
+
+use dtr_model::instance::Value;
+use std::fmt;
+
+/// One edit against a source set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditOp {
+    /// Append a new member to the set.
+    Insert(Value),
+    /// Remove the member at the given (current) index.
+    Delete(usize),
+    /// Replace the member at the given (current) index with a new value.
+    /// Equivalent to `Delete(idx)` followed by `Insert(value)`.
+    Modify(usize, Value),
+}
+
+/// One addressed edit: a root-rooted set path plus the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edit {
+    /// Dot path from a source root to a top-level set, e.g.
+    /// `"Yahoo.listings"`. Record projections only (no choice steps, no
+    /// indices) — the path names the set, the op names the member.
+    pub path: String,
+    /// The operation to apply.
+    pub op: EditOp,
+}
+
+/// A batch of source edits, applied atomically by
+/// [`crate::incremental::IncrementalExchange::apply`]: edits resolve
+/// sequentially (a `Delete(2)` after an `Insert` sees the post-insert
+/// indices), and an insert-then-delete of the same member inside one batch
+/// cancels to a no-op.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SourceDelta {
+    /// The edits, in application order.
+    pub edits: Vec<Edit>,
+}
+
+impl SourceDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SourceDelta::default()
+    }
+
+    /// Appends an insert edit.
+    pub fn insert(mut self, path: impl Into<String>, value: Value) -> Self {
+        self.edits.push(Edit {
+            path: path.into(),
+            op: EditOp::Insert(value),
+        });
+        self
+    }
+
+    /// Appends a delete edit.
+    pub fn delete(mut self, path: impl Into<String>, idx: usize) -> Self {
+        self.edits.push(Edit {
+            path: path.into(),
+            op: EditOp::Delete(idx),
+        });
+        self
+    }
+
+    /// Appends a modify edit.
+    pub fn modify(mut self, path: impl Into<String>, idx: usize, value: Value) -> Self {
+        self.edits.push(Edit {
+            path: path.into(),
+            op: EditOp::Modify(idx, value),
+        });
+        self
+    }
+}
+
+/// One target-side membership change: a member node that appeared in (or
+/// was retracted from) the set at `set_path`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetChange {
+    /// Root-rooted dot path of the target set the member belongs to.
+    pub set_path: String,
+    /// The member's arena node id (stable until the next `.rebase`).
+    pub member: u32,
+}
+
+/// What one delta application did to the target instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TargetDelta {
+    /// Monotonic batch number within this incremental session.
+    pub batch: u64,
+    /// Edits in the applied [`SourceDelta`].
+    pub edits: usize,
+    /// Top-level target members newly materialized by this batch.
+    pub inserted: Vec<TargetChange>,
+    /// Top-level target members retracted by this batch (their node ids
+    /// are detached arena garbage after the apply).
+    pub retracted: Vec<TargetChange>,
+    /// Member classes rebuilt in place (detach + journal-replay of the
+    /// surviving binding fingerprints).
+    pub classes_rebuilt: usize,
+    /// Mappings skipped entirely because no foreach binding could touch a
+    /// changed path.
+    pub mappings_pruned: usize,
+    /// Mappings whose foreach was re-enumerated (restricted or full).
+    pub mappings_reevaluated: usize,
+    /// Foreach rows added across all re-evaluated mappings (multiplicity
+    /// counted).
+    pub rows_added: usize,
+    /// Foreach rows removed across all re-evaluated mappings.
+    pub rows_removed: usize,
+}
+
+impl TargetDelta {
+    /// `true` when the batch changed nothing in the target.
+    pub fn is_noop(&self) -> bool {
+        self.inserted.is_empty() && self.retracted.is_empty() && self.classes_rebuilt == 0
+    }
+
+    /// Serializes to a JSON object (stable key set; see [`TargetDelta::from_json`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        let change = |c: &TargetChange| serde_json::json!({ "set_path": c.set_path.as_str(), "member": c.member });
+        serde_json::json!({
+            "batch": self.batch,
+            "edits": self.edits,
+            "inserted": self.inserted.iter().map(change).collect::<Vec<_>>(),
+            "retracted": self.retracted.iter().map(change).collect::<Vec<_>>(),
+            "classes_rebuilt": self.classes_rebuilt,
+            "mappings_pruned": self.mappings_pruned,
+            "mappings_reevaluated": self.mappings_reevaluated,
+            "rows_added": self.rows_added,
+            "rows_removed": self.rows_removed,
+        })
+    }
+
+    /// Deserializes from the [`TargetDelta::to_json`] shape. Returns `None`
+    /// on a malformed value.
+    pub fn from_json(v: &serde_json::Value) -> Option<TargetDelta> {
+        let usize_of = |k: &str| v.get(k)?.as_u64().map(|n| n as usize);
+        let changes = |k: &str| -> Option<Vec<TargetChange>> {
+            v.get(k)?
+                .as_array()?
+                .iter()
+                .map(|c| {
+                    Some(TargetChange {
+                        set_path: c.get("set_path")?.as_str()?.to_string(),
+                        member: c.get("member")?.as_u64()? as u32,
+                    })
+                })
+                .collect()
+        };
+        Some(TargetDelta {
+            batch: v.get("batch")?.as_u64()?,
+            edits: usize_of("edits")?,
+            inserted: changes("inserted")?,
+            retracted: changes("retracted")?,
+            classes_rebuilt: usize_of("classes_rebuilt")?,
+            mappings_pruned: usize_of("mappings_pruned")?,
+            mappings_reevaluated: usize_of("mappings_reevaluated")?,
+            rows_added: usize_of("rows_added")?,
+            rows_removed: usize_of("rows_removed")?,
+        })
+    }
+}
+
+/// Errors raised while applying a [`SourceDelta`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaError {
+    /// An edit path did not resolve to a top-level set of any source.
+    Path(String),
+    /// A delete/modify index was out of range for its set.
+    Index(String),
+    /// The exchange layer failed while re-evaluating or rebuilding (guard
+    /// trips surface here; the apply was rolled back).
+    Exchange(crate::exchange::ExchangeError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Path(m) => write!(f, "delta path error: {m}"),
+            DeltaError::Index(m) => write!(f, "delta index error: {m}"),
+            DeltaError::Exchange(e) => write!(f, "delta exchange error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<crate::exchange::ExchangeError> for DeltaError {
+    fn from(e: crate::exchange::ExchangeError) -> Self {
+        DeltaError::Exchange(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_delta_json_round_trip() {
+        let d = TargetDelta {
+            batch: 3,
+            edits: 2,
+            inserted: vec![TargetChange {
+                set_path: "Portal.houses".into(),
+                member: 17,
+            }],
+            retracted: vec![
+                TargetChange {
+                    set_path: "Portal.houses".into(),
+                    member: 4,
+                },
+                TargetChange {
+                    set_path: "Portal.agents".into(),
+                    member: 9,
+                },
+            ],
+            classes_rebuilt: 2,
+            mappings_pruned: 3,
+            mappings_reevaluated: 1,
+            rows_added: 5,
+            rows_removed: 4,
+        };
+        let json = d.to_json();
+        let text = serde_json::to_string(&json).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(TargetDelta::from_json(&back), Some(d));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        assert_eq!(TargetDelta::from_json(&serde_json::json!({})), None);
+        assert_eq!(
+            TargetDelta::from_json(&serde_json::json!({ "batch": "three" })),
+            None
+        );
+    }
+}

@@ -171,7 +171,7 @@ impl Default for ExchangeOptions {
 /// caller gave `eval` no budget of its own, the exchange budget bounds the
 /// foreach stage too; otherwise the eval budget stands, but the exchange
 /// cancel flag is shared so one `request_cancel` reaches every thread.
-fn effective_eval(opts: &ExchangeOptions) -> EvalOptions {
+pub(crate) fn effective_eval(opts: &ExchangeOptions) -> EvalOptions {
     let mut eval = opts.eval.clone();
     if eval.budget.is_limited() {
         eval.budget.cancel = std::sync::Arc::clone(&opts.budget.cancel);
@@ -281,7 +281,7 @@ impl ExchangeReport {
 }
 
 /// Where a target binding's set lives.
-enum Parent {
+pub(crate) enum Parent {
     /// Under a schema root: `(root label, projection labels to the set)`.
     Root(Label, Vec<Label>),
     /// Under an earlier binding's member: `(binding index, projection
@@ -290,19 +290,35 @@ enum Parent {
 }
 
 /// One exists-clause binding, planned.
-struct PlanBinding {
-    parent: Parent,
-    member_elem: ElementId,
+pub(crate) struct PlanBinding {
+    pub(crate) parent: Parent,
+    pub(crate) member_elem: ElementId,
     /// Atomic assignments: `(steps relative to the member, slot class)`.
-    fields: Vec<(Vec<Step>, usize)>,
+    pub(crate) fields: Vec<(Vec<Step>, usize)>,
 }
 
 /// The insertion plan derived from a mapping's exists query.
-struct Plan {
-    bindings: Vec<PlanBinding>,
+pub(crate) struct Plan {
+    pub(crate) bindings: Vec<PlanBinding>,
     /// Slot class of each select position.
-    select_classes: Vec<usize>,
-    n_classes: usize,
+    pub(crate) select_classes: Vec<usize>,
+    pub(crate) n_classes: usize,
+}
+
+impl Plan {
+    /// For each binding, the index of the `Parent::Root` binding its chain
+    /// hangs under (a root binding maps to itself). The incremental engine
+    /// groups member classes by root chain through this.
+    pub(crate) fn root_of(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.bindings.len());
+        for (bi, b) in self.bindings.iter().enumerate() {
+            match &b.parent {
+                Parent::Root(..) => out.push(bi),
+                Parent::Var(idx, _) => out.push(out[*idx]),
+            }
+        }
+        out
+    }
 }
 
 /// Simple union-find for slot classes.
@@ -337,7 +353,7 @@ fn path_key(p: &PathExpr) -> String {
     p.to_string()
 }
 
-fn plan_exists(m: &Mapping, target_schema: &Schema) -> Result<Plan, ExchangeError> {
+pub(crate) fn plan_exists(m: &Mapping, target_schema: &Schema) -> Result<Plan, ExchangeError> {
     let resolved = check_query(&m.exists, SchemaCatalog::new(vec![target_schema]))?;
     let mut var_index: HashMap<&str, usize> = HashMap::new();
     let mut bindings: Vec<PlanBinding> = Vec::new();
@@ -491,7 +507,7 @@ fn plan_exists(m: &Mapping, target_schema: &Schema) -> Result<Plan, ExchangeErro
 /// once per mapping run instead of once per row. Filling a template with a
 /// row's slot-class values is then a single pass cloning atomic values into
 /// the prebuilt shape.
-enum MemberShape {
+pub(crate) enum MemberShape {
     /// A leaf filled from one slot class.
     Atomic(usize),
     /// A record whose children are already in schema declaration order.
@@ -637,7 +653,7 @@ fn build_shape(
 /// it is kept (verbatim) behind [`ExchangeOptions::member_templates`]` =
 /// false` so dtr-check can hold the template path to it differentially and
 /// so benchmarks can measure the pre-optimization configuration.
-fn build_member_reference(
+pub(crate) fn build_member_reference(
     schema: &Schema,
     elem: ElementId,
     fields: &[(&[Step], AtomicValue)],
@@ -749,7 +765,7 @@ pub fn row_fingerprint(row: &[AtomicValue]) -> u64 {
     h.finish()
 }
 
-fn value_fingerprint(v: &Value, h: &mut DefaultHasher) {
+pub(crate) fn value_fingerprint(v: &Value, h: &mut DefaultHasher) {
     match v {
         Value::Atomic(a) => {
             0u8.hash(h);
@@ -777,20 +793,49 @@ fn value_fingerprint(v: &Value, h: &mut DefaultHasher) {
 /// The exchange engine. Holds the target instance under construction plus
 /// the merge index.
 pub struct Exchange<'a> {
-    sources: Vec<Source<'a>>,
-    target_schema: &'a Schema,
-    functions: &'a FunctionRegistry,
-    target: Instance,
+    pub(crate) sources: Vec<Source<'a>>,
+    pub(crate) target_schema: &'a Schema,
+    pub(crate) functions: &'a FunctionRegistry,
+    pub(crate) target: Instance,
     /// `(set node, member fingerprint) -> candidate members` for PNF
     /// merging. A fingerprint match alone is not proof of equality: each
     /// bucket keeps the built member values so a merge is only taken after
     /// a structural comparison confirms it, and colliding-but-distinct
     /// members split the bucket instead of being folded together.
-    merge_index: HashMap<(NodeId, u64), Vec<(Value, NodeId)>>,
-    report: ExchangeReport,
+    pub(crate) merge_index: HashMap<(NodeId, u64), Vec<(Value, NodeId)>>,
+    pub(crate) report: ExchangeReport,
     /// Insert-stage budget enforcement: `max_rows` charges accumulate
     /// across mappings; deadline/cancellation are polled per row.
-    meter: Meter,
+    pub(crate) meter: Meter,
+    /// Member-fingerprint override (see
+    /// [`Exchange::set_member_fingerprinter`]); `None` uses the default
+    /// structural hash.
+    pub(crate) member_fp: Option<fn(&Value) -> u64>,
+}
+
+/// The outcome of one plan binding for one inserted row: which set was
+/// targeted, the member-value fingerprint, the member node the binding
+/// resolved to, and whether that member was freshly created (`true`) or
+/// PNF-merged into (`false`). Bindings skipped by an [`Exchange::insert_row`]
+/// mask report [`BindingTouch::SKIPPED`]. The incremental engine derives its
+/// member-class contributor index and per-class insert/merge statistics from
+/// these.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BindingTouch {
+    pub(crate) set: NodeId,
+    pub(crate) fp: u64,
+    pub(crate) member: NodeId,
+    pub(crate) created: bool,
+}
+
+impl BindingTouch {
+    /// Sentinel for a binding excluded by the insert mask.
+    pub(crate) const SKIPPED: BindingTouch = BindingTouch {
+        set: NodeId(u32::MAX),
+        fp: 0,
+        member: NodeId(u32::MAX),
+        created: false,
+    };
 }
 
 impl<'a> Exchange<'a> {
@@ -816,6 +861,7 @@ impl<'a> Exchange<'a> {
             merge_index: HashMap::new(),
             report: ExchangeReport::default(),
             meter: Budget::default().meter("exchange.insert_row"),
+            member_fp: None,
         }
     }
 
@@ -823,6 +869,16 @@ impl<'a> Exchange<'a> {
     /// now). Call before running any mapping.
     pub fn set_budget(&mut self, budget: &Budget) {
         self.meter = budget.meter("exchange.insert_row");
+    }
+
+    /// Overrides the member fingerprint used for PNF-merge bucketing. As
+    /// with [`dtr_model::pnf::to_pnf_with`], fingerprints only *bucket*
+    /// candidates — every merge is confirmed structurally — so a weaker or
+    /// even constant hasher must never change the produced instance, only
+    /// the bucketing cost. Exposed for differential/conformance testing
+    /// (forcing collision splits on demand).
+    pub fn set_member_fingerprinter(&mut self, f: fn(&Value) -> u64) {
+        self.member_fp = Some(f);
     }
 
     /// Executes one mapping: evaluates its foreach query over the sources
@@ -933,7 +989,7 @@ impl<'a> Exchange<'a> {
                 self.rollback_mapping(m, rollback_len, tuples_len);
                 return Err(self.guard_abort(m, g));
             }
-            self.insert_row(m, &plan, &row, templates, &mut shapes, &mut stats)?;
+            self.insert_row(m, &plan, &row, templates, &mut shapes, &mut stats, None)?;
         }
         stats.wall_ns =
             eval_ns.saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -1047,7 +1103,14 @@ impl<'a> Exchange<'a> {
         result
     }
 
-    fn insert_row(
+    /// Inserts one foreach row's exists-clause bindings into the target.
+    /// `mask`, when given, restricts execution to the flagged bindings (a
+    /// chain-closed set: a `Parent::Var` binding may only be flagged when
+    /// its base is) — the incremental engine replays rows against a single
+    /// member class this way. Returns one [`BindingTouch`] per plan
+    /// binding, [`BindingTouch::SKIPPED`] for masked-out ones.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_row(
         &mut self,
         m: &Mapping,
         plan: &Plan,
@@ -1055,7 +1118,8 @@ impl<'a> Exchange<'a> {
         templates: bool,
         shapes: &mut [Option<MemberShape>],
         stats: &mut MappingStats,
-    ) -> Result<(), ExchangeError> {
+        mask: Option<&[bool]>,
+    ) -> Result<Vec<BindingTouch>, ExchangeError> {
         let _span = dtr_obs::span("exchange.insert_row");
         // One source-binding fingerprint per foreach tuple; only computed
         // when the journal is capturing.
@@ -1076,13 +1140,17 @@ impl<'a> Exchange<'a> {
         }
 
         // Insert bindings in order; remember each binding's member node.
-        let mut member_nodes: Vec<NodeId> = Vec::with_capacity(plan.bindings.len());
+        let mut touches: Vec<BindingTouch> = Vec::with_capacity(plan.bindings.len());
         for (bi, b) in plan.bindings.iter().enumerate() {
+            if mask.is_some_and(|mk| !mk[bi]) {
+                touches.push(BindingTouch::SKIPPED);
+                continue;
+            }
             stats.bindings += 1;
             let set_node = match &b.parent {
                 Parent::Root(root, steps) => self.skeleton_set(m, root, steps, stats)?,
                 Parent::Var(idx, steps) => {
-                    let base = member_nodes[*idx];
+                    let base = touches[*idx].member;
                     self.nested_set(m, base, b.member_elem, steps, stats)?
                 }
             };
@@ -1116,9 +1184,14 @@ impl<'a> Exchange<'a> {
                     .collect();
                 build_member_reference(self.target_schema, b.member_elem, &fields)?
             };
-            let mut h = DefaultHasher::new();
-            value_fingerprint(&value, &mut h);
-            let fp = h.finish();
+            let fp = match self.member_fp {
+                Some(f) => f(&value),
+                None => {
+                    let mut h = DefaultHasher::new();
+                    value_fingerprint(&value, &mut h);
+                    h.finish()
+                }
+            };
             // A fingerprint hit only nominates candidates; the merge is
             // confirmed by comparing the stored member values structurally.
             let key = (set_node, fp);
@@ -1129,7 +1202,7 @@ impl<'a> Exchange<'a> {
                 ),
                 None => (None, 0),
             };
-            let member = match existing {
+            let (member, created) = match existing {
                 Some(existing) => {
                     stats.rows_merged += 1;
                     if let Some(binding_fp) = row_fp {
@@ -1146,7 +1219,7 @@ impl<'a> Exchange<'a> {
                         );
                     }
                     self.annotate_subtree(existing, m, stats);
-                    existing
+                    (existing, false)
                 }
                 None => {
                     stats.rows_inserted += 1;
@@ -1182,12 +1255,17 @@ impl<'a> Exchange<'a> {
                         );
                     }
                     self.annotate_subtree(node, m, stats);
-                    node
+                    (node, true)
                 }
             };
-            member_nodes.push(member);
+            touches.push(BindingTouch {
+                set: set_node,
+                fp,
+                member,
+                created,
+            });
         }
-        Ok(())
+        Ok(touches)
     }
 
     /// Ensures the skeleton chain `root / steps... / set` exists, adding the
@@ -1224,7 +1302,7 @@ impl<'a> Exchange<'a> {
                 None => {
                     let data = node_data_for(self.target_schema.element(elem).kind);
                     let child = self.target.push_raw(label.clone(), Some(node), data, false);
-                    attach_child(&mut self.target, node, child);
+                    attach_child(&mut self.target, self.target_schema, elem, node, child);
                     child
                 }
             };
@@ -1277,7 +1355,7 @@ impl<'a> Exchange<'a> {
                 None => {
                     let data = node_data_for(self.target_schema.element(cur_elem).kind);
                     let child = self.target.push_raw(label.clone(), Some(node), data, false);
-                    attach_child(&mut self.target, node, child);
+                    attach_child(&mut self.target, self.target_schema, cur_elem, node, child);
                     child
                 }
             };
@@ -1433,7 +1511,7 @@ fn record_annotation(newly_written: bool, node: NodeId, m: &Mapping, stats: &mut
     }
 }
 
-fn node_data_for(kind: ElementKind) -> NodeData {
+pub(crate) fn node_data_for(kind: ElementKind) -> NodeData {
     match kind {
         ElementKind::Record => NodeData::Record(Vec::new()),
         ElementKind::Set => NodeData::Set(Vec::new()),
@@ -1442,9 +1520,34 @@ fn node_data_for(kind: ElementKind) -> NodeData {
     }
 }
 
-fn attach_child(inst: &mut Instance, parent: NodeId, child: NodeId) {
+/// Attaches a skeleton child at its schema position: chain children keep
+/// the target schema's element order regardless of which mapping — or
+/// which incremental batch — created them first, so the layout is a pure
+/// function of the populated paths.
+fn attach_child(
+    inst: &mut Instance,
+    schema: &Schema,
+    elem: ElementId,
+    parent: NodeId,
+    child: NodeId,
+) {
+    let order: Vec<&Label> = match schema.parent(elem) {
+        Some(p) => schema
+            .element(p)
+            .children
+            .iter()
+            .map(|&c| &schema.element(c).label)
+            .collect(),
+        None => Vec::new(),
+    };
+    let rank = |label: &Label| order.iter().position(|&l| l == label).unwrap_or(usize::MAX);
+    let r = rank(inst.label(child));
     let mut kids: Vec<NodeId> = inst.children(parent).to_vec();
-    kids.push(child);
+    let at = kids
+        .iter()
+        .position(|&k| rank(inst.label(k)) > r)
+        .unwrap_or(kids.len());
+    kids.insert(at, child);
     inst.replace_children(parent, kids);
 }
 
@@ -1455,7 +1558,7 @@ type EvaluatedRows = Result<(Vec<Vec<AtomicValue>>, u64), ExchangeError>;
 
 /// Evaluates one mapping's foreach query over the sources. Free-standing so
 /// parallel workers can run it without borrowing the (mutable) engine.
-fn eval_foreach(
+pub(crate) fn eval_foreach(
     sources: &[Source<'_>],
     functions: &FunctionRegistry,
     m: &Mapping,
@@ -2561,6 +2664,18 @@ mod tests {
             assert_eq!(foreach.rows_out, stats.tuples as u64);
         }
         assert_eq!(ExchangeReport::default().latency_percentiles(), None);
+    }
+
+    #[test]
+    fn empty_report_percentiles_return_none_not_panic() {
+        // Regression: a zero-mapping report (nothing ran, or an exchange
+        // aborted before its first mapping) must yield `None`, never index
+        // into an empty wall-time vector.
+        let report = ExchangeReport::default();
+        assert_eq!(report.latency_percentiles(), None);
+        assert_eq!(report.event_window(), None);
+        let totals = report.totals();
+        assert_eq!((totals.tuples, totals.bindings, totals.wall_ns), (0, 0, 0));
     }
 
     #[test]

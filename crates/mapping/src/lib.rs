@@ -18,8 +18,10 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod exchange;
 pub mod glav;
+pub mod incremental;
 pub mod lint;
 pub mod rewrite;
 pub mod satisfy;
@@ -27,11 +29,13 @@ pub mod triple;
 
 /// Convenient glob-import of the most used names.
 pub mod prelude {
+    pub use crate::delta::{DeltaError, Edit, EditOp, SourceDelta, TargetChange, TargetDelta};
     pub use crate::exchange::{
         execute_mappings, execute_mappings_with, Exchange, ExchangeError, ExchangeOptions,
         ExchangeReport,
     };
     pub use crate::glav::{Mapping, MappingError};
+    pub use crate::incremental::IncrementalExchange;
     pub use crate::lint::{lint_mappings, Lint};
     pub use crate::rewrite::rewrite_with_annotations;
     pub use crate::satisfy::{is_satisfied, violations};

@@ -417,6 +417,39 @@ impl Instance {
         kid
     }
 
+    /// Removes `member` from the member list of `set` without reclaiming
+    /// arena storage (the arena is append-only; the subtree becomes
+    /// unreachable garbage). Returns `true` if the member was present.
+    ///
+    /// Detached subtrees keep their annotations — callers that care about
+    /// [`Instance::interpretation`] (which scans every arena slot) should
+    /// follow up with [`Instance::strip_annotations`]. Used by the
+    /// incremental exchange to retract target rows.
+    ///
+    /// # Panics
+    /// Panics if `set` is not a set node.
+    pub fn detach_set_member(&mut self, set: NodeId, member: NodeId) -> bool {
+        match &mut self.nodes[set.index()].data {
+            NodeData::Set(c) => {
+                let before = c.len();
+                c.retain(|&k| k != member);
+                before != c.len()
+            }
+            _ => panic!("detach_set_member target must be a set node"),
+        }
+    }
+
+    /// Clears every annotation (`f_el` and `f_mp`) in the subtree rooted at
+    /// `id`. Used after [`Instance::detach_set_member`] so unreachable
+    /// garbage never surfaces through element interpretations.
+    pub fn strip_annotations(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            self.annots[n.index()] = Annotation::default();
+            stack.extend_from_slice(self.children(n));
+        }
+    }
+
     /// Extracts the owned [`Value`] tree rooted at `id`.
     pub fn to_value(&self, id: NodeId) -> Value {
         match &self.nodes[id.index()].data {

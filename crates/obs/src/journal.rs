@@ -75,6 +75,20 @@ pub enum Outcome {
         /// [`Resource::name`](crate::guard::Resource::name) of what ran out.
         resource: &'static str,
     },
+    /// The incremental exchange applied one source-delta batch in place.
+    DeltaApplied {
+        /// Source edits in the batch.
+        edits: u64,
+        /// Target member classes rebuilt by the batch.
+        rebuilt: u64,
+    },
+    /// The incremental exchange retracted a target member whose last
+    /// supporting foreach binding disappeared.
+    Retracted {
+        /// Remaining foreach rows supporting the member's class (0 for a
+        /// full retraction; >0 when the member was rebuilt from survivors).
+        remaining: u64,
+    },
 }
 
 impl Outcome {
@@ -89,6 +103,8 @@ impl Outcome {
             Outcome::TranslateStep { .. } => "translate_step",
             Outcome::MetaEncoded { .. } => "meta_encoded",
             Outcome::GuardAbort { .. } => "guard_abort",
+            Outcome::DeltaApplied { .. } => "delta_applied",
+            Outcome::Retracted { .. } => "retracted",
         }
     }
 }
@@ -149,6 +165,13 @@ impl Event {
             Outcome::GuardAbort { resource } => {
                 obj.insert("resource", Value::from(*resource));
             }
+            Outcome::DeltaApplied { edits, rebuilt } => {
+                obj.insert("edits", Value::from(*edits));
+                obj.insert("rebuilt", Value::from(*rebuilt));
+            }
+            Outcome::Retracted { remaining } => {
+                obj.insert("remaining", Value::from(*remaining));
+            }
             Outcome::Inserted | Outcome::AnnotationWritten => {}
         }
         if let Some(d) = &self.detail {
@@ -183,6 +206,12 @@ impl Event {
             Outcome::MetaEncoded { relation } => line.push_str(&format!("  encoded {relation}")),
             Outcome::GuardAbort { resource } => {
                 line.push_str(&format!("  guard abort ({resource})"))
+            }
+            Outcome::DeltaApplied { edits, rebuilt } => line.push_str(&format!(
+                "  delta applied ({edits} edit(s), {rebuilt} class(es) rebuilt)"
+            )),
+            Outcome::Retracted { remaining } => {
+                line.push_str(&format!("  retracted ({remaining} row(s) remain)"))
             }
         }
         if let Some(d) = &self.detail {

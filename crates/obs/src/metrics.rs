@@ -210,6 +210,20 @@ pub struct Counters {
     pub guard_trips: Counter,
     /// Guard: exchange rollbacks performed after a mid-mapping trip.
     pub guard_rollbacks: Counter,
+    /// Incremental exchange: delta batches applied.
+    pub delta_batches: Counter,
+    /// Incremental exchange: source edits applied across all batches.
+    pub delta_edits: Counter,
+    /// Incremental exchange: foreach rows added to the cached row bags.
+    pub delta_rows_added: Counter,
+    /// Incremental exchange: foreach rows retracted from the cached bags.
+    pub delta_rows_removed: Counter,
+    /// Incremental exchange: target member classes rebuilt in place.
+    pub delta_classes_rebuilt: Counter,
+    /// Incremental exchange: mappings skipped by path-affectedness pruning.
+    pub delta_mappings_pruned: Counter,
+    /// Incremental exchange: mappings re-enumerated (semi-naive or full).
+    pub delta_mappings_reevaluated: Counter,
     /// Distribution of span durations (ns) across all stages.
     pub span_duration_ns: Histogram,
 }
@@ -231,6 +245,13 @@ static COUNTERS: Counters = Counters {
     guard_checks: Counter::new("guard.checks"),
     guard_trips: Counter::new("guard.trips"),
     guard_rollbacks: Counter::new("guard.rollbacks"),
+    delta_batches: Counter::new("exchange.delta_batches"),
+    delta_edits: Counter::new("exchange.delta_edits"),
+    delta_rows_added: Counter::new("exchange.delta_rows_added"),
+    delta_rows_removed: Counter::new("exchange.delta_rows_removed"),
+    delta_classes_rebuilt: Counter::new("exchange.delta_classes_rebuilt"),
+    delta_mappings_pruned: Counter::new("exchange.delta_mappings_pruned"),
+    delta_mappings_reevaluated: Counter::new("exchange.delta_mappings_reevaluated"),
     span_duration_ns: Histogram::new(),
 };
 
@@ -240,7 +261,7 @@ pub fn counters() -> &'static Counters {
 }
 
 impl Counters {
-    fn all(&self) -> [&Counter; 16] {
+    fn all(&self) -> [&Counter; 23] {
         [
             &self.tuples_scanned,
             &self.bindings_enumerated,
@@ -258,6 +279,13 @@ impl Counters {
             &self.guard_checks,
             &self.guard_trips,
             &self.guard_rollbacks,
+            &self.delta_batches,
+            &self.delta_edits,
+            &self.delta_rows_added,
+            &self.delta_rows_removed,
+            &self.delta_classes_rebuilt,
+            &self.delta_mappings_pruned,
+            &self.delta_mappings_reevaluated,
         ]
     }
 

@@ -423,6 +423,15 @@ pub fn record_mapping_window(
     });
 }
 
+/// Record one incremental-exchange delta batch as a window: the batch id
+/// becomes the window label (`delta#7`), with edits/rebuilt/retracted in
+/// the tuples/inserted/merged slots. Reusing the mapping-window track
+/// keeps the Perfetto export schema unchanged — delta batches appear as
+/// windows on the same exchange track as full-run mappings.
+pub fn record_delta_window(batch: u64, edits: u64, rebuilt: u64, retracted: u64, wall_ns: u64) {
+    record_mapping_window(format!("delta#{batch}"), edits, rebuilt, retracted, wall_ns);
+}
+
 /// Force a counter-registry delta sample now (stage boundaries call this
 /// so counter tracks bracket the interesting intervals even when the
 /// stride has not elapsed). Returns whether any counter had moved.

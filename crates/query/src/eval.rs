@@ -124,6 +124,15 @@ pub struct EvalOptions {
     /// wall-clock deadline and a cooperative cancel flag. Exceeding it
     /// aborts the run with [`EvalError::Guard`]. Unlimited by default.
     pub budget: Budget,
+    /// Per-path member-domain restriction for semi-naive delta joins: a
+    /// root-rooted `from`-item path (rendered, e.g. `"Yahoo.listings"`)
+    /// maps to the set-member nodes its binding may enumerate. Bindings
+    /// whose path is absent stay unrestricted; var-relative paths never
+    /// match (their keys start with a variable, not a root). The
+    /// incremental exchange uses this to re-enumerate only the bindings
+    /// that involve changed tuples. `None` (the default) disables the
+    /// filter entirely.
+    pub domains: Option<std::sync::Arc<HashMap<String, HashSet<NodeId>>>>,
 }
 
 impl Default for EvalOptions {
@@ -132,6 +141,7 @@ impl Default for EvalOptions {
             pushdown: true,
             hash_join: true,
             budget: Budget::default(),
+            domains: None,
         }
     }
 }
@@ -1138,7 +1148,19 @@ impl<'a> Evaluator<'a> {
                     Val::Node(s, n) => {
                         let inst = self.catalog.source(*s).instance;
                         if let Some(members) = inst.set_members(*n) {
-                            Ok(members.iter().map(|&m| Val::Node(*s, m)).collect())
+                            // Semi-naive domain restriction: when the caller
+                            // supplied a member domain for this root path,
+                            // enumerate only those members (in set order).
+                            let domain = self
+                                .opts
+                                .domains
+                                .as_ref()
+                                .and_then(|d| d.get(&p.to_string()));
+                            Ok(members
+                                .iter()
+                                .filter(|m| domain.is_none_or(|d| d.contains(m)))
+                                .map(|&m| Val::Node(*s, m))
+                                .collect())
                         } else if matches!(p.steps.last(), Some(Step::Choice(_))) {
                             // A union-choice binding yields the single
                             // selected value (Section 4.2).

@@ -49,6 +49,13 @@
 //!   translated query execution (`deadline-ms`, `max-rows`,
 //!   `max-bindings`, `max-bytes`); an exhausted budget aborts the query
 //!   with a structured guard error, never a panic;
+//! * `.delta <op> <path> <idx> [...]` — apply source edits through the
+//!   incremental exchange engine (`del US.houses 0`, `dup US.houses 1`,
+//!   `mod US.houses 0 price=1M`; chain edits with `|`); the target is
+//!   maintained in place — only affected mappings re-evaluate and only
+//!   touched member classes rebuild;
+//! * `.rebase` — drop the incremental state and rebuild the target from
+//!   the current (edited) sources with a full exchange;
 //! * `.help` (the full listing), `.quit`.
 
 use dtr::core::provenance::{provenance_of, ProvenanceKind};
@@ -165,6 +172,14 @@ const COMMANDS: &[(&str, &str)] = &[
         ".limits",
         "[off | deadline-ms N | max-rows N | max-bindings N | max-bytes N]",
     ),
+    (
+        ".delta",
+        "del|dup|mod <path> <idx> [f=v] — incremental source edits (chain with |)",
+    ),
+    (
+        ".rebase",
+        "rebuild the target from the edited sources with a full exchange",
+    ),
     (".help", "this listing"),
     (".quit", "leave the shell"),
     (".exit", "alias of .quit"),
@@ -221,6 +236,79 @@ fn show_limits(budget: &Budget) {
         fmt(budget.max_result_bytes),
     );
     println!("(applies to direct and translated execution; `.limits off` clears)");
+}
+
+/// Parses the `.delta` edit mini-language against the session's current
+/// sources: `del <path> <idx>` removes a member, `dup <path> <idx>`
+/// re-inserts a copy of one, and `mod <path> <idx> <field>=<value>`
+/// replaces one atomic field of a member. Edits chain with `|` and apply
+/// as one atomic batch.
+fn parse_delta_edits(
+    rest: &str,
+    sources: &[dtr::model::instance::Instance],
+) -> Result<dtr::mapping::delta::SourceDelta, String> {
+    use dtr::mapping::delta::SourceDelta;
+    use dtr::model::instance::Value;
+    let member_value = |path: &str, idx: usize| -> Result<Value, String> {
+        let mut parts = path.split('.');
+        let root = parts.next().unwrap_or_default();
+        let (inst, mut node) = sources
+            .iter()
+            .find_map(|s| s.root(root).map(|n| (s, n)))
+            .ok_or_else(|| format!("no source has a root `{root}`"))?;
+        for label in parts {
+            node = inst
+                .child_by_label(node, label)
+                .ok_or_else(|| format!("`{path}`: no field `{label}`"))?;
+        }
+        let members = inst
+            .set_members(node)
+            .ok_or_else(|| format!("`{path}` is not a set"))?;
+        let &m = members
+            .get(idx)
+            .ok_or_else(|| format!("{path}[{idx}]: set has {} member(s)", members.len()))?;
+        Ok(inst.to_value(m))
+    };
+    let mut delta = SourceDelta::new();
+    for chunk in rest.split('|') {
+        let args: Vec<&str> = chunk.split_whitespace().collect();
+        let parse_idx = |s: &&str| -> Result<usize, String> {
+            s.parse().map_err(|_| format!("bad index `{s}`"))
+        };
+        match args.as_slice() {
+            ["del", path, idx] => delta = delta.delete(*path, parse_idx(idx)?),
+            ["dup", path, idx] => {
+                let v = member_value(path, parse_idx(idx)?)?;
+                delta = delta.insert(*path, v);
+            }
+            ["mod", path, idx, assign] => {
+                let (field, value) = assign
+                    .split_once('=')
+                    .ok_or_else(|| format!("`{assign}` is not <field>=<value>"))?;
+                let idx = parse_idx(idx)?;
+                let Value::Record(mut fields) = member_value(path, idx)? else {
+                    return Err(format!("{path}[{idx}] is not a record member"));
+                };
+                let slot = fields
+                    .iter_mut()
+                    .find(|(l, _)| l.as_str() == field)
+                    .ok_or_else(|| format!("{path}[{idx}] has no field `{field}`"))?;
+                slot.1 = Value::str(value);
+                delta = delta.modify(*path, idx, Value::Record(fields));
+            }
+            [] => {}
+            other => {
+                return Err(format!(
+                    "unknown edit `{}`; use del|dup|mod (see .help)",
+                    other.join(" ")
+                ))
+            }
+        }
+    }
+    if delta.edits.is_empty() {
+        return Err("usage: .delta del|dup|mod <path> <idx> [field=value] [| ...]".into());
+    }
+    Ok(delta)
 }
 
 /// `.trace`: resolve the target values at `path` (optionally filtered to one
@@ -336,10 +424,13 @@ fn trace_values(tagged: &TaggedInstance, path: &str, filter: Option<&str>) {
 }
 
 fn main() {
-    let tagged = load();
+    let mut tagged = load();
     let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
     let mut mode = Mode::Direct;
     let mut limits = Budget::unlimited();
+    // The incremental-exchange session backing `.delta`/`.rebase`, built
+    // lazily from the current tagged instance on first use.
+    let mut session: Option<dtr::core::incremental::IncrementalSession> = None;
     eprintln!(
         "tagged instance ready: {} target values, {} mappings. Type .help for help.",
         tagged.target().len(),
@@ -698,6 +789,68 @@ fn main() {
                         }
                     }
                 }
+                ".delta" => {
+                    if session.is_none() {
+                        let built = dtr::core::tagged::MappingSetting::new(
+                            tagged.setting().source_schemas().to_vec(),
+                            tagged.setting().target_schema().clone(),
+                            tagged.setting().mappings().to_vec(),
+                        )
+                        .and_then(|setting| {
+                            dtr::core::incremental::IncrementalSession::new(
+                                setting,
+                                tagged.source_instances().to_vec(),
+                            )
+                        });
+                        match built {
+                            Ok(s) => session = Some(s),
+                            Err(e) => println!("cannot start incremental session: {e}"),
+                        }
+                    }
+                    if let Some(s) = session.as_mut() {
+                        match parse_delta_edits(rest, s.sources()) {
+                            Ok(delta) => match s.apply(&delta) {
+                                Ok(td) => {
+                                    println!(
+                                        "batch {}: {} edit(s) → +{} member(s), -{} member(s), \
+                                         {} class(es) rebuilt",
+                                        td.batch,
+                                        td.edits,
+                                        td.inserted.len(),
+                                        td.retracted.len(),
+                                        td.classes_rebuilt
+                                    );
+                                    println!(
+                                        "mappings: {} pruned, {} re-evaluated; rows +{}/-{}",
+                                        td.mappings_pruned,
+                                        td.mappings_reevaluated,
+                                        td.rows_added,
+                                        td.rows_removed
+                                    );
+                                    match s.tagged() {
+                                        Ok(t) => tagged = t,
+                                        Err(e) => println!("cannot refresh tagged view: {e}"),
+                                    }
+                                }
+                                Err(e) => println!("delta error: {e}"),
+                            },
+                            Err(e) => println!("{e}"),
+                        }
+                    }
+                }
+                ".rebase" => match session.as_mut() {
+                    None => println!("no incremental session yet (apply a .delta first)"),
+                    Some(s) => match s.rebase() {
+                        Ok(()) => {
+                            println!("rebased: full re-exchange over the edited sources");
+                            match s.tagged() {
+                                Ok(t) => tagged = t,
+                                Err(e) => println!("cannot refresh tagged view: {e}"),
+                            }
+                        }
+                        Err(e) => println!("rebase error: {e}"),
+                    },
+                },
                 other => println!("unknown command {other}; try .help"),
             }
             // DISPATCH-END
