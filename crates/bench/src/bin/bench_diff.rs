@@ -8,7 +8,8 @@
 //!
 //! Scales are matched by `listings_per_source` (the intersection of both
 //! reports); configs (`baseline`, `optimized`, `guarded`, `instrumented`,
-//! `flight`) are compared when present in both entries, so reports from
+//! `flight`, `incremental`, `planned`) are compared when present in both
+//! entries, so reports from
 //! trees before and after a config was added still diff cleanly. A positive
 //! delta means the candidate is slower. Two metrics are checked:
 //!
@@ -16,8 +17,9 @@
 //! * per-mapping exchange latency percentiles (`latency_ns.p50` /
 //!   `latency_ns.p99`), against `--latency-threshold-pct` (default 25 % —
 //!   tail percentiles quantize to histogram-ish steps and jitter more than
-//!   totals). Reports without `latency_ns` (pre-flight-recorder trees) skip
-//!   the latency comparison silently.
+//!   totals). When only one side carries `latency_ns` (pre-flight-recorder
+//!   trees, or configs that never emit it) the latency comparison is
+//!   skipped with a one-line notice.
 //!
 //! The process exits nonzero when any comparison regressed past its
 //! threshold unless `--report-only` is given — wall-clock benches on shared
@@ -38,6 +40,9 @@ const CONFIGS: &[&str] = &[
     // churn delta-apply time (its full-re-exchange yardstick is priced
     // separately inside bench_pr4).
     "incremental",
+    // `total_ms` for the planned config is the combined cold + cached
+    // plan query time (its legacy yardstick is priced separately).
+    "planned",
 ];
 
 struct ConfigNumbers {
@@ -163,7 +168,14 @@ fn main() {
             );
             compared += 1;
             // Latency percentiles compare only when both reports carry
-            // them: older reports predate the flight-recorder work.
+            // them: older reports predate the flight-recorder work, and
+            // some configs never emit per-mapping latencies at all.
+            if bc.latency_ns.is_some() != cc.latency_ns.is_some() {
+                println!(
+                    "    {:<12} latency_ns in only one report (comparison skipped)",
+                    format!("  {config}")
+                );
+            }
             if let (Some((bp50, bp99)), Some((cp50, cp99))) = (bc.latency_ns, cc.latency_ns) {
                 for (name, base_ns, cand_ns) in [("p50", bp50, cp50), ("p99", bp99, cp99)] {
                     let delta = delta_pct(base_ns, cand_ns);

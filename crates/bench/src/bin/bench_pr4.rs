@@ -21,8 +21,12 @@
 //! configuration prices delta-driven maintenance: 1 % and 10 % modify
 //! churn on `Yahoo.listings` applied through an `IncrementalSession`
 //! versus a full re-exchange over the same mutated sources; the ratio at
-//! 1 % churn is `delta_speedup`. Compare reports across commits with
-//! `bench_diff` (same crate).
+//! 1 % churn is `delta_speedup`. A seventh `planned` configuration prices
+//! the cost-based planner: the same query workload run from raw text
+//! through `run_planned` with a cold plan cache (cleared before every
+//! pass), a warm cache, and the legacy pre-parsed `run_with_options`
+//! path; the cold/warm ratio is `plan_cache_hit_speedup`. Compare
+//! reports across commits with `bench_diff` (same crate).
 
 use dtr_core::incremental::IncrementalSession;
 use dtr_mapping::delta::SourceDelta;
@@ -164,6 +168,88 @@ fn best_of_each(
     best.into_iter()
         .map(|b| b.expect("at least one rep"))
         .collect()
+}
+
+/// Timings for the `planned` configuration: the query workload run from
+/// raw text through the cost-based planner with a cold cache (plan
+/// compiled every pass), a warm cache (compiled once, structurally
+/// confirmed on every hit), and the legacy pre-parsed evaluation path.
+struct PlannedTiming {
+    legacy_ms: f64,
+    cold_ms: f64,
+    cached_ms: f64,
+    rows: usize,
+}
+
+/// One rep of the planned path. One exchange serves all three variants so
+/// the comparison isolates query-side planning cost; each variant runs the
+/// full workload `QUERY_REPS` times like `run_path` does.
+fn run_planned(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PlannedTiming {
+    let scenario = build(ScenarioConfig {
+        listings_per_source: n,
+        ..Default::default()
+    });
+    let tagged = scenario.exchange_with(opts).expect("exchange succeeds");
+    let t0 = Instant::now();
+    let mut legacy_rows = 0usize;
+    for _ in 0..QUERY_REPS {
+        legacy_rows = 0;
+        for q in queries {
+            legacy_rows += tagged
+                .run_with_options(q, opts.eval.clone())
+                .expect("query succeeds")
+                .len();
+        }
+    }
+    let legacy_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let mut cold_rows = 0usize;
+    for _ in 0..QUERY_REPS {
+        cold_rows = 0;
+        tagged.clear_plan_cache();
+        for text in QUERIES {
+            cold_rows += tagged.run_planned(text).expect("planned query succeeds").len();
+        }
+    }
+    let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+    // The cache is warm from the last cold pass; every lookup below is a
+    // (structurally confirmed) hit.
+    let t2 = Instant::now();
+    let mut cached_rows = 0usize;
+    for _ in 0..QUERY_REPS {
+        cached_rows = 0;
+        for text in QUERIES {
+            cached_rows += tagged.run_planned(text).expect("planned query succeeds").len();
+        }
+    }
+    let cached_ms = t2.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        legacy_rows, cold_rows,
+        "planned (cold) run changed workload rows at scale {n}"
+    );
+    assert_eq!(
+        cold_rows, cached_rows,
+        "plan-cache hit changed workload rows at scale {n}"
+    );
+    let stats = tagged.plan_cache_stats();
+    assert_eq!(stats.collisions, 0, "unexpected plan-cache collision");
+    PlannedTiming {
+        legacy_ms,
+        cold_ms,
+        cached_ms,
+        rows: cached_rows,
+    }
+}
+
+/// Best-of-`reps` for the planned path, keeping the rep with the best
+/// combined time across the three variants.
+fn best_planned(reps: usize, n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PlannedTiming {
+    (0..reps)
+        .map(|_| run_planned(n, opts, queries))
+        .min_by(|a, b| {
+            (a.legacy_ms + a.cold_ms + a.cached_ms).total_cmp(&(b.legacy_ms + b.cold_ms + b.cached_ms))
+        })
+        .expect("at least one rep")
 }
 
 /// Timings for the `incremental` configuration: delta-driven maintenance
@@ -407,6 +493,19 @@ fn main() {
         // churn against a full re-exchange over the same mutated sources.
         let inc = best_incremental(reps.min(3), n, &optimized_opts);
         let delta_speedup = inc.full_reexchange_ms / inc.delta_1pct_ms;
+        // The planned configuration: cold-plan vs cached-plan vs legacy
+        // query evaluation on one shared exchange.
+        let planned = best_planned(reps.min(3), n, &optimized_opts, &queries);
+        let plan_cache_hit_speedup = planned.cold_ms / planned.cached_ms;
+        assert_eq!(
+            planned.rows, base.rows,
+            "planner changed workload rows at scale {n}"
+        );
+        eprintln!(
+            "  planned: legacy {:.1} ms; cold plans {:.1} ms; cached plans {:.1} ms \
+             (plan_cache_hit_speedup {plan_cache_hit_speedup:.2}x)",
+            planned.legacy_ms, planned.cold_ms, planned.cached_ms,
+        );
         eprintln!(
             "  incremental: build {:.1} ms; 1% churn ({} edit(s)) {:.2} ms vs full \
              re-exchange {:.1} ms (delta_speedup {:.1}x); 10% churn ({} edit(s)) {:.2} ms",
@@ -440,8 +539,11 @@ fn main() {
              \"incremental\": {{ \"config\": \"delta-driven maintenance (IncrementalSession) vs full re-exchange, modify churn on Yahoo.listings\", \
              \"build_ms\": {nb:.3}, \"delta_1pct_ms\": {n1:.3}, \"delta_10pct_ms\": {n10:.3}, \
              \"full_reexchange_ms\": {nf:.3}, \"edits_1pct\": {k1}, \"edits_10pct\": {k10}, \"total_ms\": {nt:.3} }},\n      \
+             \"planned\": {{ \"config\": \"cost-based planner: run_planned from raw text, cold cache vs warm cache vs legacy pre-parsed eval\", \
+             \"legacy_query_ms\": {pl:.3}, \"cold_plan_query_ms\": {pc:.3}, \"cached_plan_query_ms\": {pw:.3}, \"total_ms\": {pt:.3} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
-             \"speedup_total\": {st:.3},\n      \"delta_speedup\": {ds:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
+             \"speedup_total\": {st:.3},\n      \"delta_speedup\": {ds:.3},\n      \
+             \"plan_cache_hit_speedup\": {ph:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
              \"stats_overhead_pct\": {sp:.3},\n      \"flight_overhead_pct\": {fp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
@@ -471,6 +573,11 @@ fn main() {
             k1 = inc.edits_1pct,
             k10 = inc.edits_10pct,
             nt = inc.delta_1pct_ms + inc.delta_10pct_ms,
+            pl = planned.legacy_ms,
+            pc = planned.cold_ms,
+            pw = planned.cached_ms,
+            pt = planned.cold_ms + planned.cached_ms,
+            ph = plan_cache_hit_speedup,
             ds = delta_speedup,
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,

@@ -374,6 +374,102 @@ pub fn law_analyze(
     Ok(())
 }
 
+/// Planner conformance: for every generated MXQL query,
+///
+/// * the planned execution (cost-based join order, per-join algorithm
+///   choice, plan caching) produces the same row **multiset** as the
+///   legacy evaluator and the reference oracle — bindings are a filtered
+///   cross product, so the planner may permute enumeration order but
+///   never membership or multiplicity;
+/// * a plan-cache **hit is byte-identical to the cold plan** (same plan
+///   object ⇒ same row order), and the hit is structurally confirmed
+///   (the counter must move);
+/// * a plan compiled against a *synthetic* statistics catalog with
+///   random per-binding cardinalities — which drives arbitrary join
+///   reorderings deterministically — still matches the oracle multiset.
+pub fn law_plan(
+    rng: &mut TestRng,
+    scen: &Scenario,
+    tagged: &dtr_core::tagged::TaggedInstance,
+    cfg: &GenConfig,
+) -> Result<(), String> {
+    let catalog = tagged.catalog();
+    // Full-row canonicalization (values AND annotation payloads),
+    // order-insensitive.
+    let canon_full = |r: &dtr_query::eval::QueryResult| {
+        let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+        rows.sort();
+        rows
+    };
+    let render = |r: &dtr_query::eval::QueryResult| format!("{:?}|{:?}", r.columns, r.rows);
+    for _ in 0..cfg.queries_per_case {
+        let q = generators::gen_mxql_query(rng, scen, cfg);
+        let text = q.to_string();
+        let expected = oracle::canonical_multiset(
+            &oracle::eval(&catalog, &q, Some(tagged.setting()))
+                .map_err(|e| format!("oracle failed on `{q}`: {e}"))?,
+        );
+        let legacy = tagged
+            .run(&q)
+            .map_err(|e| format!("legacy run failed on `{q}`: {e}"))?;
+        tagged.clear_plan_cache();
+        let hits_before = tagged.plan_cache_stats().hits;
+        let cold = tagged
+            .run_planned(&text)
+            .map_err(|e| format!("planned (cold) run failed on `{q}`: {e}"))?;
+        let warm = tagged
+            .run_planned(&text)
+            .map_err(|e| format!("planned (cached) run failed on `{q}`: {e}"))?;
+        let stats = tagged.plan_cache_stats();
+        if stats.hits <= hits_before {
+            return Err(format!(
+                "plan cache did not hit on repeated `{q}` ({stats:?})"
+            ));
+        }
+        if render(&cold) != render(&warm) {
+            return Err(format!(
+                "cache-hit result differs from cold-plan result on `{q}`\ncold: {}\nwarm: {}",
+                render(&cold),
+                render(&warm)
+            ));
+        }
+        let got = oracle::canonical_multiset(&cold.tuples());
+        if got != expected {
+            return Err(format!(
+                "planned run disagrees with oracle on `{q}`\noracle: {expected:?}\nplanned: {got:?}"
+            ));
+        }
+        if canon_full(&cold) != canon_full(&legacy) {
+            return Err(format!(
+                "planned run disagrees with legacy run (annotations included) on `{q}`\nlegacy: {:?}\nplanned: {:?}",
+                canon_full(&legacy),
+                canon_full(&cold)
+            ));
+        }
+        // Synthetic statistics force arbitrary (but deterministic) join
+        // reorderings; the multiset must survive any of them.
+        let mut synth = dtr_obs::stats::StatsCatalog::new();
+        for b in &q.from {
+            let path = dtr_query::eval::canonical_expr(&b.source, &q);
+            synth.record_set(&path, 1 + rng.below(1024));
+        }
+        let plan = tagged
+            .plan_with_stats(&text, &synth)
+            .map_err(|e| format!("planning with synthetic stats failed on `{q}`: {e}"))?;
+        let reordered = tagged
+            .run_plan(&plan)
+            .map_err(|e| format!("reordered plan failed on `{q}`: {e}"))?;
+        let got = oracle::canonical_multiset(&reordered.tuples());
+        if got != expected {
+            return Err(format!(
+                "reordered plan (order {:?}) disagrees with oracle on `{q}`\noracle: {expected:?}\nplanned: {got:?}",
+                plan.physical.order
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// `Display` → parse must reproduce the query AST exactly.
 fn roundtrip_query(q: &Query) -> Result<(), String> {
     let text = q.to_string();

@@ -44,6 +44,7 @@ pub fn run_case_with(seed: u64, cfg: &GenConfig, exchange: &ExchangeOptions) -> 
     laws::law_source_queries(&mut rng, &scen, cfg)?;
     laws::law_mxql_queries(&mut rng, &scen, &tagged, cfg)?;
     laws::law_analyze(&mut rng, &scen, &tagged, cfg)?;
+    laws::law_plan(&mut rng, &scen, &tagged, cfg)?;
     laws::law_pnf(&mut rng, cfg)?;
     laws::law_mappings(&scen, &tagged)?;
     laws::law_provenance(&tagged)?;

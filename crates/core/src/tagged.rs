@@ -23,6 +23,8 @@ use dtr_query::eval::{
 };
 use dtr_query::functions::FunctionRegistry;
 use dtr_query::parser::{parse_query, ParseError};
+use dtr_query::plan::{CompiledPlan, PlanCache, PlanCacheStats};
+use std::sync::Arc;
 use std::fmt;
 
 /// Errors from the MXQL surface: parsing, checking, evaluation, exchange.
@@ -337,6 +339,9 @@ pub struct TaggedInstance {
     target: Instance,
     functions: FunctionRegistry,
     report: ExchangeReport,
+    /// Compiled plans keyed by query-text fingerprint (structurally
+    /// confirmed on hit), so repeated traffic skips parse + check + plan.
+    plans: PlanCache,
 }
 
 impl TaggedInstance {
@@ -425,6 +430,7 @@ impl TaggedInstance {
             target,
             functions,
             report,
+            plans: PlanCache::new(),
         })
     }
 
@@ -448,6 +454,7 @@ impl TaggedInstance {
             target,
             functions: FunctionRegistry::with_builtins(),
             report: ExchangeReport::default(),
+            plans: PlanCache::new(),
         })
     }
 
@@ -580,6 +587,125 @@ impl TaggedInstance {
     pub fn query(&self, text: &str) -> Result<QueryResult, MxqlError> {
         let q = parse_query(text)?;
         self.run(&q)
+    }
+
+    /// Evaluates MXQL text through the planner pipeline: a plan-cache hit
+    /// (fingerprint keyed, structurally confirmed against the stored
+    /// text) skips parse + check + plan entirely; a miss compiles the
+    /// query — resolve, logical rewrites, cost-based physical planning
+    /// from the current statistics snapshot — caches the plan, and
+    /// executes it. Execution runs through the same evaluator kernels as
+    /// [`TaggedInstance::run`], so guards, journal, stats and analyze all
+    /// behave identically; bindings may execute in a planned order, so
+    /// the result *multiset* matches `run` while row order may differ
+    /// (never under `limit`, which pins the original order).
+    pub fn run_planned(&self, text: &str) -> Result<QueryResult, MxqlError> {
+        let plan = self.plan_for(text)?;
+        self.run_plan(&plan)
+    }
+
+    /// [`TaggedInstance::run_planned`] under a resource [`Budget`]. The
+    /// budget applies to this execution only — it is never baked into the
+    /// cached plan.
+    pub fn run_planned_budgeted(
+        &self,
+        text: &str,
+        budget: &Budget,
+    ) -> Result<QueryResult, MxqlError> {
+        let plan = self.plan_for(text)?;
+        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let catalog = self.catalog();
+        let result = Evaluator::new(&catalog, &self.functions)
+            .with_meta(&self.setting)
+            .with_options(EvalOptions {
+                budget: budget.clone(),
+                ..plan.opts.clone()
+            })
+            .run(&plan.query)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query.planned", request, started, result.as_ref());
+        }
+        result
+    }
+
+    /// The cached (or freshly compiled and cached) plan for `text`.
+    pub fn plan_for(&self, text: &str) -> Result<Arc<CompiledPlan>, MxqlError> {
+        if let Some(plan) = self.plans.lookup(text) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(self.compile_plan(text, &dtr_obs::stats::snapshot())?);
+        self.plans.insert(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Compiles `text` against an explicit statistics catalog, bypassing
+    /// the cache — deterministic planning for tests and `.explain`.
+    pub fn plan_with_stats(
+        &self,
+        text: &str,
+        stats: &dtr_obs::stats::StatsCatalog,
+    ) -> Result<CompiledPlan, MxqlError> {
+        self.compile_plan(text, stats)
+    }
+
+    fn compile_plan(
+        &self,
+        text: &str,
+        stats: &dtr_obs::stats::StatsCatalog,
+    ) -> Result<CompiledPlan, MxqlError> {
+        let q = parse_query(text)?;
+        let q = self.setting.normalize_query(&q);
+        let mut schemas: Vec<&Schema> = vec![&self.setting.target_schema];
+        schemas.extend(self.setting.source_schemas.iter());
+        dtr_query::plan::compile(&q, schemas, stats, text, EvalOptions::default())
+            .map_err(MxqlError::Check)
+    }
+
+    /// Executes a compiled plan (no parsing, checking or planning).
+    pub fn run_plan(&self, plan: &CompiledPlan) -> Result<QueryResult, MxqlError> {
+        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let catalog = self.catalog();
+        let result = Evaluator::new(&catalog, &self.functions)
+            .with_meta(&self.setting)
+            .with_options(plan.opts.clone())
+            .run(&plan.query)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query.planned", request, started, result.as_ref());
+        }
+        result
+    }
+
+    /// Executes a compiled plan with per-operator instrumentation, for
+    /// estimated-vs-actual `.explain` display.
+    pub fn run_plan_analyzed(
+        &self,
+        plan: &CompiledPlan,
+    ) -> Result<(QueryResult, dtr_obs::OpNode), MxqlError> {
+        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let catalog = self.catalog();
+        let result = Evaluator::new(&catalog, &self.functions)
+            .with_meta(&self.setting)
+            .with_options(plan.opts.clone())
+            .run_analyzed(&plan.query)
+            .map_err(MxqlError::from);
+        if let Some((request, started)) = audit {
+            audit_query("query.planned", request, started, result.as_ref().map(|(r, _)| r));
+        }
+        result
+    }
+
+    /// Plan-cache counters (hits, misses, structural-confirmation
+    /// collisions) and entry count.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Drops every cached plan (benchmarks use this to measure cold-plan
+    /// compilation cost).
+    pub fn clear_plan_cache(&self) {
+        self.plans.clear()
     }
 
     /// The `f_el` annotation of a target value, as an [`ElementRef`].

@@ -753,9 +753,16 @@ pub(crate) fn build_member_reference(
     }
 }
 
-/// Fingerprint of one source binding (a foreach tuple) — the identity the
+/// Fingerprint of one source binding (a foreach tuple) — the label the
 /// journal records per insert/merge event, and the key the `.trace`
 /// cross-check re-derives by replaying the foreach query.
+///
+/// This 64-bit hash is never used as an identity: journal events carry
+/// their own unique ids and are never merged on this value, so two
+/// colliding tuples produce two distinct events. A replay consumer that
+/// filters events by fingerprint gets a candidate *set* and narrows it
+/// structurally against the replayed foreach tuples, so a collision can
+/// widen an intermediate candidate list but never conflate rows.
 pub fn row_fingerprint(row: &[AtomicValue]) -> u64 {
     let mut h = DefaultHasher::new();
     row.len().hash(&mut h);

@@ -146,8 +146,13 @@ impl OpNode {
 
 static LAST: Mutex<Option<OpNode>> = Mutex::new(None);
 
-/// Publish an analyzed plan as the most recent one; `eval_analyzed` calls
-/// this so [`crate::profile_snapshot`] can embed the tree.
+/// Publish an analyzed plan as the most recent one so
+/// [`crate::profile_snapshot`] can embed the tree. This slot is a
+/// process-global *display convenience* for the REPL and profile
+/// snapshots only: analyzed evaluation returns its plan to the caller
+/// and does **not** publish here, so concurrent evaluators never clobber
+/// each other — a front-end that wants the tree in the profile snapshot
+/// publishes the plan it received explicitly.
 pub fn set_last(plan: OpNode) {
     *LAST.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
 }

@@ -30,6 +30,13 @@ pub const DEFAULT_CAP: usize = 4_096;
 /// FNV-1a fingerprint of a request's defining text (the normalized query
 /// string, or the sorted mapping-name list of an exchange). Stable across
 /// runs so audit logs from different days join on it.
+///
+/// Collisions are benign here: the fingerprint is a *join label*, never an
+/// identity. Each [`AuditRecord`] is identified by its unique `seq`, and
+/// carries the full `request` text verbatim, so a consumer grouping by
+/// fingerprint can always structurally confirm the match by comparing
+/// `request` strings — two colliding requests stay two distinct records
+/// (see `forced_fingerprint_collision_keeps_records_distinct`).
 pub fn fingerprint(text: &str) -> u64 {
     crate::stats::fnv1a(text.as_bytes())
 }
@@ -43,6 +50,9 @@ pub struct AuditRecord {
     /// (MXQL→plain translated run), or `"exchange"`.
     pub kind: String,
     /// [`fingerprint`] of the request text, rendered as 16 hex digits.
+    /// A cross-run grouping label only — record identity is `seq`, and
+    /// `request` holds the exact text for structural confirmation, so a
+    /// fingerprint collision can never conflate two records.
     pub fingerprint: String,
     /// The request text itself (query string / mapping list).
     pub request: String,
@@ -393,6 +403,30 @@ mod tests {
         assert_eq!(all[5].seq, 5);
         let parsed = AuditRecord::from_jsonl(&to_jsonl()).unwrap();
         assert_eq!(parsed, all);
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_keeps_records_distinct() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        // Force two different requests onto the same fingerprint: the log
+        // must keep both as separate records (identity is `seq`), each
+        // with its own request text for structural confirmation.
+        let mut a = AuditRecord::new("query", "select x from S x");
+        let mut b = AuditRecord::new("query", "select y from T y");
+        a.fingerprint = "00000000deadbeef".to_string();
+        b.fingerprint = "00000000deadbeef".to_string();
+        record(a);
+        record(b);
+        set_enabled(false);
+        let all = records();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].fingerprint, all[1].fingerprint);
+        assert_ne!(all[0].seq, all[1].seq);
+        assert_ne!(all[0].request, all[1].request);
+        assert_eq!(all[0].request, "select x from S x");
+        assert_eq!(all[1].request, "select y from T y");
     }
 
     #[test]

@@ -120,7 +120,11 @@ pub struct Event {
     /// The mapping in whose context the event fired, if any.
     pub mapping: Option<String>,
     /// Fingerprint of the source binding (the foreach tuple) that drove
-    /// the decision, if any.
+    /// the decision, if any. A label, not an identity: events are keyed
+    /// by their unique `id` and are never merged or deduplicated on
+    /// `binding_fp`, so a fingerprint collision only means a `.trace`
+    /// consumer filtering on it sees a candidate *set* (which it narrows
+    /// by replaying the foreach query) rather than a single event.
     pub binding_fp: Option<u64>,
     /// The target node the event is about (raw `NodeId` index), if any.
     pub target: Option<u64>,
@@ -568,7 +572,8 @@ impl Event {
         self
     }
 
-    /// Builder: attach the source binding fingerprint.
+    /// Builder: attach the source binding fingerprint (a grouping label —
+    /// see [`Event::binding_fp`] for why collisions are benign).
     pub fn binding(mut self, fp: u64) -> Self {
         self.binding_fp = Some(fp);
         self
@@ -604,6 +609,32 @@ mod tests {
         assert!(events().is_empty());
         assert_eq!(next_event_id(), 0);
         assert!(lineage_of(7).is_empty());
+    }
+
+    #[test]
+    fn forced_binding_fp_collision_keeps_events_distinct() {
+        let _guard = guard();
+        set_enabled(true);
+        reset();
+        // Two different decisions sharing a binding fingerprint must stay
+        // two events: identity is the unique `id`, never the fingerprint.
+        record(
+            event("exchange.insert_row", Outcome::Inserted)
+                .binding(0xdead_beef)
+                .target(1),
+        );
+        record(
+            event("exchange.insert_row", Outcome::PnfMerged { into: 9 })
+                .binding(0xdead_beef)
+                .target(2),
+        );
+        set_enabled(false);
+        let evs = events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].binding_fp, Some(0xdead_beef));
+        assert_eq!(evs[1].binding_fp, Some(0xdead_beef));
+        assert_ne!(evs[0].id, evs[1].id);
+        assert_ne!(evs[0].outcome, evs[1].outcome);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::Mutex;
 
 use serde_json::{json, Map, Value};
 
-use crate::metrics::{bucket_for, HISTOGRAM_BUCKETS};
+use crate::metrics::{bucket_for, bucket_lower, HISTOGRAM_BUCKETS};
 
 const STATE_UNKNOWN: u8 = 0;
 const STATE_OFF: u8 = 1;
@@ -252,6 +252,32 @@ impl PathStats {
     /// Estimated number of distinct values at this path.
     pub fn distinct_estimate(&self) -> u64 {
         self.distinct.estimate()
+    }
+
+    /// Approximate mean observed set cardinality, reconstructed from the
+    /// log₂ histogram via geometric bucket midpoints (`2^i·√2`; bucket 0
+    /// counts as 1). `None` until a set has been recorded. This is the
+    /// cost-model read path of the query planner's cardinality estimates.
+    pub fn mean_set_cardinality(&self) -> Option<f64> {
+        let total: u64 = self.set_card.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let weighted: f64 = self
+            .set_card
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let mid = if i == 0 {
+                    1.0
+                } else {
+                    bucket_lower(i) as f64 * std::f64::consts::SQRT_2
+                };
+                mid * n as f64
+            })
+            .sum();
+        Some(weighted / total as f64)
     }
 }
 
@@ -585,6 +611,18 @@ mod tests {
         assert!(matches!(spilled, DistinctEstimator::Sketch(_)));
         let est = spilled.estimate() as f64;
         assert!((est - 5_000.0).abs() / 5_000.0 < 0.15, "estimate {est}");
+    }
+
+    #[test]
+    fn mean_set_cardinality_tracks_histogram() {
+        let mut s = PathStats::default();
+        assert_eq!(s.mean_set_cardinality(), None);
+        s.set_card[bucket_for(1)] += 2; // two singleton sets -> mean 1
+        let m = s.mean_set_cardinality().unwrap();
+        assert!((m - 1.0).abs() < 1e-9, "mean {m}");
+        s.set_card[bucket_for(64)] += 2; // bucket midpoint 64·√2 ≈ 90.5
+        let m = s.mean_set_cardinality().unwrap();
+        assert!(m > 40.0 && m < 50.0, "mean {m}");
     }
 
     #[test]

@@ -116,10 +116,20 @@ pub struct EvalOptions {
     /// Evaluate equi-joins by building a hash table over the candidate
     /// items (and metastore triples) and probing it per row, instead of
     /// the nested-loop scan. Disabling this keeps the nested-loop path so
-    /// dtr-check can assert both engines agree. Only effective together
-    /// with `pushdown` (the naive mode has no ready comparisons to join
-    /// on).
+    /// dtr-check can assert both engines agree. Meaningless without
+    /// `pushdown` (the naive mode has no ready comparisons to join on):
+    /// [`EvalOptions::canonical`] — applied by
+    /// [`Evaluator::with_options`] — clears it in that case, so no
+    /// hash-keyed structure is ever built in naive mode.
     pub hash_join: bool,
+    /// Per-`from`-binding hash-join permission, indexed by binding
+    /// position: `Some(allow)` lets the planner force nested-loop
+    /// (`allow[bi] == false`) on joins whose estimated build side is too
+    /// small to amortize a hash table, while leaving the evaluator's own
+    /// join detection in charge everywhere `allow[bi]` is `true`. Ignored
+    /// (and cleared by [`EvalOptions::canonical`]) when `hash_join` is
+    /// off. `None` (the default) permits hash joins on every binding.
+    pub hash_join_per_binding: Option<std::sync::Arc<Vec<bool>>>,
     /// Resource budget for one evaluation: binding/row/byte caps, a
     /// wall-clock deadline and a cooperative cancel flag. Exceeding it
     /// aborts the run with [`EvalError::Guard`]. Unlimited by default.
@@ -140,9 +150,40 @@ impl Default for EvalOptions {
         EvalOptions {
             pushdown: true,
             hash_join: true,
+            hash_join_per_binding: None,
             budget: Budget::default(),
             domains: None,
         }
+    }
+}
+
+impl EvalOptions {
+    /// Canonicalizes flag interactions in one place: `hash_join` (and the
+    /// per-binding overrides) are meaningless without `pushdown` — the
+    /// naive mode has no ready comparisons to join on — so they are
+    /// cleared rather than left to individual gate sites to remember.
+    /// Every options funnel ([`Evaluator::with_options`]) applies this,
+    /// so `{pushdown: false, hash_join: true}` and
+    /// `{pushdown: false, hash_join: false}` are the same engine mode.
+    pub fn canonical(mut self) -> Self {
+        if !self.pushdown {
+            self.hash_join = false;
+        }
+        if !self.hash_join {
+            self.hash_join_per_binding = None;
+        }
+        self
+    }
+
+    /// Is a hash join permitted on `from`-binding `bi`? True only when
+    /// `hash_join` is on and the planner's per-binding override (if any)
+    /// has not forced nested-loop there.
+    pub fn hash_join_for(&self, bi: usize) -> bool {
+        self.hash_join
+            && self
+                .hash_join_per_binding
+                .as_ref()
+                .map_or(true, |allow| allow.get(bi).copied().unwrap_or(true))
     }
 }
 
@@ -392,9 +433,12 @@ impl<'a> Evaluator<'a> {
         self
     }
 
-    /// Overrides evaluation options.
+    /// Overrides evaluation options. The options are
+    /// [canonicalized](EvalOptions::canonical) on the way in, so invalid
+    /// flag combinations (`hash_join` without `pushdown`) never reach the
+    /// evaluation loops.
     pub fn with_options(mut self, opts: EvalOptions) -> Self {
-        self.opts = opts;
+        self.opts = opts.canonical();
         self
     }
 
@@ -408,15 +452,16 @@ impl<'a> Evaluator<'a> {
     /// operator (scan, bind, hash-join build/probe, map-pred, filter,
     /// project, sort, limit) in an [`OpNode`] recording actual rows
     /// in/out, elapsed wall time and guard charges. Instrumentation is
-    /// read-only, so the result is byte-identical to a plain `run`. The
-    /// finished tree is published to `dtr_obs::analyze::set_last` (so
-    /// `profile_snapshot` embeds it) and every operator's elapsed time is
-    /// folded into the shared log₂ span-duration histogram.
+    /// read-only, so the result is byte-identical to a plain `run`. Every
+    /// operator's elapsed time is folded into the shared log₂
+    /// span-duration histogram. The tree is *returned*, not published:
+    /// concurrent analyzed runs each own their plan, and a session that
+    /// wants `profile_snapshot` to embed one (the REPL's `.analyze`)
+    /// passes its own tree to `dtr_obs::analyze::set_last` explicitly.
     pub fn run_analyzed(&self, q: &Query) -> Result<(QueryResult, OpNode), EvalError> {
         let (result, plan) = self.run_impl(q, true)?;
         let plan = plan.expect("analyze mode always builds a plan");
         fold_durations(&plan);
-        dtr_obs::analyze::set_last(plan.clone());
         Ok((result, plan))
     }
 
@@ -572,7 +617,7 @@ impl<'a> Evaluator<'a> {
             // comparison, so conservative key sharing is harmless.
             let build_t = stage_begin(analyze, &meter);
             let join_table: Option<(usize, bool, HashMap<JoinKey, Vec<usize>>)> =
-                match (self.opts.hash_join, &static_items, rows.first()) {
+                match (self.opts.hash_join_for(bi), &static_items, rows.first()) {
                     (true, Some(items), Some(env0)) => {
                         let mut found = None;
                         for (k, &ci) in ready.iter().enumerate() {
@@ -2249,11 +2294,148 @@ mod tests {
         let rendered = plan.render();
         assert!(rendered.contains("EXPLAIN ANALYZE"));
         assert!(rendered.contains("hash-probe"));
-        // The plan is published for profile_snapshot embedding.
-        assert_eq!(
-            dtr_obs::analyze::last().map(|p| p.rows_out),
-            Some(plan.rows_out)
-        );
+    }
+
+    #[test]
+    fn analyzed_run_does_not_clobber_the_process_global() {
+        // `run_analyzed` returns the plan; it must NOT publish to the
+        // `dtr_obs::analyze` process-global (two concurrent sessions would
+        // overwrite each other's tree). Publishing is the REPL's explicit
+        // choice. No other test in this binary publishes.
+        dtr_obs::analyze::reset_last();
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query("select h.hid from US.houses h").unwrap();
+        let (_, plan) = Evaluator::new(&catalog, &funcs).run_analyzed(&q).unwrap();
+        assert_eq!(plan.rows_out, 3);
+        assert!(dtr_obs::analyze::last().is_none());
+    }
+
+    #[test]
+    fn concurrent_analyzed_runs_each_get_their_own_plan() {
+        // Regression for the set_last clobbering bug: two threads running
+        // analyzed queries concurrently must each observe a plan that
+        // matches *their* query, not the other session's.
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (text, expected_rows) in [
+                ("select h.hid from US.houses h", 3u64),
+                ("select a.phone from US.agents a where a.aid = 'a2'", 1u64),
+            ] {
+                let schema = &schema;
+                let inst = &inst;
+                handles.push(scope.spawn(move || {
+                    let catalog = Catalog::new(vec![Source {
+                        schema,
+                        instance: inst,
+                    }]);
+                    let funcs = FunctionRegistry::with_builtins();
+                    let ev = Evaluator::new(&catalog, &funcs);
+                    let q = parse_query(text).unwrap();
+                    for _ in 0..50 {
+                        let (result, plan) = ev.run_analyzed(&q).unwrap();
+                        assert_eq!(result.rows.len() as u64, expected_rows);
+                        assert_eq!(plan.rows_out, expected_rows, "foreign plan observed");
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn all_four_flag_pairs_agree_with_the_naive_oracle() {
+        // Regression for the `pushdown: false, hash_join: true`
+        // interaction: hash_join without pushdown is contradictory (no
+        // ready comparisons to join on) and is canonicalized away, so all
+        // four combinations are valid engine modes with one result.
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, a.phone from US.houses h, US.agents a \
+             where h.aid = a.aid and h.price > 500000",
+        )
+        .unwrap();
+        let baseline = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        assert_eq!(baseline.rows.len(), 2);
+        let canonical = |r: &QueryResult| {
+            let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+            rows.sort();
+            rows
+        };
+        for (pushdown, hash_join) in [(false, false), (false, true), (true, false), (true, true)] {
+            let opts = EvalOptions {
+                pushdown,
+                hash_join,
+                ..Default::default()
+            };
+            // The canonical form never keeps hash_join without pushdown.
+            assert_eq!(opts.clone().canonical().hash_join, pushdown && hash_join);
+            let r = Evaluator::new(&catalog, &funcs)
+                .with_options(opts)
+                .run(&q)
+                .unwrap();
+            assert_eq!(
+                canonical(&r),
+                canonical(&baseline),
+                "mode pushdown={pushdown} hash_join={hash_join} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn per_binding_override_forces_nested_loop_with_identical_rows() {
+        let schema = us_schema();
+        let mut inst = us_instance();
+        inst.annotate_elements(&schema).unwrap();
+        let catalog = Catalog::new(vec![Source {
+            schema: &schema,
+            instance: &inst,
+        }]);
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(
+            "select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid",
+        )
+        .unwrap();
+        let hashed = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
+        let (_, forced_plan) = Evaluator::new(&catalog, &funcs)
+            .with_options(EvalOptions {
+                hash_join_per_binding: Some(std::sync::Arc::new(vec![true, false])),
+                ..Default::default()
+            })
+            .run_analyzed(&q)
+            .unwrap();
+        // The override suppressed the hash table on binding 1 (the only
+        // join candidate), so no probe/build operator exists...
+        assert!(forced_plan.find("hash-probe").is_none());
+        assert!(forced_plan.find("hash-build").is_none());
+        // ...and the rows (probed in candidate order by construction)
+        // still match the hash-join rows exactly.
+        let forced = Evaluator::new(&catalog, &funcs)
+            .with_options(EvalOptions {
+                hash_join_per_binding: Some(std::sync::Arc::new(vec![true, false])),
+                ..Default::default()
+            })
+            .run(&q)
+            .unwrap();
+        assert_eq!(forced.rows, hashed.rows);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! * [`eval`] — the evaluator over (annotated) instances.
 //! * [`functions`] — the function-call mechanism, with `concat`,
 //!   `getElAnnot` and `getMapAnnot` built in.
+//! * [`logical`] / [`physical`] / [`plan`] — the planner pipeline:
+//!   logical stage chains with pushdown/join-extraction rewrites,
+//!   cost-based physical planning from the statistics catalog, and
+//!   fingerprint-keyed compiled-plan caching with structural
+//!   confirmation.
 //!
 //! ```
 //! use dtr_model::prelude::*;
@@ -51,7 +56,10 @@ pub mod ast;
 pub mod check;
 pub mod eval;
 pub mod functions;
+pub mod logical;
 pub mod parser;
+pub mod physical;
+pub mod plan;
 
 /// Convenient glob-import of the most used names.
 pub mod prelude {
@@ -65,7 +73,10 @@ pub mod prelude {
         Source, Val,
     };
     pub use crate::functions::{ArgValue, FunctionRegistry, FunctionValue};
+    pub use crate::logical::{LogicalPlan, LogicalStage};
     pub use crate::parser::{parse_mapping_parts, parse_query, ParseError};
+    pub use crate::physical::{JoinAlgo, PhysicalPlan};
+    pub use crate::plan::{compile, CompiledPlan, PlanCache, PlanCacheStats};
 }
 
 pub use prelude::*;

@@ -1,0 +1,415 @@
+//! Physical query plans: cost-based join ordering and algorithm choice.
+//!
+//! The physical planner takes a rewritten [`LogicalPlan`] and a
+//! [`StatsCatalog`] snapshot (the cardinality/selectivity machinery
+//! dtr-stats collects during exchange and previous query runs) and
+//! produces a [`PhysicalPlan`]:
+//!
+//! * **join reordering** — row-independent bindings are greedily
+//!   reordered by estimated cardinality (smallest first, respecting
+//!   variable dependencies), Selinger-style, so cheap filters and
+//!   selective joins run before expensive scans. Reordering is skipped
+//!   when the query has a `limit` without a total order: which rows
+//!   survive truncation would then depend on enumeration order.
+//! * **per-join algorithm choice** — each explicit join node is assigned
+//!   hash or nested-loop from estimated build/probe sizes: a hash table
+//!   over two candidate items costs more to build than it saves.
+//! * **estimated rows per stage** — propagated through the stage chain
+//!   from set-cardinality histograms, pushed-filter selectivities and
+//!   recorded join selectivities; `.explain` shows them next to actual
+//!   rows so estimation error is visible.
+//!
+//! Estimates are advisory: when the catalog has never seen a path the
+//! estimate is `None`, the sort key saturates, and the plan degrades to
+//! the original binding order — exactly the legacy behavior.
+
+use dtr_obs::stats::StatsCatalog;
+
+use crate::ast::{Condition, Query};
+use crate::eval::{canonical_expr, canonical_join_key};
+use crate::logical::{BindKind, LogicalPlan, LogicalStage};
+
+/// Join algorithm chosen for an explicit join node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Build a hash table over the candidate items, probe per row.
+    Hash,
+    /// Scan the candidate items per row.
+    NestedLoop,
+}
+
+/// One stage of a physical plan, mirroring the logical stage chain.
+#[derive(Clone, Debug)]
+pub struct PhysStage {
+    /// Operator name (`scan`, `bind`, `hash-join`, `nested-join`,
+    /// `map-pred`, `filter`, `project`, `sort`, `limit`).
+    pub op: &'static str,
+    /// Human-readable detail (source and variable, filter text, ...).
+    pub label: String,
+    /// Estimated rows flowing *out* of this stage; `None` when the
+    /// statistics catalog has no basis for an estimate.
+    pub est_rows: Option<u64>,
+    /// Algorithm, for join stages.
+    pub algo: Option<JoinAlgo>,
+    /// Index of the `from` binding this stage executes, for bind stages.
+    pub binding: Option<usize>,
+}
+
+/// A physical plan: the executed binding order plus the annotated stages.
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    /// Permutation of the original `from` indices, in execution order.
+    pub order: Vec<usize>,
+    /// Annotated stages in execution order.
+    pub stages: Vec<PhysStage>,
+    /// True if `order` differs from the original binding order.
+    pub reordered: bool,
+}
+
+/// Default selectivity assumed for a pushed or residual comparison with
+/// no recorded statistics.
+const FILTER_SELECTIVITY: f64 = 0.5;
+/// Below this estimated build-side size a hash table costs more than it
+/// saves and the planner picks nested-loop.
+const HASH_BUILD_FLOOR: f64 = 3.0;
+
+/// Estimated item count of a binding source, from the set-cardinality
+/// histogram of its canonicalized path.
+fn source_estimate(q: &Query, binding: usize, stats: &StatsCatalog) -> Option<f64> {
+    let path = canonical_expr(&q.from[binding].source, q);
+    stats.paths.get(&path).and_then(|p| p.mean_set_cardinality())
+}
+
+/// Recorded selectivity of the equality comparison `ci`, if any.
+fn join_selectivity(q: &Query, ci: usize, stats: &StatsCatalog) -> Option<f64> {
+    let cmp = q
+        .conditions
+        .iter()
+        .filter_map(|c| match c {
+            Condition::Cmp(cmp) => Some(cmp),
+            _ => None,
+        })
+        .nth(ci)?;
+    stats
+        .joins
+        .get(&canonical_join_key(cmp, q))
+        .and_then(|j| j.selectivity())
+}
+
+/// Chooses the binding execution order: greedy smallest-estimate-first
+/// over the bindings whose source variables are already bound. With no
+/// statistics every estimate saturates and the tiebreak (original index)
+/// reproduces the original order. Queries with a `limit` are never
+/// reordered — truncation without a total order makes the surviving rows
+/// order-dependent.
+pub fn choose_order(q: &Query, stats: &StatsCatalog) -> Vec<usize> {
+    let n = q.from.len();
+    let identity: Vec<usize> = (0..n).collect();
+    if n < 2 || q.limit.is_some() {
+        return identity;
+    }
+    let est: Vec<u64> = identity
+        .iter()
+        .map(|&bi| {
+            source_estimate(q, bi, stats)
+                .map(|e| e.round() as u64)
+                .unwrap_or(u64::MAX)
+        })
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut bound: Vec<&str> = Vec::new();
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&bi| {
+                !placed[bi]
+                    && q.from[bi]
+                        .source
+                        .variables()
+                        .iter()
+                        .all(|v| bound.contains(v))
+            })
+            .min_by_key(|&bi| (est[bi], bi))
+            .expect("from clause is in dependency order, so some binding is ready");
+        placed[next] = true;
+        bound.push(q.from[next].var.as_str());
+        order.push(next);
+    }
+    order
+}
+
+/// Reorders a query's `from` clause to `order` (a permutation of binding
+/// indices). Conditions, select, sort and limit are untouched: bindings
+/// are a filtered cross product, so permutation preserves the result
+/// *multiset* (row order may differ — `law_plan` compares canonically).
+pub fn apply_order(q: &Query, order: &[usize]) -> Query {
+    let mut out = q.clone();
+    out.from = order.iter().map(|&bi| q.from[bi].clone()).collect();
+    out
+}
+
+impl PhysicalPlan {
+    /// Annotates the (already reordered) query's logical plan with cost
+    /// estimates and per-join algorithms. `order` maps execution position
+    /// back to original binding indices, for display.
+    pub fn from_logical(
+        q: &Query,
+        logical: &LogicalPlan,
+        stats: &StatsCatalog,
+        order: Vec<usize>,
+    ) -> Self {
+        let reordered = order.iter().enumerate().any(|(i, &bi)| i != bi);
+        let mut stages = Vec::with_capacity(logical.stages.len());
+        // Running row estimate through the chain; `None` once unknown.
+        let mut rows: Option<f64> = Some(1.0);
+        for stage in &logical.stages {
+            match stage {
+                LogicalStage::Bind(b) => {
+                    let items = source_estimate(q, b.binding, stats);
+                    let plain_filters = b
+                        .pushed
+                        .iter()
+                        .filter(|&&ci| b.join_key != Some(ci))
+                        .count();
+                    let mut out = match (rows, items) {
+                        (Some(r), Some(i)) => Some(r * i),
+                        _ => None,
+                    };
+                    if let Some(k) = b.join_key {
+                        let sel = join_selectivity(q, k, stats).unwrap_or(FILTER_SELECTIVITY);
+                        out = out.map(|o| o * sel);
+                    }
+                    out = out.map(|o| o * FILTER_SELECTIVITY.powi(plain_filters as i32));
+                    let (op, algo) = match (b.kind, b.join_key) {
+                        (_, Some(_)) => {
+                            // Hash pays off once the build side has a few
+                            // items and more than one probe row arrives.
+                            let nested = items.is_some_and(|i| i < HASH_BUILD_FLOOR)
+                                || rows.is_some_and(|r| r <= 1.0);
+                            if nested {
+                                ("nested-join", Some(JoinAlgo::NestedLoop))
+                            } else {
+                                ("hash-join", Some(JoinAlgo::Hash))
+                            }
+                        }
+                        (BindKind::Scan, None) => ("scan", None),
+                        (BindKind::Bind, None) => ("bind", None),
+                    };
+                    rows = out;
+                    stages.push(PhysStage {
+                        op,
+                        label: format!("{} {}", b.source, b.var),
+                        est_rows: est_u64(rows),
+                        algo,
+                        binding: Some(b.binding),
+                    });
+                }
+                LogicalStage::MapPred { pred } => {
+                    // Triple unification can both filter and multiply
+                    // rows; no statistics are collected for it yet.
+                    rows = None;
+                    stages.push(PhysStage {
+                        op: "map-pred",
+                        label: pred.clone(),
+                        est_rows: None,
+                        algo: None,
+                        binding: None,
+                    });
+                }
+                LogicalStage::Filter { residual } => {
+                    if residual.is_empty() {
+                        continue;
+                    }
+                    rows = rows.map(|r| r * FILTER_SELECTIVITY.powi(residual.len() as i32));
+                    let texts: Vec<&str> = residual
+                        .iter()
+                        .map(|&ci| logical.comparisons[ci].as_str())
+                        .collect();
+                    stages.push(PhysStage {
+                        op: "filter",
+                        label: texts.join(" and "),
+                        est_rows: est_u64(rows),
+                        algo: None,
+                        binding: None,
+                    });
+                }
+                LogicalStage::Project { columns } => {
+                    stages.push(PhysStage {
+                        op: "project",
+                        label: format!("{columns} col(s)"),
+                        est_rows: est_u64(rows),
+                        algo: None,
+                        binding: None,
+                    });
+                }
+                LogicalStage::Sort { keys } => {
+                    stages.push(PhysStage {
+                        op: "sort",
+                        label: format!("{keys} key(s)"),
+                        est_rows: est_u64(rows),
+                        algo: None,
+                        binding: None,
+                    });
+                }
+                LogicalStage::Limit { n } => {
+                    rows = rows.map(|r| r.min(*n as f64));
+                    stages.push(PhysStage {
+                        op: "limit",
+                        label: n.to_string(),
+                        est_rows: est_u64(rows),
+                        algo: None,
+                        binding: None,
+                    });
+                }
+            }
+        }
+        PhysicalPlan {
+            order,
+            stages,
+            reordered,
+        }
+    }
+
+    /// Per-original-binding hash-join permission derived from the
+    /// per-join algorithm choices: `false` exactly where the planner
+    /// picked nested-loop. Bindings without an explicit join node stay
+    /// `true` (the evaluator's own detection remains the arbiter there).
+    pub fn hash_join_overrides(&self, n_bindings: usize) -> Vec<bool> {
+        let mut allow = vec![true; n_bindings];
+        for s in &self.stages {
+            if let (Some(JoinAlgo::NestedLoop), Some(bi)) = (s.algo, s.binding) {
+                allow[bi] = false;
+            }
+        }
+        allow
+    }
+
+    /// One line per stage, top (last stage) first — the `.explain` shape.
+    /// `actual` supplies measured per-stage output rows (indexed like
+    /// `stages`) when the plan has been executed with analysis on.
+    pub fn render(&self, actual: Option<&[Option<u64>]>) -> String {
+        let mut out = String::from("PHYSICAL PLAN");
+        if self.reordered {
+            out.push_str("  (bindings reordered by estimated cardinality)");
+        }
+        out.push('\n');
+        for (i, s) in self.stages.iter().enumerate().rev() {
+            let est = s
+                .est_rows
+                .map_or("?".to_string(), |r| r.to_string());
+            let act = actual
+                .and_then(|a| a.get(i).copied().flatten())
+                .map_or("-".to_string(), |r| r.to_string());
+            out.push_str(&format!(
+                "  {:<12} {:<44} est={est:<8} actual={act}\n",
+                s.op, s.label
+            ));
+        }
+        out
+    }
+}
+
+fn est_u64(rows: Option<f64>) -> Option<u64> {
+    rows.map(|r| r.round().max(0.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use dtr_obs::stats::JoinStats;
+
+    fn two_scan_query() -> Query {
+        parse_query("select h.hid from US.houses h, US.agents a where a.aid = h.aid").unwrap()
+    }
+
+    #[test]
+    fn no_stats_means_original_order() {
+        let q = two_scan_query();
+        let stats = StatsCatalog::new();
+        assert_eq!(choose_order(&q, &stats), vec![0, 1]);
+        let logical = LogicalPlan::optimized(&q);
+        let phys = PhysicalPlan::from_logical(&q, &logical, &stats, vec![0, 1]);
+        assert!(!phys.reordered);
+        // Unknown cardinalities render as `?`.
+        assert!(phys.render(None).contains("est=?"), "{}", phys.render(None));
+    }
+
+    #[test]
+    fn smaller_estimated_binding_runs_first() {
+        let q = two_scan_query();
+        let mut stats = StatsCatalog::new();
+        stats.record_set("US.houses", 1000);
+        stats.record_set("US.agents", 4);
+        assert_eq!(choose_order(&q, &stats), vec![1, 0]);
+        let q2 = apply_order(&q, &[1, 0]);
+        assert_eq!(q2.from[0].var, "a");
+        let logical = LogicalPlan::optimized(&q2);
+        let phys = PhysicalPlan::from_logical(&q2, &logical, &stats, vec![1, 0]);
+        assert!(phys.reordered);
+    }
+
+    #[test]
+    fn limit_blocks_reordering() {
+        let q = parse_query(
+            "select h.hid from US.houses h, US.agents a where a.aid = h.aid limit 3",
+        )
+        .unwrap();
+        let mut stats = StatsCatalog::new();
+        stats.record_set("US.houses", 1000);
+        stats.record_set("US.agents", 4);
+        assert_eq!(choose_order(&q, &stats), vec![0, 1]);
+    }
+
+    #[test]
+    fn dependent_binding_waits_for_its_variable() {
+        let q = parse_query(
+            "select r.street from US.houses h, h.rooms r, US.agents a where a.aid = h.aid",
+        )
+        .unwrap();
+        let mut stats = StatsCatalog::new();
+        stats.record_set("US.houses", 100);
+        stats.record_set("US.agents", 2);
+        // agents (2) first, but `h.rooms r` can never precede `h`.
+        let order = choose_order(&q, &stats);
+        let pos = |bi: usize| order.iter().position(|&o| o == bi).unwrap();
+        assert!(pos(0) < pos(1), "h before h.rooms in {order:?}");
+        assert_eq!(order[0], 2, "agents first in {order:?}");
+    }
+
+    #[test]
+    fn tiny_build_side_picks_nested_loop() {
+        let q = two_scan_query();
+        let mut stats = StatsCatalog::new();
+        stats.record_set("US.houses", 500);
+        stats.record_set("US.agents", 2);
+        stats.record_join(
+            "US.agents.aid = US.houses.aid",
+            JoinStats {
+                build_rows: 2,
+                probe_rows: 500,
+                probes: 500,
+                matches: 400,
+            },
+        );
+        let logical = LogicalPlan::optimized(&q);
+        let phys = PhysicalPlan::from_logical(&q, &logical, &stats, vec![0, 1]);
+        let join = phys.stages.iter().find(|s| s.algo.is_some()).unwrap();
+        assert_eq!(join.algo, Some(JoinAlgo::NestedLoop));
+        let allow = phys.hash_join_overrides(q.from.len());
+        assert!(allow.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn large_build_side_keeps_hash_join() {
+        let q = two_scan_query();
+        let mut stats = StatsCatalog::new();
+        stats.record_set("US.houses", 500);
+        stats.record_set("US.agents", 300);
+        let logical = LogicalPlan::optimized(&q);
+        let phys = PhysicalPlan::from_logical(&q, &logical, &stats, vec![0, 1]);
+        let join = phys.stages.iter().find(|s| s.algo.is_some()).unwrap();
+        assert_eq!(join.algo, Some(JoinAlgo::Hash));
+        assert_eq!(phys.hash_join_overrides(2), vec![true, true]);
+    }
+}

@@ -21,7 +21,8 @@
 //! * `.profile [on|off|json]` — toggle or dump the `dtr-obs` profile
 //!   (also enabled by `--profile` or `DTR_PROFILE=1`);
 //! * `.explain <query>;` — translation EXPLAIN: every Section 7.3 rewrite
-//!   step plus the final plain quer(ies);
+//!   step plus the final plain quer(ies), followed by the cost-based
+//!   planner's logical/physical plan with estimated vs actual rows;
 //! * `.analyze <query>;` — EXPLAIN ANALYZE: run the query with
 //!   per-operator instrumentation and print the operator tree (actual rows
 //!   in/out, wall time, guard charges per scan/bind/filter/hash-join
@@ -131,7 +132,7 @@ const COMMANDS: &[(&str, &str)] = &[
     (".translate", "<query>; — show the Section 7.3 translation"),
     (
         ".explain",
-        "<query>; — every translation rewrite step plus the final plain queries",
+        "<query>; — translation rewrite steps, then the logical/physical plan with estimated vs actual rows",
     ),
     (
         ".analyze",
@@ -604,6 +605,16 @@ fn main() {
                                 }
                                 Err(e) => println!("translation error: {e}"),
                             }
+                            // Cost-based planner view: logical rewrites,
+                            // physical operators with estimated rows, and
+                            // actual rows from one instrumented execution.
+                            match tagged.plan_for(text) {
+                                Ok(plan) => match tagged.run_plan_analyzed(&plan) {
+                                    Ok((_, node)) => print!("{}", plan.render_with_actual(&node)),
+                                    Err(_) => print!("{}", plan.render()),
+                                },
+                                Err(e) => println!("planning error: {e}"),
+                            }
                         }
                         Err(e) => println!("parse error: {e}"),
                     }
@@ -625,6 +636,10 @@ fn main() {
                                             t0.elapsed().as_secs_f64() * 1e3
                                         );
                                         print!("{}", plan.render());
+                                        // Analyzed runs return their tree;
+                                        // the REPL is the one front-end that
+                                        // publishes it for `.profile json`.
+                                        dtr_obs::analyze::set_last(plan);
                                     }
                                     Err(e) => println!("error: {e}"),
                                 }
