@@ -43,6 +43,10 @@ const CONFIGS: &[&str] = &[
     // `total_ms` for the planned config is the combined cold + cached
     // plan query time (its legacy yardstick is priced separately).
     "planned",
+    // `total_ms` for the durable config is the WAL-backed apply time for
+    // the churn batches (its in-memory yardstick and the recovery
+    // timings are priced separately inside bench_pr4).
+    "durable",
 ];
 
 struct ConfigNumbers {

@@ -25,11 +25,18 @@
 //! the cost-based planner: the same query workload run from raw text
 //! through `run_planned` with a cold plan cache (cleared before every
 //! pass), a warm cache, and the legacy pre-parsed `run_with_options`
-//! path; the cold/warm ratio is `plan_cache_hit_speedup`. Compare
-//! reports across commits with `bench_diff` (same crate).
+//! path; the cold/warm ratio is `plan_cache_hit_speedup`. An eighth
+//! `durable` configuration prices the write-ahead log: the same churn
+//! batches committed through a WAL-backed `DurableSession` (delta frame +
+//! CRC + sync point + epoch publish) versus plain in-memory applies —
+//! the gap is `wal_overhead_pct` — plus recovery wall time at two log
+//! lengths (a full delta suffix to replay vs a fresh checkpoint).
+//! Compare reports across commits with `bench_diff` (same crate).
 
 use dtr_core::incremental::IncrementalSession;
+use dtr_core::store::{DurableOptions, DurableSession};
 use dtr_mapping::delta::SourceDelta;
+use dtr_mapping::durable::MemVfs;
 use dtr_mapping::exchange::{execute_mappings_with, ExchangeOptions};
 use dtr_model::instance::Value;
 use dtr_obs::guard::Budget;
@@ -38,6 +45,7 @@ use dtr_query::ast::Query;
 use dtr_query::eval::{EvalOptions, Source};
 use dtr_query::functions::FunctionRegistry;
 use dtr_query::parser::parse_query;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The query workload: a plain selection (engine-insensitive floor), a
@@ -208,7 +216,10 @@ fn run_planned(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PlannedTi
         cold_rows = 0;
         tagged.clear_plan_cache();
         for text in QUERIES {
-            cold_rows += tagged.run_planned(text).expect("planned query succeeds").len();
+            cold_rows += tagged
+                .run_planned(text)
+                .expect("planned query succeeds")
+                .len();
         }
     }
     let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -219,7 +230,10 @@ fn run_planned(n: usize, opts: &ExchangeOptions, queries: &[Query]) -> PlannedTi
     for _ in 0..QUERY_REPS {
         cached_rows = 0;
         for text in QUERIES {
-            cached_rows += tagged.run_planned(text).expect("planned query succeeds").len();
+            cached_rows += tagged
+                .run_planned(text)
+                .expect("planned query succeeds")
+                .len();
         }
     }
     let cached_ms = t2.elapsed().as_secs_f64() * 1e3;
@@ -247,7 +261,8 @@ fn best_planned(reps: usize, n: usize, opts: &ExchangeOptions, queries: &[Query]
     (0..reps)
         .map(|_| run_planned(n, opts, queries))
         .min_by(|a, b| {
-            (a.legacy_ms + a.cold_ms + a.cached_ms).total_cmp(&(b.legacy_ms + b.cold_ms + b.cached_ms))
+            (a.legacy_ms + a.cold_ms + a.cached_ms)
+                .total_cmp(&(b.legacy_ms + b.cold_ms + b.cached_ms))
         })
         .expect("at least one rep")
 }
@@ -352,6 +367,134 @@ fn best_incremental(reps: usize, n: usize, opts: &ExchangeOptions) -> Incrementa
         .expect("at least one rep")
 }
 
+/// Timings for the `durable` configuration: the same churn batches
+/// committed through a WAL-backed [`DurableSession`] versus plain
+/// in-memory [`IncrementalSession`] applies, plus recovery wall time at
+/// two log lengths. The log lives on [`MemVfs`] so the numbers price the
+/// commit protocol (delta serialization, framing, CRC, sync points,
+/// epoch publish) rather than one host's disk latency.
+struct DurableTiming {
+    inmem_build_ms: f64,
+    create_ms: f64,
+    inmem_apply_ms: f64,
+    wal_apply_ms: f64,
+    /// Time inside the WAL commit path alone (serialize + frame + CRC +
+    /// append + sync) — the marginal cost of durability. The rest of the
+    /// `wal_apply_ms` − `inmem_apply_ms` gap is `publish_ms`.
+    wal_commit_ms: f64,
+    /// Time cloning state into epoch snapshots for concurrent readers —
+    /// the cost of snapshot isolation, not of the log.
+    publish_ms: f64,
+    checkpoint_ms: f64,
+    recovery_replay_ms: f64,
+    recovery_cold_ms: f64,
+    replayed: usize,
+    wal_bytes: u64,
+}
+
+/// Churn batches committed per durable rep — 10 % modify churn each, so
+/// the per-batch WAL cost is priced against real maintenance work,
+/// amortized the way production batches are.
+const DURABLE_BATCHES: usize = 6;
+
+/// One rep of the durable path: build a plain in-memory session and a
+/// WAL-backed one from the same scenario, commit identical churn batches
+/// through both, then measure recovery from the resulting log twice —
+/// once with the full delta suffix to replay and once right after a
+/// checkpoint folded it away.
+fn run_durable(n: usize, opts: &ExchangeOptions, rep: usize) -> DurableTiming {
+    let scenario = build(ScenarioConfig {
+        listings_per_source: n,
+        ..Default::default()
+    });
+    let t0 = Instant::now();
+    let mut inmem =
+        IncrementalSession::with_options(scenario.setting, scenario.sources, opts.clone())
+            .expect("in-memory session builds");
+    let inmem_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let scenario = build(ScenarioConfig {
+        listings_per_source: n,
+        ..Default::default()
+    });
+    let vfs = Arc::new(MemVfs::new());
+    let dopts = DurableOptions {
+        exchange: opts.clone(),
+        checkpoint_every: 0,
+        ..DurableOptions::default()
+    };
+    let t1 = Instant::now();
+    let mut durable = DurableSession::create(
+        scenario.setting,
+        scenario.sources,
+        None,
+        vfs.clone(),
+        "wal",
+        dopts.clone(),
+    )
+    .expect("durable session creates");
+    let create_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (mut inmem_apply_ms, mut wal_apply_ms) = (0.0f64, 0.0f64);
+    for b in 0..DURABLE_BATCHES {
+        // The delta is derived from the in-memory session's state; both
+        // sessions started identical and stay identical, so the exact
+        // same batch commits on both sides.
+        let (delta, _) = churn_delta(&inmem, 0.10, &format!("w{rep}-{b}"));
+        let t = Instant::now();
+        inmem.apply(&delta).expect("in-memory churn applies");
+        inmem_apply_ms += t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        durable.apply(&delta).expect("durable churn applies");
+        wal_apply_ms += t.elapsed().as_secs_f64() * 1e3;
+    }
+    let wal_bytes = durable.wal_committed_len();
+    let wal_commit_ms = durable.wal_commit_nanos() as f64 / 1e6;
+    let publish_ms = durable.publish_nanos() as f64 / 1e6;
+    // Recovery with the whole delta suffix still in the log.
+    let image = vfs.clone_files();
+    let t = Instant::now();
+    let (_, report) = DurableSession::open(Arc::new(image), "wal", dopts.clone())
+        .expect("recovery with replay succeeds");
+    let recovery_replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.replayed, DURABLE_BATCHES,
+        "every committed batch replays at scale {n}"
+    );
+    // Fold the suffix into a fresh checkpoint and price recovery again.
+    let t = Instant::now();
+    durable.checkpoint().expect("checkpoint rotates");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    let image = vfs.clone_files();
+    let t = Instant::now();
+    let (_, report) = DurableSession::open(Arc::new(image), "wal", dopts)
+        .expect("post-checkpoint recovery succeeds");
+    let recovery_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.replayed, 0, "checkpoint folded the suffix");
+    DurableTiming {
+        inmem_build_ms,
+        create_ms,
+        inmem_apply_ms,
+        wal_apply_ms,
+        wal_commit_ms,
+        publish_ms,
+        checkpoint_ms,
+        recovery_replay_ms,
+        recovery_cold_ms,
+        replayed: DURABLE_BATCHES,
+        wal_bytes,
+    }
+}
+
+/// Best-of-`reps` for the durable path, keeping the rep with the best
+/// combined apply time on both sides of the overhead ratio.
+fn best_durable(reps: usize, n: usize, opts: &ExchangeOptions) -> DurableTiming {
+    (0..reps)
+        .map(|r| run_durable(n, opts, r))
+        .min_by(|a, b| {
+            (a.wal_apply_ms + a.inmem_apply_ms).total_cmp(&(b.wal_apply_ms + b.inmem_apply_ms))
+        })
+        .expect("at least one rep")
+}
+
 /// The `latency_ns` fragment of one config's JSON object (empty when the
 /// exchange produced no per-mapping timings).
 fn latency_json(l: Option<(u64, u64, u64)>) -> String {
@@ -370,7 +513,12 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => out = args.next().expect("--out takes a path"),
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr4: --out takes a path");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!("bench_pr4: unknown argument `{other}`");
                 eprintln!("usage: bench_pr4 [--quick] [--out PATH]");
@@ -497,6 +645,14 @@ fn main() {
         // query evaluation on one shared exchange.
         let planned = best_planned(reps.min(3), n, &optimized_opts, &queries);
         let plan_cache_hit_speedup = planned.cold_ms / planned.cached_ms;
+        // The durable configuration: WAL-backed applies vs in-memory
+        // applies of the same churn, plus recovery at two log lengths.
+        let dur = best_durable(reps.min(3), n, &optimized_opts);
+        // The WAL overhead is the log-commit path alone, priced against
+        // the bare engine apply; the epoch-snapshot clone is a separate
+        // line item (`publish_ms`) since it buys reader isolation, not
+        // durability, and is paid whether or not the log is on.
+        let wal_overhead_pct = 100.0 * dur.wal_commit_ms / dur.inmem_apply_ms;
         assert_eq!(
             planned.rows, base.rows,
             "planner changed workload rows at scale {n}"
@@ -516,6 +672,22 @@ fn main() {
             delta_speedup,
             inc.edits_10pct,
             inc.delta_10pct_ms,
+        );
+        eprintln!(
+            "  durable: {} x 10% churn in-memory {:.2} ms vs WAL-backed {:.2} ms \
+             (log commit {:.2} ms, wal_overhead_pct {wal_overhead_pct:+.2} %; \
+             snapshot publish {:.2} ms); recovery replay({}) {:.1} ms vs \
+             post-checkpoint {:.1} ms (checkpoint {:.1} ms, log {} bytes)",
+            dur.replayed,
+            dur.inmem_apply_ms,
+            dur.wal_apply_ms,
+            dur.wal_commit_ms,
+            dur.publish_ms,
+            dur.replayed,
+            dur.recovery_replay_ms,
+            dur.recovery_cold_ms,
+            dur.checkpoint_ms,
+            dur.wal_bytes,
         );
         eprintln!(
             "  serial+nested {total_base:.1} ms vs parallel+hash {total_opt:.1} ms \
@@ -541,9 +713,14 @@ fn main() {
              \"full_reexchange_ms\": {nf:.3}, \"edits_1pct\": {k1}, \"edits_10pct\": {k10}, \"total_ms\": {nt:.3} }},\n      \
              \"planned\": {{ \"config\": \"cost-based planner: run_planned from raw text, cold cache vs warm cache vs legacy pre-parsed eval\", \
              \"legacy_query_ms\": {pl:.3}, \"cold_plan_query_ms\": {pc:.3}, \"cached_plan_query_ms\": {pw:.3}, \"total_ms\": {pt:.3} }},\n      \
+             \"durable\": {{ \"config\": \"WAL-backed DurableSession (MemVfs) vs in-memory applies, {db} x 10% churn batches; wal_overhead_pct prices the log-commit path, publish_ms the epoch-snapshot clone; recovery at full-suffix and post-checkpoint log lengths\", \
+             \"inmem_build_ms\": {dib:.3}, \"create_ms\": {dcr:.3}, \"inmem_apply_ms\": {dia:.3}, \"wal_apply_ms\": {dwa:.3}, \
+             \"wal_commit_ms\": {dwc:.3}, \"publish_ms\": {dpu:.3}, \
+             \"checkpoint_ms\": {dck:.3}, \"recovery_replay_ms\": {drr:.3}, \"recovery_cold_ms\": {drc:.3}, \
+             \"replayed_deltas\": {drp}, \"wal_bytes\": {dwb}, \"total_ms\": {dwa:.3} }},\n      \
              \"speedup_exchange\": {sx:.3},\n      \"speedup_query\": {sq:.3},\n      \
              \"speedup_total\": {st:.3},\n      \"delta_speedup\": {ds:.3},\n      \
-             \"plan_cache_hit_speedup\": {ph:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
+             \"plan_cache_hit_speedup\": {ph:.3},\n      \"wal_overhead_pct\": {wo:.3},\n      \"guard_overhead_pct\": {gp:.3},\n      \
              \"stats_overhead_pct\": {sp:.3},\n      \"flight_overhead_pct\": {fp:.3}\n    }}",
             rows = base.rows,
             be = base.exchange_ms,
@@ -578,6 +755,19 @@ fn main() {
             pw = planned.cached_ms,
             pt = planned.cold_ms + planned.cached_ms,
             ph = plan_cache_hit_speedup,
+            db = DURABLE_BATCHES,
+            dib = dur.inmem_build_ms,
+            dcr = dur.create_ms,
+            dia = dur.inmem_apply_ms,
+            dwa = dur.wal_apply_ms,
+            dwc = dur.wal_commit_ms,
+            dpu = dur.publish_ms,
+            dck = dur.checkpoint_ms,
+            drr = dur.recovery_replay_ms,
+            drc = dur.recovery_cold_ms,
+            drp = dur.replayed,
+            dwb = dur.wal_bytes,
+            wo = wal_overhead_pct,
             ds = delta_speedup,
             sx = base.exchange_ms / opt.exchange_ms,
             sq = base.query_ms / opt.query_ms,
@@ -597,6 +787,9 @@ fn main() {
         qr = QUERY_REPS,
         body = entries.join(",\n"),
     );
-    std::fs::write(&out, &json).expect("write report");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_pr4: io error: write report {out}: {e}");
+        std::process::exit(4);
+    }
     println!("bench_pr4: wrote {out}");
 }

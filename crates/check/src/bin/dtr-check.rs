@@ -16,11 +16,19 @@
 //! `--faults` switches to the fault-injection soak: each case derives a
 //! guard-rail fault from its seed and asserts the abort contract
 //! (consistent prefix, exact replay once lifted — see `dtr_check::faults`).
+//! `--storage-faults` switches to the crash-recovery soak: each case
+//! commits a seeded update stream through the durable session and asserts
+//! that recovery from every injected crash point (torn write, bit flip,
+//! mid-checkpoint rotation, exhausted fsync retries, between WAL commit
+//! and epoch publish) converges to one of the two adjacent epochs.
 //! Exits non-zero on the first failing case after printing the one-line
 //! repro command.
 
 use dtr_check::faults::{run_case_faults, FaultSite};
-use dtr_check::{repro_command, repro_command_faults, run_case_with, ExchangeOptions, GenConfig};
+use dtr_check::{
+    repro_command, repro_command_faults, repro_command_storage_faults, run_case_storage_faults,
+    run_case_with, ExchangeOptions, GenConfig,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -29,6 +37,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 0;
     let mut verbose = false;
     let mut faults = false;
+    let mut storage_faults = false;
     let mut exchange = ExchangeOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +53,7 @@ fn main() -> ExitCode {
             "--parallel-exchange" => exchange.parallel = true,
             "--nested-loop" => exchange.eval.hash_join = false,
             "--faults" => faults = true,
+            "--storage-faults" => storage_faults = true,
             "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => exchange.budget.deadline = Some(Duration::from_millis(ms)),
                 None => return usage("--deadline-ms takes a number"),
@@ -67,7 +77,13 @@ fn main() -> ExitCode {
     let mut site_trips = [0u64; 5];
     for i in 0..cases {
         let case_seed = seed.wrapping_add(i);
-        let result = if faults {
+        let result = if storage_faults {
+            run_case_storage_faults(case_seed, &cfg).map(|()| {
+                if verbose {
+                    println!("ok seed {case_seed} (recovery)");
+                }
+            })
+        } else if faults {
             run_case_faults(case_seed, &cfg).map(|outcome| {
                 if outcome.tripped {
                     tripped += 1;
@@ -92,7 +108,9 @@ fn main() -> ExitCode {
             eprintln!("FAIL seed {case_seed} (case {i} of {cases}):");
             eprintln!("  {e}");
             eprintln!("reproduce with:");
-            let repro = if faults {
+            let repro = if storage_faults {
+                repro_command_storage_faults(case_seed)
+            } else if faults {
                 repro_command_faults(case_seed)
             } else {
                 repro_command(case_seed)
@@ -104,7 +122,14 @@ fn main() -> ExitCode {
             println!("... {} / {cases} cases ok", i + 1);
         }
     }
-    if faults {
+    if storage_faults {
+        println!(
+            "dtr-check --storage-faults: {cases} cases ok (seeds {seed}..={}) in {:.2?}; \
+             recovery converged at every injected crash point",
+            seed.wrapping_add(cases.saturating_sub(1)),
+            start.elapsed(),
+        );
+    } else if faults {
         println!(
             "dtr-check --faults: {cases} cases ok (seeds {seed}..={}) in {:.2?}; \
              {tripped} tripped a guard \
@@ -138,7 +163,7 @@ fn site_index(site: FaultSite) -> usize {
 }
 
 const USAGE: &str = "dtr-check [--cases N] [--seed S] [--parallel-exchange] [--nested-loop] \
-                     [--faults] [--deadline-ms MS] [--max-rows N] [--verbose]";
+                     [--faults] [--storage-faults] [--deadline-ms MS] [--max-rows N] [--verbose]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("dtr-check: {msg}");

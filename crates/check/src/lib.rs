@@ -56,6 +56,18 @@ pub fn run_case_with(seed: u64, cfg: &GenConfig, exchange: &ExchangeOptions) -> 
     Ok(())
 }
 
+/// Runs the crash-recovery law over the scenario drawn from `seed`: a
+/// seeded update stream committed through the durable session, with
+/// storage faults (torn writes, bit flips, fsync failures, a torn
+/// checkpoint rotation) injected at every crash point and recovery
+/// asserted byte-identical to one of the two adjacent epochs. The soak
+/// binary's `--storage-faults` mode drives this.
+pub fn run_case_storage_faults(seed: u64, cfg: &GenConfig) -> Result<(), String> {
+    let mut rng = proptest::test_runner::TestRng::from_seed(seed);
+    let scen = generators::gen_scenario(&mut rng, cfg);
+    laws::law_recovery(&mut rng, &scen, cfg)
+}
+
 /// The repro command for a failing case — printed by both the soak binary
 /// and the proptest suites so any failure is one copy-paste away from a
 /// deterministic rerun.
@@ -66,4 +78,9 @@ pub fn repro_command(seed: u64) -> String {
 /// The repro command for a failing fault-injection case.
 pub fn repro_command_faults(seed: u64) -> String {
     format!("cargo run --release -p dtr-check -- --faults --cases 1 --seed {seed}")
+}
+
+/// The repro command for a failing storage-fault (crash-recovery) case.
+pub fn repro_command_storage_faults(seed: u64) -> String {
+    format!("cargo run --release -p dtr-check -- --storage-faults --cases 1 --seed {seed}")
 }

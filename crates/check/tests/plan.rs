@@ -17,10 +17,7 @@ use proptest::test_runner::TestRng;
 fn scenario_and_queries(
     seed: u64,
     queries: usize,
-) -> (
-    dtr_core::tagged::TaggedInstance,
-    Vec<dtr_query::ast::Query>,
-) {
+) -> (dtr_core::tagged::TaggedInstance, Vec<dtr_query::ast::Query>) {
     let cfg = GenConfig::default();
     let mut rng = TestRng::from_seed(seed);
     let scen = generators::gen_scenario(&mut rng, &cfg);

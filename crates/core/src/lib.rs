@@ -40,6 +40,7 @@ pub mod inclusion;
 pub mod incremental;
 pub mod provenance;
 pub mod runner;
+pub mod store;
 pub mod tagged;
 pub mod testkit;
 pub mod translate;

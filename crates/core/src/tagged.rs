@@ -24,8 +24,8 @@ use dtr_query::eval::{
 use dtr_query::functions::FunctionRegistry;
 use dtr_query::parser::{parse_query, ParseError};
 use dtr_query::plan::{CompiledPlan, PlanCache, PlanCacheStats};
-use std::sync::Arc;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the MXQL surface: parsing, checking, evaluation, exchange.
 #[derive(Debug)]
@@ -43,6 +43,17 @@ pub enum MxqlError {
     /// A resource budget was exhausted outside evaluation/exchange (e.g.
     /// during translation or metastore encoding).
     Guard(GuardError),
+    /// A file/storage operation failed. Structured: the path and the
+    /// operation are data, so callers (REPL, experiments, CI) can report
+    /// *which* file broke without string-parsing — and never panic.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// Operation name (`read`, `append`, `sync`, `write`, ...).
+        op: String,
+        /// Underlying error message.
+        msg: String,
+    },
     /// Miscellaneous (e.g. unknown mapping name).
     Other(String),
 }
@@ -70,6 +81,7 @@ impl fmt::Display for MxqlError {
             MxqlError::Eval(e) => write!(f, "{e}"),
             MxqlError::Exchange(e) => write!(f, "{e}"),
             MxqlError::Guard(g) => write!(f, "{g}"),
+            MxqlError::Io { path, op, msg } => write!(f, "io error: {op} {path}: {msg}"),
             MxqlError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -613,7 +625,8 @@ impl TaggedInstance {
         budget: &Budget,
     ) -> Result<QueryResult, MxqlError> {
         let plan = self.plan_for(text)?;
-        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let audit =
+            dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
         let catalog = self.catalog();
         let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
@@ -664,7 +677,8 @@ impl TaggedInstance {
 
     /// Executes a compiled plan (no parsing, checking or planning).
     pub fn run_plan(&self, plan: &CompiledPlan) -> Result<QueryResult, MxqlError> {
-        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let audit =
+            dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
         let catalog = self.catalog();
         let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
@@ -683,7 +697,8 @@ impl TaggedInstance {
         &self,
         plan: &CompiledPlan,
     ) -> Result<(QueryResult, dtr_obs::OpNode), MxqlError> {
-        let audit = dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
+        let audit =
+            dtr_obs::audit::enabled().then(|| (plan.text.clone(), std::time::Instant::now()));
         let catalog = self.catalog();
         let result = Evaluator::new(&catalog, &self.functions)
             .with_meta(&self.setting)
@@ -691,7 +706,12 @@ impl TaggedInstance {
             .run_analyzed(&plan.query)
             .map_err(MxqlError::from);
         if let Some((request, started)) = audit {
-            audit_query("query.planned", request, started, result.as_ref().map(|(r, _)| r));
+            audit_query(
+                "query.planned",
+                request,
+                started,
+                result.as_ref().map(|(r, _)| r),
+            );
         }
         result
     }

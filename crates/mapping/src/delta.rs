@@ -15,7 +15,96 @@
 //! granularity.
 
 use dtr_model::instance::Value;
+use dtr_model::value::{AtomicValue, ElementRef, MappingName};
 use std::fmt;
+
+/// Serializes a [`Value`] as a tagged JSON object. Every variant —
+/// including the meta-data atoms and non-finite floats (encoded as exact
+/// IEEE-754 bit patterns) — round-trips through [`value_from_json`].
+pub fn value_to_json(v: &Value) -> serde_json::Value {
+    match v {
+        Value::Atomic(a) => match a {
+            AtomicValue::Str(s) => serde_json::json!({ "s": s }),
+            AtomicValue::Int(i) => serde_json::json!({ "i": *i }),
+            AtomicValue::Float(x) => serde_json::json!({ "f": x.to_bits() }),
+            AtomicValue::Bool(b) => serde_json::json!({ "b": *b }),
+            AtomicValue::Db(d) => serde_json::json!({ "db": d }),
+            AtomicValue::Map(m) => serde_json::json!({ "map": m.as_str() }),
+            AtomicValue::Elem(e) => {
+                serde_json::json!({ "elem": [e.db.as_str(), e.path.as_str()] })
+            }
+        },
+        Value::Record(fields) => serde_json::json!({
+            "rec": fields
+                .iter()
+                .map(|(l, v)| serde_json::json!([l.as_str(), value_to_json(v)]))
+                .collect::<Vec<_>>(),
+        }),
+        Value::Choice(label, inner) => {
+            serde_json::json!({ "ch": [label.as_str(), value_to_json(inner)] })
+        }
+        Value::Set(members) => serde_json::json!({
+            "set": members.iter().map(value_to_json).collect::<Vec<_>>(),
+        }),
+    }
+}
+
+/// Deserializes the [`value_to_json`] shape. Returns `None` on any
+/// malformed value (never panics — WAL payloads may be corrupt).
+pub fn value_from_json(v: &serde_json::Value) -> Option<Value> {
+    let obj = v.as_object()?;
+    if obj.len() != 1 {
+        return None;
+    }
+    let (tag, body) = obj.iter().next()?;
+    Some(match tag.as_str() {
+        "s" => Value::Atomic(AtomicValue::Str(body.as_str()?.to_string())),
+        "i" => Value::Atomic(AtomicValue::Int(body.as_i64()?)),
+        "f" => Value::Atomic(AtomicValue::Float(f64::from_bits(body.as_u64()?))),
+        "b" => Value::Atomic(AtomicValue::Bool(body.as_bool()?)),
+        "db" => Value::Atomic(AtomicValue::Db(body.as_str()?.to_string())),
+        "map" => Value::Atomic(AtomicValue::Map(MappingName::new(body.as_str()?))),
+        "elem" => {
+            let pair = body.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Value::Atomic(AtomicValue::Elem(ElementRef::new(
+                pair[0].as_str()?,
+                pair[1].as_str()?,
+            )))
+        }
+        "rec" => Value::Record(
+            body.as_array()?
+                .iter()
+                .map(|f| {
+                    let pair = f.as_array()?;
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    Some((pair[0].as_str()?.into(), value_from_json(&pair[1])?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        "ch" => {
+            let pair = body.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Value::Choice(
+                pair[0].as_str()?.into(),
+                Box::new(value_from_json(&pair[1])?),
+            )
+        }
+        "set" => Value::Set(
+            body.as_array()?
+                .iter()
+                .map(value_from_json)
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        _ => return None,
+    })
+}
 
 /// One edit against a source set.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,6 +127,16 @@ pub struct Edit {
     pub path: String,
     /// The operation to apply.
     pub op: EditOp,
+}
+
+impl Edit {
+    /// The payload value of an insert/modify edit (`None` for deletes).
+    pub fn value(&self) -> Option<&Value> {
+        match &self.op {
+            EditOp::Insert(v) | EditOp::Modify(_, v) => Some(v),
+            EditOp::Delete(_) => None,
+        }
+    }
 }
 
 /// A batch of source edits, applied atomically by
@@ -82,6 +181,59 @@ impl SourceDelta {
             op: EditOp::Modify(idx, value),
         });
         self
+    }
+
+    /// Serializes to a JSON object (stable key set; the write-ahead log
+    /// payload format — see [`SourceDelta::from_json`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        let edits: Vec<serde_json::Value> = self
+            .edits
+            .iter()
+            .map(|e| {
+                let op = match &e.op {
+                    EditOp::Insert(v) => serde_json::json!({ "insert": value_to_json(v) }),
+                    EditOp::Delete(idx) => serde_json::json!({ "delete": *idx }),
+                    EditOp::Modify(idx, v) => {
+                        serde_json::json!({ "modify": [*idx, value_to_json(v)] })
+                    }
+                };
+                serde_json::json!({ "path": e.path.as_str(), "op": op })
+            })
+            .collect();
+        serde_json::json!({ "edits": edits })
+    }
+
+    /// Deserializes from the [`SourceDelta::to_json`] shape. Returns
+    /// `None` on a malformed value (corrupt WAL payloads must surface as
+    /// recoverable errors, never panics).
+    pub fn from_json(v: &serde_json::Value) -> Option<SourceDelta> {
+        let edits = v
+            .get("edits")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                let path = e.get("path")?.as_str()?.to_string();
+                let op = e.get("op")?.as_object()?;
+                if op.len() != 1 {
+                    return None;
+                }
+                let (tag, body) = op.iter().next()?;
+                let op = match tag.as_str() {
+                    "insert" => EditOp::Insert(value_from_json(body)?),
+                    "delete" => EditOp::Delete(body.as_u64()? as usize),
+                    "modify" => {
+                        let pair = body.as_array()?;
+                        if pair.len() != 2 {
+                            return None;
+                        }
+                        EditOp::Modify(pair[0].as_u64()? as usize, value_from_json(&pair[1])?)
+                    }
+                    _ => return None,
+                };
+                Some(Edit { path, op })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(SourceDelta { edits })
     }
 }
 
@@ -246,5 +398,64 @@ mod tests {
             TargetDelta::from_json(&serde_json::json!({ "batch": "three" })),
             None
         );
+    }
+
+    #[test]
+    fn source_delta_json_round_trip() {
+        use dtr_model::value::{AtomicValue, ElementRef, MappingName};
+        let member = Value::record(vec![
+            ("hid", Value::str("H7")),
+            ("price", Value::int(450)),
+            ("rate", Value::Atomic(AtomicValue::Float(0.25))),
+            ("sold", Value::Atomic(AtomicValue::Bool(false))),
+            ("src", Value::Atomic(AtomicValue::Db("USdb".into()))),
+            (
+                "by",
+                Value::Atomic(AtomicValue::Map(MappingName::new("m1"))),
+            ),
+            (
+                "at",
+                Value::Atomic(AtomicValue::Elem(ElementRef::new("USdb", "/US/houses"))),
+            ),
+            ("contact", Value::choice("phone", Value::str("555"))),
+            ("rooms", Value::set(vec![Value::str("kitchen")])),
+        ]);
+        let d = SourceDelta::new()
+            .insert("Yahoo.listings", member.clone())
+            .delete("US.houses", 2)
+            .modify("EU.postings", 0, member);
+        let text = serde_json::to_string(&d.to_json()).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(SourceDelta::from_json(&back), Some(d));
+    }
+
+    #[test]
+    fn source_delta_non_finite_floats_round_trip_exactly() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
+            let d = SourceDelta::new().insert(
+                "US.houses",
+                Value::record(vec![("rate", Value::Atomic(AtomicValue::Float(x)))]),
+            );
+            let back = SourceDelta::from_json(&d.to_json()).unwrap();
+            let Value::Record(fields) = back.edits[0].value().unwrap() else {
+                panic!("expected record");
+            };
+            let Value::Atomic(AtomicValue::Float(y)) = fields[0].1 else {
+                panic!("expected float");
+            };
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_source_delta_json_is_rejected_not_panicked() {
+        for bad in [
+            serde_json::json!({}),
+            serde_json::json!({ "edits": [{ "path": "US.houses" }] }),
+            serde_json::json!({ "edits": [{ "path": "US.houses", "op": { "warp": 9 } }] }),
+            serde_json::json!({ "edits": [{ "path": "US.houses", "op": { "insert": { "q": 1 } } }] }),
+        ] {
+            assert_eq!(SourceDelta::from_json(&bad), None);
+        }
     }
 }

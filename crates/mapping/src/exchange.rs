@@ -1463,7 +1463,7 @@ impl<'a> Exchange<'a> {
 /// `->` for choice alternatives — the same convention the query evaluator's
 /// canonicalized statistics keys use, so exchange-collected and
 /// query-collected entries for one schema path merge into one row.
-fn collect_instance_stats(catalog: &mut dtr_obs::StatsCatalog, inst: &Instance) {
+pub(crate) fn collect_instance_stats(catalog: &mut dtr_obs::StatsCatalog, inst: &Instance) {
     let mut stack: Vec<(NodeId, String)> = inst
         .roots()
         .iter()

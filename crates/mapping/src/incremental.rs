@@ -60,6 +60,16 @@ type Row = Vec<AtomicValue>;
 /// A multiset of foreach tuples.
 type Bag = HashMap<Row, usize>;
 
+/// Total-order key over rows, used wherever `HashMap` iteration order
+/// would otherwise leak into the target's member order (atomic values
+/// carry floats, so `Row` has no `Ord`). The `Debug` rendering
+/// distinguishes variants — `Str("1")` never collides with `Int(1)` — so
+/// the order is collision-free and identical across processes, which is
+/// what makes crash recovery replay byte-identical.
+fn row_order_key(row: &Row) -> String {
+    format!("{row:?}")
+}
+
 /// The retraction index entry for one top-level member class: the member's
 /// set, its fingerprint, and — per contributing mapping — the multiset of
 /// foreach rows routed into this class (with the bitmask of root bindings
@@ -249,6 +259,17 @@ impl IncrementalExchange {
         self.classes = classes;
         self.batch = 0;
         self.synthesize_report();
+        // Rebase rebuilds every set from scratch: merge fresh path counts
+        // and invalidate plans compiled against the pre-rebase catalog.
+        if dtr_obs::stats::enabled() {
+            let mut local = dtr_obs::StatsCatalog::new();
+            for s in &self.sources {
+                crate::exchange::collect_instance_stats(&mut local, s);
+            }
+            crate::exchange::collect_instance_stats(&mut local, &self.target);
+            dtr_obs::stats::merge(&local);
+        }
+        dtr_obs::stats::bump_cardinality_version();
         span.record("classes", self.classes.len());
         Ok(())
     }
@@ -291,6 +312,9 @@ impl IncrementalExchange {
                         dtr_obs::stats::record_set(&c.path, n as u64);
                     }
                 }
+                // Cardinalities moved: cached plans compiled against the
+                // pre-delta catalog must not be reused as-is.
+                dtr_obs::stats::bump_cardinality_version();
                 let counters = dtr_obs::counters();
                 counters.delta_batches.incr();
                 counters.delta_edits.add(delta.edits.len() as u64);
@@ -693,7 +717,13 @@ impl IncrementalExchange {
                     }
                 }
             }
-            for (row, &k) in &added[mi] {
+            // HashMap order must not leak into the target: fresh members
+            // are appended in this iteration order, so replaying the same
+            // delta (crash recovery) has to walk the same sequence.
+            let mut additions: Vec<(&Row, usize)> =
+                added[mi].iter().map(|(row, &k)| (row, k)).collect();
+            additions.sort_unstable_by_key(|(row, _)| row_order_key(row));
+            for (row, k) in additions {
                 let mut fresh_mask = 0u64;
                 for (bi, value) in self.root_member_values(mi, row)? {
                     match self.find_member(plan, bi, &value) {
@@ -927,7 +957,13 @@ fn rebuild_classes(
             let plan = &plans[mi];
             let root_of = &roots[mi];
             let mut stats = MappingStats::default();
-            for (row, &(count, bits)) in per {
+            // Deterministic replay order: nested sets inside the rebuilt
+            // member are populated row by row, so recovery must insert in
+            // the same sequence the live engine did.
+            let mut rows: Vec<(&Row, (usize, u64))> =
+                per.iter().map(|(row, &e)| (row, e)).collect();
+            rows.sort_unstable_by_key(|(row, _)| row_order_key(row));
+            for (row, (count, bits)) in rows {
                 let mask: Vec<bool> = root_of.iter().map(|&r| bits & (1 << r) != 0).collect();
                 for _ in 0..count {
                     ex.meter.charge_rows(1).map_err(|g| ExchangeError::Guard {

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod durable;
 pub mod exchange;
 pub mod glav;
 pub mod incremental;

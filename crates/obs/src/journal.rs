@@ -89,6 +89,27 @@ pub enum Outcome {
         /// full retraction; >0 when the member was rebuilt from survivors).
         remaining: u64,
     },
+    /// A delta batch was durably committed to the write-ahead log.
+    WalAppend {
+        /// Frame bytes written (header + payload).
+        bytes: u64,
+        /// Active WAL segment number.
+        segment: u64,
+    },
+    /// A checkpoint was written (initial segment or rotation).
+    Checkpoint {
+        /// Checkpoint payload bytes.
+        bytes: u64,
+        /// The segment the checkpoint opens.
+        segment: u64,
+    },
+    /// A durable store was reopened and its state recovered from the log.
+    Recovered {
+        /// Delta batches replayed on top of the checkpoint.
+        replayed: u64,
+        /// Torn-tail bytes truncated away during the scan.
+        truncated: u64,
+    },
 }
 
 impl Outcome {
@@ -105,6 +126,9 @@ impl Outcome {
             Outcome::GuardAbort { .. } => "guard_abort",
             Outcome::DeltaApplied { .. } => "delta_applied",
             Outcome::Retracted { .. } => "retracted",
+            Outcome::WalAppend { .. } => "wal_append",
+            Outcome::Checkpoint { .. } => "checkpoint",
+            Outcome::Recovered { .. } => "recovered",
         }
     }
 }
@@ -176,6 +200,17 @@ impl Event {
             Outcome::Retracted { remaining } => {
                 obj.insert("remaining", Value::from(*remaining));
             }
+            Outcome::WalAppend { bytes, segment } | Outcome::Checkpoint { bytes, segment } => {
+                obj.insert("bytes", Value::from(*bytes));
+                obj.insert("segment", Value::from(*segment));
+            }
+            Outcome::Recovered {
+                replayed,
+                truncated,
+            } => {
+                obj.insert("replayed", Value::from(*replayed));
+                obj.insert("truncated", Value::from(*truncated));
+            }
             Outcome::Inserted | Outcome::AnnotationWritten => {}
         }
         if let Some(d) = &self.detail {
@@ -217,6 +252,18 @@ impl Event {
             Outcome::Retracted { remaining } => {
                 line.push_str(&format!("  retracted ({remaining} row(s) remain)"))
             }
+            Outcome::WalAppend { bytes, segment } => {
+                line.push_str(&format!("  wal append ({bytes} B, segment {segment})"))
+            }
+            Outcome::Checkpoint { bytes, segment } => {
+                line.push_str(&format!("  checkpoint ({bytes} B, segment {segment})"))
+            }
+            Outcome::Recovered {
+                replayed,
+                truncated,
+            } => line.push_str(&format!(
+                "  recovered ({replayed} delta(s) replayed, {truncated} B truncated)"
+            )),
         }
         if let Some(d) = &self.detail {
             line.push_str(&format!("  {d}"));

@@ -224,6 +224,20 @@ pub struct Counters {
     pub delta_mappings_pruned: Counter,
     /// Incremental exchange: mappings re-enumerated (semi-naive or full).
     pub delta_mappings_reevaluated: Counter,
+    /// Durable store: delta frames committed to the write-ahead log.
+    pub durable_wal_appends: Counter,
+    /// Durable store: WAL bytes durably written (frames + checkpoints).
+    pub durable_wal_bytes: Counter,
+    /// Durable store: checkpoints written (initial + rotations).
+    pub durable_checkpoints: Counter,
+    /// Durable store: recoveries performed on open.
+    pub durable_recoveries: Counter,
+    /// Durable store: delta batches replayed during recovery.
+    pub durable_replayed_deltas: Counter,
+    /// Durable store: transient I/O errors retried (fsync/append).
+    pub durable_io_retries: Counter,
+    /// Durable store: epoch snapshots published for concurrent readers.
+    pub durable_epochs_published: Counter,
     /// Distribution of span durations (ns) across all stages.
     pub span_duration_ns: Histogram,
 }
@@ -252,6 +266,13 @@ static COUNTERS: Counters = Counters {
     delta_classes_rebuilt: Counter::new("exchange.delta_classes_rebuilt"),
     delta_mappings_pruned: Counter::new("exchange.delta_mappings_pruned"),
     delta_mappings_reevaluated: Counter::new("exchange.delta_mappings_reevaluated"),
+    durable_wal_appends: Counter::new("durable.wal_appends"),
+    durable_wal_bytes: Counter::new("durable.wal_bytes"),
+    durable_checkpoints: Counter::new("durable.checkpoints"),
+    durable_recoveries: Counter::new("durable.recoveries"),
+    durable_replayed_deltas: Counter::new("durable.replayed_deltas"),
+    durable_io_retries: Counter::new("durable.io_retries"),
+    durable_epochs_published: Counter::new("durable.epochs_published"),
     span_duration_ns: Histogram::new(),
 };
 
@@ -261,7 +282,7 @@ pub fn counters() -> &'static Counters {
 }
 
 impl Counters {
-    fn all(&self) -> [&Counter; 23] {
+    fn all(&self) -> [&Counter; 30] {
         [
             &self.tuples_scanned,
             &self.bindings_enumerated,
@@ -286,6 +307,13 @@ impl Counters {
             &self.delta_classes_rebuilt,
             &self.delta_mappings_pruned,
             &self.delta_mappings_reevaluated,
+            &self.durable_wal_appends,
+            &self.durable_wal_bytes,
+            &self.durable_checkpoints,
+            &self.durable_recoveries,
+            &self.durable_replayed_deltas,
+            &self.durable_io_retries,
+            &self.durable_epochs_published,
         ]
     }
 

@@ -432,6 +432,13 @@ pub fn record_delta_window(batch: u64, edits: u64, rebuilt: u64, retracted: u64,
     record_mapping_window(format!("delta#{batch}"), edits, rebuilt, retracted, wall_ns);
 }
 
+/// Record one durable-store operation (`wal_append`, `checkpoint`,
+/// `recover`) as a window on the exchange track: bytes in the tuples
+/// slot, replayed/retried counts in the inserted slot.
+pub fn record_durable_window(op: &str, bytes: u64, count: u64, wall_ns: u64) {
+    record_mapping_window(format!("durable:{op}"), bytes, count, 0, wall_ns);
+}
+
 /// Force a counter-registry delta sample now (stage boundaries call this
 /// so counter tracks bracket the interesting intervals even when the
 /// stride has not elapsed). Returns whether any counter had moved.

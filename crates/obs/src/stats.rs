@@ -15,7 +15,7 @@
 //! values costs O(registers), not O(values), in memory.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 use serde_json::{json, Map, Value};
@@ -530,6 +530,26 @@ fn global() -> std::sync::MutexGuard<'static, StatsCatalog> {
     CATALOG.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Monotonic version of the relation cardinalities the planner costs
+/// against. Ordinary stat collection (join/value observations during
+/// evaluation) does NOT move it — only events that change what is
+/// populated: a delta apply, a rebase, or a [`reset`]. Compiled plans
+/// stamp the version they were built at and are recompiled on mismatch,
+/// so a post-delta planned query never reuses a pre-delta join order.
+static CARDINALITY_VERSION: AtomicU64 = AtomicU64::new(0);
+
+/// The current cardinality version (see [`bump_cardinality_version`]).
+pub fn cardinality_version() -> u64 {
+    CARDINALITY_VERSION.load(Ordering::Acquire)
+}
+
+/// Advances the cardinality version, invalidating every cached plan that
+/// was compiled against the previous catalog. Called by delta apply and
+/// rebase paths after they merge fresh path counts.
+pub fn bump_cardinality_version() {
+    CARDINALITY_VERSION.fetch_add(1, Ordering::AcqRel);
+}
+
 /// Fold a locally collected catalog into the global one. Collection sites
 /// batch into a local [`StatsCatalog`] and merge once, so the global lock
 /// is taken O(runs), not O(rows).
@@ -557,6 +577,7 @@ pub fn snapshot() -> StatsCatalog {
 /// Clear the global catalog.
 pub fn reset() {
     *global() = StatsCatalog::new();
+    bump_cardinality_version();
 }
 
 #[cfg(test)]

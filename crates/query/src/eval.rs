@@ -183,7 +183,7 @@ impl EvalOptions {
             && self
                 .hash_join_per_binding
                 .as_ref()
-                .map_or(true, |allow| allow.get(bi).copied().unwrap_or(true))
+                .is_none_or(|allow| allow.get(bi).copied().unwrap_or(true))
     }
 }
 
@@ -2410,10 +2410,9 @@ mod tests {
             instance: &inst,
         }]);
         let funcs = FunctionRegistry::with_builtins();
-        let q = parse_query(
-            "select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid",
-        )
-        .unwrap();
+        let q =
+            parse_query("select h.hid, a.phone from US.houses h, US.agents a where h.aid = a.aid")
+                .unwrap();
         let hashed = Evaluator::new(&catalog, &funcs).run(&q).unwrap();
         let (_, forced_plan) = Evaluator::new(&catalog, &funcs)
             .with_options(EvalOptions {

@@ -333,10 +333,8 @@ mod tests {
 
     #[test]
     fn join_extraction_promotes_equality_on_scans() {
-        let q = parse_query(
-            "select h.hid from US.houses h, US.agents a where a.aid = h.aid",
-        )
-        .unwrap();
+        let q =
+            parse_query("select h.hid from US.houses h, US.agents a where a.aid = h.aid").unwrap();
         let plan = LogicalPlan::optimized(&q);
         let keys: Vec<Option<usize>> = plan
             .stages

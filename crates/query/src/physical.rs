@@ -77,7 +77,10 @@ const HASH_BUILD_FLOOR: f64 = 3.0;
 /// histogram of its canonicalized path.
 fn source_estimate(q: &Query, binding: usize, stats: &StatsCatalog) -> Option<f64> {
     let path = canonical_expr(&q.from[binding].source, q);
-    stats.paths.get(&path).and_then(|p| p.mean_set_cardinality())
+    stats
+        .paths
+        .get(&path)
+        .and_then(|p| p.mean_set_cardinality())
 }
 
 /// Recorded selectivity of the equality comparison `ci`, if any.
@@ -294,9 +297,7 @@ impl PhysicalPlan {
         }
         out.push('\n');
         for (i, s) in self.stages.iter().enumerate().rev() {
-            let est = s
-                .est_rows
-                .map_or("?".to_string(), |r| r.to_string());
+            let est = s.est_rows.map_or("?".to_string(), |r| r.to_string());
             let act = actual
                 .and_then(|a| a.get(i).copied().flatten())
                 .map_or("-".to_string(), |r| r.to_string());
@@ -351,10 +352,9 @@ mod tests {
 
     #[test]
     fn limit_blocks_reordering() {
-        let q = parse_query(
-            "select h.hid from US.houses h, US.agents a where a.aid = h.aid limit 3",
-        )
-        .unwrap();
+        let q =
+            parse_query("select h.hid from US.houses h, US.agents a where a.aid = h.aid limit 3")
+                .unwrap();
         let mut stats = StatsCatalog::new();
         stats.record_set("US.houses", 1000);
         stats.record_set("US.agents", 4);

@@ -49,6 +49,11 @@ pub struct CompiledPlan {
     /// Evaluator options derived from the physical plan (canonicalized
     /// flags plus per-binding join-algorithm overrides).
     pub opts: EvalOptions,
+    /// The [`dtr_obs::stats::cardinality_version`] this plan was costed
+    /// against. A cached plan whose version is stale (a delta/rebase moved
+    /// the relation cardinalities since) is evicted on lookup instead of
+    /// being reused with a possibly wrong join order.
+    pub stats_version: u64,
 }
 
 impl CompiledPlan {
@@ -112,8 +117,7 @@ pub fn compile(
     let physical = PhysicalPlan::from_logical(&query, &logical, stats, order);
     let mut opts = opts;
     if opts.hash_join {
-        opts.hash_join_per_binding =
-            Some(Arc::new(physical.hash_join_overrides(query.from.len())));
+        opts.hash_join_per_binding = Some(Arc::new(physical.hash_join_overrides(query.from.len())));
     }
     Ok(CompiledPlan {
         fingerprint: fnv1a(text.as_bytes()),
@@ -122,6 +126,7 @@ pub fn compile(
         logical,
         physical,
         opts,
+        stats_version: dtr_obs::stats::cardinality_version(),
     })
 }
 
@@ -136,6 +141,9 @@ pub struct PlanCacheStats {
     /// match any entry — a real 64-bit collision, survived by
     /// structural confirmation.
     pub collisions: u64,
+    /// Plans evicted because their stats version went stale (a delta or
+    /// rebase changed relation cardinalities after they were compiled).
+    pub evictions: u64,
     /// Number of cached plans.
     pub entries: usize,
 }
@@ -148,6 +156,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
@@ -168,15 +177,25 @@ impl PlanCache {
 
     /// [`PlanCache::lookup`] under an explicit key — the seam the
     /// forced-collision tests use. A fingerprint match alone is never
-    /// returned: the stored text must be byte-equal.
+    /// returned: the stored text must be byte-equal, and its stats
+    /// version must be current (a plan ordered for a pre-delta catalog is
+    /// evicted here, never reused).
     pub fn lookup_keyed(&self, key: u64, text: &str) -> Option<Arc<CompiledPlan>> {
-        let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(bucket) = guard.get(&key) {
-            if let Some(plan) = bucket.iter().find(|p| p.text == text) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(Arc::clone(plan));
-            }
-            if !bucket.is_empty() {
+        let current = dtr_obs::stats::cardinality_version();
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(bucket) = guard.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|p| p.text == text) {
+                if bucket[pos].stats_version == current {
+                    let plan = Arc::clone(&bucket[pos]);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(plan);
+                }
+                bucket.remove(pos);
+                if bucket.is_empty() {
+                    guard.remove(&key);
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else if !bucket.is_empty() {
                 self.collisions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -205,10 +224,7 @@ impl PlanCache {
     /// Drops every cached plan (counters survive). Benchmarks use this
     /// to measure cold-plan cost.
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clear();
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
     }
 
     /// Current counters and entry count.
@@ -224,6 +240,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries,
         }
     }
@@ -233,6 +250,10 @@ impl PlanCache {
 mod tests {
     use super::*;
     use crate::parser::parse_query;
+
+    /// Serializes the tests that depend on the process-global cardinality
+    /// version staying still between an insert and its lookup.
+    static VERSION_LOCK: Mutex<()> = Mutex::new(());
 
     fn dummy_plan(text: &str) -> Arc<CompiledPlan> {
         let q = parse_query(text).unwrap();
@@ -247,11 +268,32 @@ mod tests {
             logical,
             physical,
             opts: EvalOptions::default(),
+            stats_version: dtr_obs::stats::cardinality_version(),
         })
     }
 
     #[test]
+    fn stale_stats_version_is_evicted_not_reused() {
+        let _guard = VERSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let cache = PlanCache::new();
+        let a = dummy_plan("select h.hid from US.houses h");
+        cache.insert(Arc::clone(&a));
+        assert!(cache.lookup(&a.text).is_some());
+        // A delta apply/rebase moves the cardinality version: the cached
+        // plan was ordered for the old catalog and must not be reused.
+        dtr_obs::stats::bump_cardinality_version();
+        assert!(cache.lookup(&a.text).is_none());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 0, "the stale entry is gone, not resurrected");
+        // Re-inserting a freshly compiled plan works again.
+        cache.insert(dummy_plan(&a.text));
+        assert!(cache.lookup(&a.text).is_some());
+    }
+
+    #[test]
     fn cache_hit_requires_structural_confirmation() {
+        let _guard = VERSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let cache = PlanCache::new();
         let a = dummy_plan("select h.hid from US.houses h");
         cache.insert(Arc::clone(&a));
@@ -265,6 +307,7 @@ mod tests {
 
     #[test]
     fn forced_fingerprint_collision_is_detected_not_conflated() {
+        let _guard = VERSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let cache = PlanCache::new();
         let a = dummy_plan("select h.hid from US.houses h");
         let b = dummy_plan("select a.aid from US.agents a");
@@ -292,6 +335,7 @@ mod tests {
 
     #[test]
     fn clear_empties_entries() {
+        let _guard = VERSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let cache = PlanCache::new();
         cache.insert(dummy_plan("select h.hid from US.houses h"));
         assert_eq!(cache.stats().entries, 1);

@@ -29,15 +29,21 @@
 //! status 3 — never a panic, never a half-written result.
 
 use dtr_core::runner::MetaRunner;
+use dtr_core::store::{DurableOptions, DurableSession};
 use dtr_core::tagged::{MxqlError, TaggedInstance};
+use dtr_mapping::delta::SourceDelta;
+use dtr_mapping::durable::MemVfs;
 use dtr_mapping::exchange::ExchangeOptions;
+use dtr_model::instance::Value;
 use dtr_obs::guard::Budget;
 use dtr_portal::nesting::nested_tagged;
 use dtr_portal::scenario::{build, ScenarioConfig};
 use dtr_query::parser::parse_query;
 use dtr_xml::schema_xml::schema_to_xml;
+use dtr_xml::writer::instance_to_xml as write_instance;
 use dtr_xml::writer::{instance_to_xml, SizeReport, WriteOptions};
 use serde_json::{json, Value as Json};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -73,6 +79,20 @@ fn guard_exit<T>(result: Result<T, MxqlError>, what: &str) -> T {
     }
 }
 
+/// Reports a file error as structured data — `io error: <op> <path>:
+/// <cause>` — and exits cleanly (status 4). Output sinks must never turn
+/// a full disk or a bad path into a panic and a backtrace.
+fn io_exit(op: &str, path: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("experiments: io error: {op} {path}: {e}");
+    std::process::exit(4);
+}
+
+/// Reports a bad command-line argument and exits (status 2).
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
     let mut run = Vec::new();
     let mut quick = false;
@@ -88,7 +108,7 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--all" => run.extend(["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]),
+            "--all" => run.extend(["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]),
             "--e1" => run.push("e1"),
             "--e2" => run.push("e2"),
             "--e3" => run.push("e3"),
@@ -98,38 +118,49 @@ fn parse_args() -> Args {
             "--e7" => run.push("e7"),
             "--e8" => run.push("e8"),
             "--e9" => run.push("e9"),
+            "--e10" => run.push("e10"),
             "--quick" => quick = true,
             "--scale" => {
                 listings = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--scale takes a number");
+                    .unwrap_or_else(|| usage_exit("--scale takes a number"));
             }
             "--json" => json_path = it.next(),
             "--profile" => profile = true,
             "--stats" => stats = true,
-            "--trace-out" => trace_out = Some(it.next().expect("--trace-out takes a path")),
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--trace-out takes a path")),
+                )
+            }
             "--parallel" => parallel = true,
             "--workers" => {
                 workers = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--workers takes a number");
+                    .unwrap_or_else(|| usage_exit("--workers takes a number"));
                 parallel = true;
             }
-            "--audit-out" => audit_out = Some(it.next().expect("--audit-out takes a path")),
+            "--audit-out" => {
+                audit_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--audit-out takes a path")),
+                )
+            }
             "--deadline-ms" => {
                 let ms: u64 = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--deadline-ms takes a number");
+                    .unwrap_or_else(|| usage_exit("--deadline-ms takes a number"));
                 budget.deadline = Some(Duration::from_millis(ms));
             }
             "--max-rows" => {
                 budget.max_rows = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--max-rows takes a number"),
+                        .unwrap_or_else(|| usage_exit("--max-rows takes a number")),
                 );
             }
             other => {
@@ -139,7 +170,7 @@ fn parse_args() -> Args {
         }
     }
     if run.is_empty() {
-        run.extend(["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]);
+        run.extend(["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]);
     }
     Args {
         run,
@@ -565,6 +596,107 @@ fn e9(tagged: &TaggedInstance) -> Json {
     json!({"equal_district_houses": equal, "total_houses": total, "origins": origins})
 }
 
+/// E10 — durable exchange: WAL-backed commits, crash, recovery.
+///
+/// Builds the portal scenario behind a write-ahead log (in-memory VFS, so
+/// the run leaves no files behind), commits churn batches through the
+/// WAL-then-publish protocol, then simulates a crash by recovering from a
+/// copy of the "disk" and verifies the recovered canonical target is
+/// byte-identical to the live one.
+fn e10(n: usize, budget: &Budget) -> Json {
+    banner("E10", "durable exchange (WAL commit, crash, recovery)");
+    let scenario = build(ScenarioConfig {
+        listings_per_source: n,
+        ..Default::default()
+    });
+    let opts = DurableOptions {
+        exchange: ExchangeOptions {
+            budget: budget.clone(),
+            ..ExchangeOptions::default()
+        },
+        checkpoint_every: 0,
+        ..DurableOptions::default()
+    };
+    let vfs = Arc::new(MemVfs::new());
+    let t0 = Instant::now();
+    let mut session = guard_exit(
+        DurableSession::create(
+            scenario.setting,
+            scenario.sources,
+            None,
+            vfs.clone(),
+            "wal",
+            opts.clone(),
+        ),
+        "the durable exchange",
+    );
+    let create_s = t0.elapsed().as_secs_f64();
+    // Churn: rewrite the comments of the first ~1 % of Yahoo listings,
+    // one batch per round, each committed to the log before it is applied.
+    const BATCHES: usize = 5;
+    let t1 = Instant::now();
+    for round in 0..BATCHES {
+        let inst = &session.session().sources()[0];
+        let root = inst.root("Yahoo").expect("Yahoo root");
+        let set = inst.child_by_label(root, "listings").expect("listings set");
+        let members = inst.set_members(set).expect("set members").to_vec();
+        let k = (members.len() / 100).clamp(1, members.len());
+        let mut delta = SourceDelta::new();
+        for i in (0..k).rev() {
+            let mut v = inst.to_value(members[i]);
+            if let Value::Record(fields) = &mut v {
+                for (l, f) in fields.iter_mut() {
+                    if l.as_str() == "comments" {
+                        *f = Value::str(format!("e10-round-{round}-{i}"));
+                    }
+                }
+            }
+            delta = delta.modify("Yahoo.listings", i, v);
+        }
+        guard_exit(session.apply(&delta), "a durable churn batch");
+    }
+    let apply_s = t1.elapsed().as_secs_f64();
+    let wal_commit_ms = session.wal_commit_nanos() as f64 / 1e6;
+    let publish_ms = session.publish_nanos() as f64 / 1e6;
+    let log_bytes = session.wal_committed_len();
+    let live = write_instance(
+        session.session().target(),
+        dtr_xml::writer::WriteOptions::annotated(),
+    );
+    // Crash: the writer dies; all that survives is the "disk".
+    let crashed = vfs.clone_files();
+    drop(session);
+    let t2 = Instant::now();
+    let (recovered, report) = guard_exit(
+        DurableSession::open(Arc::new(crashed), "wal", opts),
+        "crash recovery",
+    );
+    let recover_s = t2.elapsed().as_secs_f64();
+    let byte_identical = recovered.pin().canonical() == live;
+    println!(
+        "  created durable session in {create_s:.2} s; {BATCHES} churn batches in {apply_s:.3} s \
+         (log commit {wal_commit_ms:.2} ms, snapshot publish {publish_ms:.2} ms)"
+    );
+    println!(
+        "  crash + recovery: replayed {} delta(s) from a {log_bytes}-byte log in {recover_s:.3} s; \
+         recovered target byte-identical: {byte_identical}",
+        report.replayed
+    );
+    assert!(byte_identical, "recovery drifted from the live state");
+    assert_eq!(report.replayed, BATCHES);
+    json!({
+        "create_s": create_s,
+        "batches": BATCHES,
+        "apply_s": apply_s,
+        "wal_commit_ms": wal_commit_ms,
+        "publish_ms": publish_ms,
+        "log_bytes": log_bytes,
+        "recover_s": recover_s,
+        "replayed": report.replayed,
+        "byte_identical": byte_identical,
+    })
+}
+
 fn main() {
     // `experiments health ...` is a separate mode: a fixed workload whose
     // observable shape is compared against a committed baseline.
@@ -585,8 +717,8 @@ fn main() {
     if let Some(path) = &args.audit_out {
         dtr_obs::audit::set_enabled(true);
         dtr_obs::audit::reset();
-        let sink =
-            dtr_obs::audit::FileSink::create(std::path::Path::new(path)).expect("open audit sink");
+        let sink = dtr_obs::audit::FileSink::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| io_exit("open audit sink", path, e));
         dtr_obs::audit::set_sink(Some(Box::new(sink)));
     }
     if dtr_obs::enabled() {
@@ -642,6 +774,7 @@ fn main() {
             "e7" => e7(&shared.as_ref().expect("shared scenario").0, &args.budget),
             "e8" => e8(args.listings_per_source, &args.budget),
             "e9" => e9(&shared.as_ref().expect("shared scenario").0),
+            "e10" => e10(args.listings_per_source, &args.budget),
             other => panic!("unknown experiment {other}"),
         };
         results.insert((*e).to_string(), value);
@@ -674,7 +807,7 @@ fn main() {
         let doc = dtr_obs::chrome_trace::export_current();
         let summary = dtr_obs::chrome_trace::validate(&doc).expect("exported trace is valid");
         std::fs::write(path, serde_json::to_string(&doc).expect("serializable"))
-            .expect("write trace");
+            .unwrap_or_else(|e| io_exit("write trace", path, e));
         println!(
             "\nflight trace written to {path}: {} event(s) ({} duration, {} counter) \
              across {} thread(s) — load it in Perfetto or chrome://tracing",
@@ -706,7 +839,7 @@ fn main() {
             &path,
             serde_json::to_string_pretty(&Json::Object(results)).expect("serializable"),
         )
-        .expect("write JSON");
+        .unwrap_or_else(|e| io_exit("write JSON results", &path, e));
         println!("\nresults written to {path}");
     }
 }
@@ -818,7 +951,7 @@ fn health_mode(argv: Vec<String>) -> ! {
             &baseline_path,
             serde_json::to_string_pretty(&live.to_json()).expect("serializable"),
         )
-        .expect("write baseline");
+        .unwrap_or_else(|e| io_exit("write baseline", &baseline_path, e));
         println!(
             "health baseline written to {baseline_path}: {} counter(s), {} stats path(s)",
             live.counters.len(),
@@ -832,8 +965,16 @@ fn health_mode(argv: Vec<String>) -> ! {
         eprintln!("run `experiments health --update` to create it");
         std::process::exit(2);
     });
-    let doc: Json = serde_json::from_str(&text).expect("baseline parses as JSON");
-    let baseline = dtr_obs::health::HealthSnapshot::from_json(&doc).expect("baseline is valid");
+    let doc: Json = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("health: baseline {baseline_path} is not JSON: {e}");
+        eprintln!("run `experiments health --update` to regenerate it");
+        std::process::exit(2);
+    });
+    let baseline = dtr_obs::health::HealthSnapshot::from_json(&doc).unwrap_or_else(|e| {
+        eprintln!("health: baseline {baseline_path} has an unexpected shape: {e}");
+        eprintln!("run `experiments health --update` to regenerate it");
+        std::process::exit(2);
+    });
     let report = dtr_obs::health::compare(&baseline, &live, &thresholds);
     println!("{}", report.render());
     if let Some(path) = out_path {
@@ -841,7 +982,7 @@ fn health_mode(argv: Vec<String>) -> ! {
             &path,
             serde_json::to_string_pretty(&report.to_json()).expect("serializable"),
         )
-        .expect("write report");
+        .unwrap_or_else(|e| io_exit("write health report", &path, e));
         println!("health report written to {path}");
     }
     let code = match report.status {

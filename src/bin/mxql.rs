@@ -17,7 +17,15 @@
 //!   touching the materialized instance);
 //! * `.lint` — run the mapping diagnostics;
 //! * `.whatif <db|mapping,...>` — impact analysis;
-//! * `.save <file>` — write the annotated instance as XML;
+//! * `.save <file>` — write the annotated instance as XML; `.save wal
+//!   <dir>` instead starts a *durable* session: every later `.delta`
+//!   batch is committed to a write-ahead log in `<dir>` before it is
+//!   applied;
+//! * `.open <dir>` — recover a durable session from its write-ahead log
+//!   (after a crash or a clean exit): loads the latest intact checkpoint,
+//!   replays the committed delta suffix, reports torn tails as warnings;
+//! * `.checkpoint` — fold the durable session's delta suffix into a fresh
+//!   checkpoint segment (renormalizing the target to canonical form);
 //! * `.profile [on|off|json]` — toggle or dump the `dtr-obs` profile
 //!   (also enabled by `--profile` or `DTR_PROFILE=1`);
 //! * `.explain <query>;` — translation EXPLAIN: every Section 7.3 rewrite
@@ -144,7 +152,18 @@ const COMMANDS: &[(&str, &str)] = &[
     ),
     (".lint", "run the mapping diagnostics"),
     (".whatif", "<db|m1,m2,...> — impact analysis"),
-    (".save", "<file> — write the annotated instance as XML"),
+    (
+        ".save",
+        "<file> — write the annotated instance as XML; `wal <dir>` starts a durable WAL-backed session",
+    ),
+    (
+        ".open",
+        "<dir> — recover a durable session from its write-ahead log",
+    ),
+    (
+        ".checkpoint",
+        "fold the durable session's delta suffix into a fresh checkpoint segment",
+    ),
     (
         ".profile",
         "[on|off|json] — toggle or dump the dtr-obs profile tree",
@@ -424,6 +443,52 @@ fn trace_values(tagged: &TaggedInstance, path: &str, filter: Option<&str>) {
     }
 }
 
+/// Starts a WAL-backed durable session at `dir` from the shell's current
+/// state: the live incremental session's (possibly edited) sources when
+/// one exists, the pristine tagged sources otherwise.
+fn start_durable(
+    tagged: &TaggedInstance,
+    session: Option<&dtr::core::incremental::IncrementalSession>,
+    dir: &str,
+) -> Result<dtr::core::store::DurableSession, dtr::core::tagged::MxqlError> {
+    let setting = dtr::core::tagged::MappingSetting::new(
+        tagged.setting().source_schemas().to_vec(),
+        tagged.setting().target_schema().clone(),
+        tagged.setting().mappings().to_vec(),
+    )?;
+    let sources = match session {
+        Some(s) => s.sources().to_vec(),
+        None => tagged.source_instances().to_vec(),
+    };
+    let vfs: std::sync::Arc<dyn dtr::mapping::durable::Vfs> =
+        std::sync::Arc::new(dtr::mapping::durable::StdVfs::new("."));
+    dtr::core::store::DurableSession::create(
+        setting,
+        sources,
+        None,
+        vfs,
+        dir,
+        dtr::core::store::DurableOptions::default(),
+    )
+}
+
+/// The two-line `.delta` result summary (shared by the plain and durable
+/// paths).
+fn print_delta_summary(td: &dtr::mapping::delta::TargetDelta) {
+    println!(
+        "batch {}: {} edit(s) → +{} member(s), -{} member(s), {} class(es) rebuilt",
+        td.batch,
+        td.edits,
+        td.inserted.len(),
+        td.retracted.len(),
+        td.classes_rebuilt
+    );
+    println!(
+        "mappings: {} pruned, {} re-evaluated; rows +{}/-{}",
+        td.mappings_pruned, td.mappings_reevaluated, td.rows_added, td.rows_removed
+    );
+}
+
 fn main() {
     let mut tagged = load();
     let runner = MetaRunner::new(tagged.setting()).expect("metastore builds");
@@ -432,6 +497,9 @@ fn main() {
     // The incremental-exchange session backing `.delta`/`.rebase`, built
     // lazily from the current tagged instance on first use.
     let mut session: Option<dtr::core::incremental::IncrementalSession> = None;
+    // The WAL-backed durable session behind `.save wal`/`.open`; when
+    // active, `.delta` commits through it (WAL-then-publish) instead.
+    let mut durable: Option<dtr::core::store::DurableSession> = None;
     eprintln!(
         "tagged instance ready: {} target values, {} mappings. Type .help for help.",
         tagged.target().len(),
@@ -524,20 +592,94 @@ fn main() {
                     }
                 }
                 ".save" => {
-                    let path = rest.trim();
-                    if path.is_empty() {
-                        println!("usage: .save <file.xml>");
+                    let arg = rest.trim();
+                    if let Some(dir) = arg.strip_prefix("wal ").map(str::trim) {
+                        if dir.is_empty() {
+                            println!("usage: .save wal <dir>");
+                        } else {
+                            match start_durable(&tagged, session.as_ref(), dir) {
+                                Ok(d) => {
+                                    println!(
+                                        "durable session started: checkpoint written to \
+                                         {dir}/wal-{:06}.log ({} bytes committed)",
+                                        d.wal_segment(),
+                                        d.wal_committed_len()
+                                    );
+                                    session = None;
+                                    durable = Some(d);
+                                }
+                                Err(e) => println!("cannot start durable session: {e}"),
+                            }
+                        }
+                    } else if arg.is_empty() {
+                        println!("usage: .save <file.xml> | .save wal <dir>");
                     } else {
                         let xml = dtr::xml::writer::instance_to_xml(
                             tagged.target(),
                             dtr::xml::writer::WriteOptions::annotated(),
                         );
-                        match std::fs::write(path, &xml) {
-                            Ok(()) => println!("wrote {} bytes to {path}", xml.len()),
-                            Err(e) => println!("cannot write {path}: {e}"),
+                        match std::fs::write(arg, &xml) {
+                            Ok(()) => println!("wrote {} bytes to {arg}", xml.len()),
+                            Err(e) => println!("cannot write {arg}: {e}"),
                         }
                     }
                 }
+                ".open" => {
+                    let dir = rest.trim();
+                    if dir.is_empty() {
+                        println!("usage: .open <dir>");
+                    } else {
+                        let vfs: std::sync::Arc<dyn dtr::mapping::durable::Vfs> =
+                            std::sync::Arc::new(dtr::mapping::durable::StdVfs::new("."));
+                        match dtr::core::store::DurableSession::open(
+                            vfs,
+                            dir,
+                            dtr::core::store::DurableOptions::default(),
+                        ) {
+                            Ok((d, report)) => {
+                                println!(
+                                    "recovered from {dir}: segment {}, {} delta(s) replayed, \
+                                     {} torn byte(s) truncated, batch {}",
+                                    report.segment,
+                                    report.replayed,
+                                    report.truncated_bytes,
+                                    d.batch()
+                                );
+                                for w in &report.warnings {
+                                    println!("  warning: {w}");
+                                }
+                                match d.session().tagged() {
+                                    Ok(t) => {
+                                        tagged = t;
+                                        session = None;
+                                        durable = Some(d);
+                                    }
+                                    Err(e) => println!("cannot build tagged view: {e}"),
+                                }
+                            }
+                            Err(e) => println!("cannot open {dir}: {e}"),
+                        }
+                    }
+                }
+                ".checkpoint" => match durable.as_mut() {
+                    None => {
+                        println!("no durable session (start one with .save wal <dir> or .open)")
+                    }
+                    Some(d) => match d.checkpoint() {
+                        Ok(()) => {
+                            println!(
+                                "checkpointed: segment {} leads with batch {}",
+                                d.wal_segment(),
+                                d.batch()
+                            );
+                            match d.session().tagged() {
+                                Ok(t) => tagged = t,
+                                Err(e) => println!("cannot refresh tagged view: {e}"),
+                            }
+                        }
+                        Err(e) => println!("checkpoint error: {e}"),
+                    },
+                },
                 ".schema" => {
                     let db = rest.trim();
                     let schema = if tagged.setting().target_schema().name() == db {
@@ -805,44 +947,17 @@ fn main() {
                     }
                 }
                 ".delta" => {
-                    if session.is_none() {
-                        let built = dtr::core::tagged::MappingSetting::new(
-                            tagged.setting().source_schemas().to_vec(),
-                            tagged.setting().target_schema().clone(),
-                            tagged.setting().mappings().to_vec(),
-                        )
-                        .and_then(|setting| {
-                            dtr::core::incremental::IncrementalSession::new(
-                                setting,
-                                tagged.source_instances().to_vec(),
-                            )
-                        });
-                        match built {
-                            Ok(s) => session = Some(s),
-                            Err(e) => println!("cannot start incremental session: {e}"),
-                        }
-                    }
-                    if let Some(s) = session.as_mut() {
-                        match parse_delta_edits(rest, s.sources()) {
-                            Ok(delta) => match s.apply(&delta) {
+                    if let Some(d) = durable.as_mut() {
+                        match parse_delta_edits(rest, d.session().sources()) {
+                            Ok(delta) => match d.apply(&delta) {
                                 Ok(td) => {
+                                    print_delta_summary(&td);
                                     println!(
-                                        "batch {}: {} edit(s) → +{} member(s), -{} member(s), \
-                                         {} class(es) rebuilt",
-                                        td.batch,
-                                        td.edits,
-                                        td.inserted.len(),
-                                        td.retracted.len(),
-                                        td.classes_rebuilt
+                                        "committed to WAL segment {} ({} bytes)",
+                                        d.wal_segment(),
+                                        d.wal_committed_len()
                                     );
-                                    println!(
-                                        "mappings: {} pruned, {} re-evaluated; rows +{}/-{}",
-                                        td.mappings_pruned,
-                                        td.mappings_reevaluated,
-                                        td.rows_added,
-                                        td.rows_removed
-                                    );
-                                    match s.tagged() {
+                                    match d.session().tagged() {
                                         Ok(t) => tagged = t,
                                         Err(e) => println!("cannot refresh tagged view: {e}"),
                                     }
@@ -851,10 +966,48 @@ fn main() {
                             },
                             Err(e) => println!("{e}"),
                         }
+                    } else {
+                        if session.is_none() {
+                            let built = dtr::core::tagged::MappingSetting::new(
+                                tagged.setting().source_schemas().to_vec(),
+                                tagged.setting().target_schema().clone(),
+                                tagged.setting().mappings().to_vec(),
+                            )
+                            .and_then(|setting| {
+                                dtr::core::incremental::IncrementalSession::new(
+                                    setting,
+                                    tagged.source_instances().to_vec(),
+                                )
+                            });
+                            match built {
+                                Ok(s) => session = Some(s),
+                                Err(e) => println!("cannot start incremental session: {e}"),
+                            }
+                        }
+                        if let Some(s) = session.as_mut() {
+                            match parse_delta_edits(rest, s.sources()) {
+                                Ok(delta) => match s.apply(&delta) {
+                                    Ok(td) => {
+                                        print_delta_summary(&td);
+                                        match s.tagged() {
+                                            Ok(t) => tagged = t,
+                                            Err(e) => {
+                                                println!("cannot refresh tagged view: {e}")
+                                            }
+                                        }
+                                    }
+                                    Err(e) => println!("delta error: {e}"),
+                                },
+                                Err(e) => println!("{e}"),
+                            }
+                        }
                     }
                 }
                 ".rebase" => match session.as_mut() {
-                    None => println!("no incremental session yet (apply a .delta first)"),
+                    None => println!(
+                        "no incremental session yet (apply a .delta first; durable sessions \
+                         renormalize on .checkpoint instead)"
+                    ),
                     Some(s) => match s.rebase() {
                         Ok(()) => {
                             println!("rebased: full re-exchange over the edited sources");
